@@ -1,0 +1,12 @@
+"""Benchmark harness regenerating every figure of the paper's evaluation (§7).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module sweeps the parameter the corresponding figure varies and prints
+the same series the paper plots (throughput and client latency per protocol).
+The sweeps default to laptop-scale parameters; set ``REPRO_BENCH_SCALE=full``
+to run the paper's full grid (n up to 64, batch sizes up to 10000, every
+delay/fault count).
+"""

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.experiments.report import format_series, print_series
+
+#: "quick" (default) runs a scaled-down grid; "full" approaches the paper's grid.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+#: Directory where each benchmark drops its rendered series table.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def is_full() -> bool:
+    """Return ``True`` when the full paper-scale grid was requested."""
+    return SCALE == "full"
+
+
+def pick(quick, full):
+    """Select the quick or full variant of a parameter grid."""
+    return full if is_full() else quick
+
+
+def _slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    return slug[:80] or "series"
+
+
+def run_series_once(benchmark, series_fn, title, **kwargs):
+    """Run a scenario series exactly once under pytest-benchmark.
+
+    The rendered table is printed (visible with ``pytest -s``) and also written
+    to ``benchmarks/results/<slug>.txt`` so the regenerated figures survive
+    output capturing.
+    """
+    result_holder = {}
+
+    def runner():
+        result_holder["rows"] = series_fn(**kwargs)
+        return result_holder["rows"]
+
+    benchmark.pedantic(runner, rounds=1, iterations=1)
+    rows = result_holder.get("rows", [])
+    table = format_series(rows, title=f"{title}  [scale={SCALE}]")
+    print()
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{_slugify(title)}.txt"), "w") as handle:
+        handle.write(table)
+    return rows

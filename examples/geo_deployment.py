@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: a geo-replicated ledger spanning several continents.
+
+Permissioned blockchains often place replicas in different jurisdictions.
+This example deploys 16 replicas uniformly over 2 and then 5 regions
+(N. Virginia, Hong Kong, London, São Paulo, Zurich — the paper's regions),
+keeps the clients in Virginia, and shows how inter-region round-trip times
+dominate latency while HotStuff-1's one-phase speculation still shaves two
+wide-area hops off every confirmation.
+
+Run with::
+
+    python examples/geo_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentSpec, run_experiment
+from repro.experiments.report import print_series
+from repro.net.latency import DEFAULT_REGION_ORDER
+
+
+PROTOCOLS = ("hotstuff-2", "hotstuff-1", "hotstuff-1-slotting")
+
+
+def run_geo(protocol: str, region_count: int):
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=16,
+        batch_size=100,
+        workload="ycsb",
+        duration=6.0,
+        warmup=1.5,
+        seed=5,
+        regions=list(DEFAULT_REGION_ORDER[:region_count]),
+        client_region="virginia",
+        view_timeout=1.0,
+        delta=0.3,
+    )
+    return run_experiment(spec)
+
+
+def main() -> None:
+    rows = []
+    for region_count in (2, 5):
+        for protocol in PROTOCOLS:
+            result = run_geo(protocol, region_count)
+            rows.append(
+                {
+                    "regions": region_count,
+                    "protocol": protocol,
+                    "throughput_tps": round(result.throughput, 1),
+                    "avg_latency_ms": round(result.latency_ms, 1),
+                    "p99_latency_ms": round(result.summary.p99_latency * 1000, 1),
+                }
+            )
+    print_series(rows, title="Geo-replicated ledger — 16 replicas, clients in Virginia")
+    print(
+        "Adding regions stretches every quorum across oceans: throughput falls and "
+        "latency grows for all protocols, but HotStuff-1 keeps the lowest latency "
+        "because clients learn finality one wide-area round-trip earlier."
+    )
+
+
+if __name__ == "__main__":
+    main()

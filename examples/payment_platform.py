@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario: a BFT-replicated payment platform that cares about response latency.
+
+The paper motivates HotStuff-1 with financial platforms whose clients need
+fast finality confirmations (§1).  This example models such a platform: an
+order-management / payment workload (TPC-C) replicated over 16 distrusting
+replicas, and compares the client-perceived finality latency of chained
+HotStuff, HotStuff-2 and HotStuff-1 (with and without slotting) at the same
+throughput.
+
+Run with::
+
+    python examples/payment_platform.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentSpec, run_experiment
+from repro.experiments.report import print_series
+
+
+PROTOCOLS = ("hotstuff", "hotstuff-2", "hotstuff-1", "hotstuff-1-slotting")
+
+
+def main() -> None:
+    rows = []
+    results = {}
+    for protocol in PROTOCOLS:
+        spec = ExperimentSpec(
+            protocol=protocol,
+            n=16,
+            batch_size=100,
+            workload="tpcc",
+            workload_kwargs={"warehouses": 2, "items": 200},
+            duration=0.5,
+            warmup=0.1,
+            seed=3,
+        )
+        result = run_experiment(spec)
+        results[protocol] = result
+        rows.append(
+            {
+                "protocol": protocol,
+                "throughput_tps": round(result.throughput, 0),
+                "avg_latency_ms": round(result.latency_ms, 2),
+                "p99_latency_ms": round(result.summary.p99_latency * 1000, 2),
+                "speculative": result.summary.speculative_executions > 0,
+            }
+        )
+
+    print_series(rows, title="Payment platform (TPC-C) — 16 replicas, batch 100")
+
+    hs1 = results["hotstuff-1"].latency_ms
+    hs2 = results["hotstuff-2"].latency_ms
+    hs = results["hotstuff"].latency_ms
+    print(
+        "HotStuff-1 confirms payments "
+        f"{100 * (1 - hs1 / hs):.1f}% faster than HotStuff and "
+        f"{100 * (1 - hs1 / hs2):.1f}% faster than HotStuff-2, at the same throughput."
+    )
+    print(
+        "Every confirmation is an early finality confirmation: the client saw "
+        "n-f matching speculative responses, so the payment can never be revoked."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run one HotStuff-1 deployment and print its metrics.
+
+This is the smallest end-to-end use of the library: build a 4-replica
+HotStuff-1 deployment with YCSB clients, run it for half a simulated second,
+and report throughput, client latency and speculation statistics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentSpec, run_experiment
+
+
+def main() -> None:
+    spec = ExperimentSpec(
+        protocol="hotstuff-1",   # streamlined HotStuff-1 with one-phase speculation
+        n=4,                      # replicas (f = 1)
+        batch_size=100,           # transactions per block, the paper's default
+        workload="ycsb",          # key-value write workload
+        duration=0.5,             # simulated seconds
+        warmup=0.1,               # excluded from the metrics
+        seed=1,
+    )
+    result = run_experiment(spec)
+    summary = result.summary
+
+    print("HotStuff-1 quickstart")
+    print("=" * 40)
+    print(f"replicas:                {spec.n} (f = {(spec.n - 1) // 3})")
+    print(f"committed transactions:  {summary.committed_txns}")
+    print(f"throughput:              {summary.throughput_tps:,.0f} txn/s")
+    print(f"average client latency:  {summary.avg_latency * 1000:.2f} ms")
+    print(f"p99 client latency:      {summary.p99_latency * 1000:.2f} ms")
+    print(f"speculative executions:  {summary.speculative_executions}")
+    print(f"rollbacks:               {summary.rollbacks}")
+    print(f"messages sent:           {summary.messages_sent}")
+    print()
+    print("Clients accepted results after n-f matching speculative responses —")
+    print("the early finality confirmation that gives HotStuff-1 its latency edge.")
+
+
+if __name__ == "__main__":
+    main()

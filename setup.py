@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments whose pip/setuptools are too
+old for PEP 517 editable installs (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "HotStuff-1: Linear Consensus with One-Phase Speculation — "
+        "full Python reproduction (protocols, substrates, workloads, evaluation harness)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

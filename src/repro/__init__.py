@@ -1,0 +1,49 @@
+"""HotStuff-1 reproduction: linear BFT consensus with one-phase speculation.
+
+This package is a from-scratch Python reproduction of *HotStuff-1: Linear
+Consensus with One-Phase Speculation* (SIGMOD 2025): the three HotStuff-1
+variants (basic, streamlined, slotted), the HotStuff and HotStuff-2
+baselines, every substrate the protocols rely on (threshold signatures,
+simulated partially-synchronous network, pacemaker, ledgers, YCSB / TPC-C
+workloads, Byzantine behaviours) and a benchmark harness that regenerates the
+paper's evaluation figures.
+
+Quickstart
+----------
+>>> from repro import ExperimentSpec, run_experiment
+>>> result = run_experiment(ExperimentSpec(protocol="hotstuff-1", n=4, duration=0.3))
+>>> result.summary.committed_txns > 0
+True
+"""
+
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.metrics import MetricsSummary
+from repro.core import (
+    BasicHotStuff1Replica,
+    HotStuff1Replica,
+    PROTOCOLS,
+    SlottedHotStuff1Replica,
+    client_quorum_for,
+    replica_class_for,
+)
+from repro.consensus.protocols import HotStuff2Replica, HotStuffReplica
+from repro.experiments import ExperimentSpec, RunResult, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicHotStuff1Replica",
+    "ExperimentSpec",
+    "HotStuff1Replica",
+    "HotStuff2Replica",
+    "HotStuffReplica",
+    "MetricsSummary",
+    "PROTOCOLS",
+    "ProtocolConfig",
+    "RunResult",
+    "SlottedHotStuff1Replica",
+    "__version__",
+    "client_quorum_for",
+    "replica_class_for",
+    "run_experiment",
+]

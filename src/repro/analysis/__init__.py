@@ -1,0 +1,27 @@
+"""Analysis utilities on top of the experiment harness.
+
+Three small tools that make the reproduction easier to study:
+
+* :mod:`repro.analysis.model` — a closed-form performance model (half-phase
+  latency and saturation throughput) derived from the same cost and latency
+  parameters the simulator uses; handy for sanity-checking simulated results
+  and for sizing client populations.
+* :mod:`repro.analysis.charts` — dependency-free ASCII charts for plotting a
+  series (throughput or latency versus the swept parameter) in a terminal.
+* :mod:`repro.analysis.export` — CSV / JSON export of scenario rows so results
+  can be post-processed outside Python.
+"""
+
+from repro.analysis.charts import ascii_bar_chart, ascii_line_chart
+from repro.analysis.export import rows_to_csv, rows_to_json, write_rows
+from repro.analysis.model import AnalyticalModel, PredictedPerformance
+
+__all__ = [
+    "AnalyticalModel",
+    "PredictedPerformance",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_rows",
+]

@@ -1,0 +1,75 @@
+"""Dependency-free ASCII charts for experiment series.
+
+The benchmark harness prints tables; these helpers render the same rows as
+quick terminal charts (one bar per row, or one line per protocol), which is
+often enough to eyeball the figure shapes without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def ascii_bar_chart(
+    rows: Sequence[Dict],
+    label_key: str,
+    value_key: str,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render one horizontal bar per row, scaled to the maximum value."""
+    usable = [row for row in rows if value_key in row and row.get(value_key) is not None]
+    if not usable:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    maximum = max(float(row[value_key]) for row in usable) or 1.0
+    label_width = max(len(str(row.get(label_key, ""))) for row in usable)
+    lines: List[str] = [title] if title else []
+    for row in usable:
+        value = float(row[value_key])
+        bar = "#" * max(1, int(round(width * value / maximum)))
+        label = str(row.get(label_key, "")).ljust(label_width)
+        lines.append(f"{label} | {bar} {value:,.1f}")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_line_chart(
+    series: Dict[str, Dict[float, float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render ``{name: {x: y}}`` as a coarse multi-series scatter/line chart.
+
+    Each series gets a distinct marker; axes are scaled to the union of the
+    data.  Intended for quick visual inspection, not publication.
+    """
+    points = [
+        (float(x), float(y), name)
+        for name, xy in series.items()
+        for x, y in xy.items()
+        if y is not None
+    ]
+    if not points:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    markers = "*o+x@%&$"
+    marker_of = {name: markers[index % len(markers)] for index, name in enumerate(series)}
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for x, y, name in points:
+        column = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][column] = marker_of[name]
+    lines: List[str] = [title] if title else []
+    lines.append(f"y: {y_min:,.1f} .. {y_max:,.1f}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_min:,.1f} .. {x_max:,.1f}")
+    legend = "  ".join(f"{marker}={name}" for name, marker in marker_of.items())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,51 @@
+"""Exporting experiment series to CSV and JSON."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Dict, List, Sequence
+
+
+def _columns(rows: Sequence[Dict]) -> List[str]:
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_to_csv(rows: Sequence[Dict]) -> str:
+    """Render scenario rows as a CSV string (columns in first-appearance order)."""
+    buffer = io.StringIO()
+    columns = _columns(rows)
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Dict], indent: int = 2) -> str:
+    """Render scenario rows as a JSON array string."""
+    return json.dumps(list(rows), indent=indent, default=str)
+
+
+def write_rows(rows: Sequence[Dict], path: str) -> str:
+    """Write rows to *path*; the format is chosen from the extension (.csv or .json).
+
+    Returns the path written.  Parent directories are created as needed.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    if path.endswith(".json"):
+        payload = rows_to_json(rows)
+    else:
+        payload = rows_to_csv(rows)
+    with open(path, "w") as handle:
+        handle.write(payload)
+    return path

@@ -1,0 +1,172 @@
+"""Command-line interface for the HotStuff-1 reproduction.
+
+Usage (installed as a module)::
+
+    python -m repro run --protocol hotstuff-1 --replicas 16 --duration 0.5
+    python -m repro compare --replicas 16 --batch 100
+    python -m repro figure fig8-scalability --out results.csv
+    python -m repro predict --replicas 32 --batch 100
+
+Sub-commands
+------------
+``run``
+    Run one experiment and print its metric summary.
+``compare``
+    Run every evaluation protocol under the same configuration and print the
+    comparison table (plus an ASCII latency chart).
+``figure``
+    Regenerate one of the paper's figures via the scenario builders and
+    optionally export the rows to CSV/JSON.
+``predict``
+    Print the closed-form performance-model predictions for all protocols.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.charts import ascii_bar_chart
+from repro.analysis.export import write_rows
+from repro.analysis.model import AnalyticalModel
+from repro.consensus.config import ProtocolConfig
+from repro.core.registry import EVALUATION_PROTOCOLS, PROTOCOLS
+from repro.experiments.report import format_series
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments import scenarios
+
+#: Figure name -> (scenario builder, scaled-down default kwargs).
+FIGURES = {
+    "fig8-scalability": (scenarios.scalability_series, {"replica_counts": (4, 16, 32)}),
+    "fig8-batching": (scenarios.batching_series, {"batch_sizes": (100, 1000, 5000), "n": 8}),
+    "fig8-geo-ycsb": (scenarios.geo_scale_series, {"workload": "ycsb", "n": 16, "region_counts": (2, 5)}),
+    "fig8-geo-tpcc": (scenarios.geo_scale_series, {"workload": "tpcc", "n": 16, "region_counts": (2, 5)}),
+    "fig9-delay": (scenarios.delay_injection_series, {"n": 13, "delays_ms": (5.0, 50.0)}),
+    "fig9-geo": (scenarios.two_region_split_series, {"n": 13}),
+    "fig10-slowness": (scenarios.leader_slowness_series, {"n": 16, "slow_leader_counts": (0, 1, 4)}),
+    "fig10-tailfork": (scenarios.tail_forking_series, {"n": 16, "faulty_counts": (0, 1, 4)}),
+    "fig10-rollback": (scenarios.rollback_attack_series, {"n": 16, "faulty_counts": (0, 2, 4)}),
+    "latency-breakdown": (scenarios.latency_breakdown_series, {"replica_counts": (4, 16)}),
+    "ablation-slotting": (scenarios.slotting_ablation_series, {"n": 8}),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HotStuff-1 reproduction: run experiments, regenerate figures, predict performance.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument("--protocol", default="hotstuff-1", choices=sorted(PROTOCOLS))
+
+    compare_parser = subparsers.add_parser("compare", help="compare all evaluation protocols")
+    _add_common_arguments(compare_parser)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", choices=sorted(FIGURES))
+    figure_parser.add_argument("--out", default=None, help="write rows to a .csv or .json file")
+    figure_parser.add_argument("--duration", type=float, default=None, help="simulated seconds per run")
+
+    predict_parser = subparsers.add_parser("predict", help="closed-form performance predictions")
+    predict_parser.add_argument("--replicas", type=int, default=32)
+    predict_parser.add_argument("--batch", type=int, default=100)
+    predict_parser.add_argument("--hop-latency", type=float, default=0.0005)
+    return parser
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument("--batch", type=int, default=100)
+    parser.add_argument("--workload", default="ycsb", choices=("ycsb", "tpcc"))
+    parser.add_argument("--duration", type=float, default=0.5)
+    parser.add_argument("--warmup", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--view-timeout", type=float, default=0.03)
+
+
+def _spec_from_args(args: argparse.Namespace, protocol: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol=protocol,
+        n=args.replicas,
+        batch_size=args.batch,
+        workload=args.workload,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        view_timeout=args.view_timeout,
+    )
+
+
+def command_run(args: argparse.Namespace) -> int:
+    """Run a single experiment and print the metric summary."""
+    result = run_experiment(_spec_from_args(args, args.protocol))
+    rows = [result.summary.as_dict()]
+    print(format_series(rows, title=f"{args.protocol} — n={args.replicas}, batch={args.batch}"))
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    """Run every evaluation protocol under the same settings and compare."""
+    rows: List[Dict] = []
+    for protocol in EVALUATION_PROTOCOLS:
+        result = run_experiment(_spec_from_args(args, protocol))
+        rows.append(
+            {
+                "protocol": protocol,
+                "throughput_tps": round(result.throughput, 1),
+                "avg_latency_ms": round(result.latency_ms, 3),
+                "p99_latency_ms": round(result.summary.p99_latency * 1000, 3),
+                "speculative_executions": result.summary.speculative_executions,
+            }
+        )
+    print(format_series(rows, title=f"Protocol comparison — n={args.replicas}, batch={args.batch}"))
+    print(ascii_bar_chart(rows, "protocol", "avg_latency_ms", title="average client latency (ms)"))
+    return 0
+
+
+def command_figure(args: argparse.Namespace) -> int:
+    """Regenerate a figure series and optionally export it."""
+    builder, defaults = FIGURES[args.name]
+    kwargs = dict(defaults)
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
+    rows = builder(**kwargs)
+    print(format_series(rows, title=args.name))
+    if args.out:
+        path = write_rows(rows, args.out)
+        print(f"wrote {len(rows)} rows to {path}")
+    return 0
+
+
+def command_predict(args: argparse.Namespace) -> int:
+    """Print analytic predictions for every protocol."""
+    config = ProtocolConfig(n=args.replicas, batch_size=args.batch)
+    model = AnalyticalModel(config, hop_latency=args.hop_latency)
+    rows = [model.predict(protocol).as_dict() for protocol in EVALUATION_PROTOCOLS]
+    print(format_series(rows, title=f"Analytic model — n={args.replicas}, batch={args.batch}"))
+    ratio_hs = model.latency_ratio("hotstuff-1", "hotstuff")
+    ratio_hs2 = model.latency_ratio("hotstuff-1", "hotstuff-2")
+    print(f"predicted HotStuff-1 latency: {ratio_hs:.2f}x of HotStuff, {ratio_hs2:.2f}x of HotStuff-2")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": command_run,
+        "compare": command_compare,
+        "figure": command_figure,
+        "predict": command_predict,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Consensus substrate shared by every protocol in the reproduction.
+
+This package contains everything the HotStuff-family protocols have in
+common: message types, certificates built from threshold signatures, the
+epoch pacemaker of Figure 3, round-robin leader election, the replica base
+class, the client pool (clients are "first-class citizens" in HotStuff-1),
+Byzantine behaviours used by the attack experiments, the shared mempool, the
+CPU cost model, and metrics collection.
+
+The actual protocol logic lives in :mod:`repro.consensus.protocols`
+(baselines: HotStuff, HotStuff-2) and :mod:`repro.core` (the paper's
+contribution: HotStuff-1 basic, streamlined and slotted).
+"""
+
+from repro.consensus.certificates import Certificate, CertificateAuthority, CertKind
+from repro.consensus.client import ClientPool
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.costs import CostModel
+from repro.consensus.leader import RoundRobinLeaderElection
+from repro.consensus.mempool import Mempool
+from repro.consensus.metrics import MetricsCollector
+from repro.consensus.pacemaker import Pacemaker
+
+__all__ = [
+    "CertKind",
+    "Certificate",
+    "CertificateAuthority",
+    "ClientPool",
+    "CostModel",
+    "Mempool",
+    "MetricsCollector",
+    "Pacemaker",
+    "ProtocolConfig",
+    "RoundRobinLeaderElection",
+]

@@ -1,0 +1,154 @@
+"""Client pool.
+
+HotStuff-1 treats clients as first-class citizens of consensus: they receive
+commit-votes (speculative responses) directly from replicas and declare a
+transaction final once a *matching quorum* of responses arrives — ``n - f``
+for HotStuff-1 (speculative responses only prove preparation) versus
+``f + 1`` for HotStuff / HotStuff-2 (post-commit responses).
+
+:class:`ClientPool` models a population of logical closed-loop clients in a
+single network node: each logical client keeps one request outstanding,
+submits it to a replica over the network (one hop), collects responses (one
+hop each), applies the quorum rule, records latency, and immediately issues
+its next request.  A retry timer resubmits requests whose block was abandoned
+by a faulty leader (tail-forking) so the system never deadlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.messages import ClientRequest, ClientResponseBatch
+from repro.consensus.metrics import MetricsCollector
+from repro.ledger.transaction import Transaction
+from repro.net.message import Envelope
+from repro.net.network import SimNetwork
+from repro.sim.process import PeriodicTimer
+from repro.sim.scheduler import Simulator
+from repro.workloads.base import Workload
+
+#: Default network node id of the client pool (outside the replica id range).
+CLIENT_POOL_NODE_ID = -1
+
+
+@dataclass
+class OutstandingRequest:
+    """Book-keeping for a request that has not yet reached its quorum."""
+
+    txn: Transaction
+    logical_client: int
+    submitted_at: float
+    last_sent_at: float
+    responders: Dict[Tuple[str, str], Set[int]] = field(default_factory=dict)
+    speculative_seen: bool = False
+
+
+class ClientPool:
+    """A population of logical closed-loop clients sharing one network endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        workload: Workload,
+        config: ProtocolConfig,
+        metrics: MetricsCollector,
+        num_clients: int = 64,
+        required_quorum: Optional[int] = None,
+        node_id: int = CLIENT_POOL_NODE_ID,
+        target_replicas: Optional[Sequence[int]] = None,
+        retry_timeout: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.workload = workload
+        self.config = config
+        self.metrics = metrics
+        self.num_clients = int(num_clients)
+        self.required_quorum = int(required_quorum if required_quorum is not None else config.f + 1)
+        self.node_id = int(node_id)
+        self.target_replicas = list(target_replicas) if target_replicas else list(config.replica_ids())
+        self.retry_timeout = retry_timeout if retry_timeout is not None else max(10 * config.view_timeout, 0.05)
+        self.outstanding: Dict[int, OutstandingRequest] = {}
+        self.completed_count = 0
+        self.retries = 0
+        self._rng = sim.rng.fork("clients")
+        self._next_target = 0
+        self._retry_timer = PeriodicTimer(sim, max(self.retry_timeout / 2.0, config.view_timeout), self._check_retries)
+        network.register(self)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Issue the first request of every logical client and arm the retry timer."""
+        for logical_client in range(self.num_clients):
+            self._submit_new(logical_client)
+        self._retry_timer.start()
+
+    def stop(self) -> None:
+        """Stop issuing new requests (used at the end of a measurement window)."""
+        self._retry_timer.stop()
+
+    # ------------------------------------------------------------ networking
+    def deliver(self, envelope: Envelope) -> None:
+        """Handle a :class:`ClientResponseBatch` from a replica."""
+        payload = envelope.payload
+        if isinstance(payload, ClientResponseBatch):
+            self._handle_response_batch(payload)
+
+    # -------------------------------------------------------------- requests
+    def _submit_new(self, logical_client: int) -> None:
+        txn = self.workload.next_transaction(
+            client_id=self._client_id(logical_client), rng=self._rng, now=self.sim.now
+        )
+        request = OutstandingRequest(
+            txn=txn,
+            logical_client=logical_client,
+            submitted_at=self.sim.now,
+            last_sent_at=self.sim.now,
+        )
+        self.outstanding[txn.txn_id] = request
+        self._send_request(request)
+
+    def _send_request(self, request: OutstandingRequest) -> None:
+        target = self.target_replicas[self._next_target % len(self.target_replicas)]
+        self._next_target += 1
+        request.last_sent_at = self.sim.now
+        self.network.send(self.node_id, target, ClientRequest(txn=request.txn), size_bytes=256)
+
+    def _client_id(self, logical_client: int) -> int:
+        return self.node_id * 1_000_000 - logical_client
+
+    # ------------------------------------------------------------- responses
+    def _handle_response_batch(self, batch: ClientResponseBatch) -> None:
+        for entry in batch.entries:
+            request = self.outstanding.get(entry.txn_id)
+            if request is None:
+                continue
+            key = (batch.block_hash, entry.result_digest)
+            responders = request.responders.setdefault(key, set())
+            responders.add(batch.replica_id)
+            if batch.speculative:
+                request.speculative_seen = True
+            if len(responders) >= self.required_quorum:
+                self._complete(request, speculative=batch.speculative)
+
+    def _complete(self, request: OutstandingRequest, speculative: bool) -> None:
+        self.outstanding.pop(request.txn.txn_id, None)
+        self.completed_count += 1
+        self.metrics.record_completion(
+            txn_id=request.txn.txn_id,
+            submitted_at=request.submitted_at,
+            completed_at=self.sim.now,
+            speculative=speculative or request.speculative_seen,
+        )
+        self._submit_new(request.logical_client)
+
+    # ---------------------------------------------------------------- retries
+    def _check_retries(self) -> None:
+        now = self.sim.now
+        for request in list(self.outstanding.values()):
+            if now - request.last_sent_at >= self.retry_timeout:
+                self.retries += 1
+                self._send_request(request)

@@ -1,0 +1,40 @@
+"""Leader election.
+
+All protocols in the reproduction rotate leaders round-robin, matching the
+paper's ``L_v = R with v = id(R) mod n``.  The class is small but kept
+separate so experiments can substitute alternative rotations (for example,
+placing Byzantine replicas at consecutive leader positions).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+class RoundRobinLeaderElection:
+    """Maps views to leaders by ``view mod n`` over an (optionally permuted) roster."""
+
+    def __init__(self, n: int, roster: Sequence[int] | None = None) -> None:
+        if n <= 0:
+            raise ConfigurationError("leader election needs a positive replica count")
+        self.n = int(n)
+        if roster is None:
+            self._roster = list(range(self.n))
+        else:
+            if sorted(roster) != list(range(self.n)):
+                raise ConfigurationError("roster must be a permutation of replica ids")
+            self._roster = list(roster)
+
+    def leader_of(self, view: int) -> int:
+        """Replica id of the leader for *view*."""
+        return self._roster[view % self.n]
+
+    def is_leader(self, replica_id: int, view: int) -> bool:
+        """Return ``True`` if *replica_id* leads *view*."""
+        return self.leader_of(view) == replica_id
+
+    def views_led_by(self, replica_id: int, first_view: int, count: int) -> list:
+        """The views in ``[first_view, first_view + count)`` led by *replica_id*."""
+        return [view for view in range(first_view, first_view + count) if self.is_leader(replica_id, view)]

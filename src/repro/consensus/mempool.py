@@ -1,0 +1,84 @@
+"""Shared transaction mempool.
+
+The paper separates data dissemination from consensus (and cites Autobahn and
+DAG-based mempools as orthogonal work); ResilientDB broadcasts client
+requests to all replicas before ordering.  The reproduction models that
+substrate with a single shared :class:`Mempool` visible to every replica —
+i.e. perfect, zero-cost dissemination — so that the measured differences
+between protocols come from consensus, which is exactly what the paper
+evaluates.  The client-to-replica and replica-to-client network hops are still
+paid through the network layer (they are part of the latency metric).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.ledger.transaction import Transaction
+
+
+class Mempool:
+    """FIFO pool of pending client transactions shared by all replicas."""
+
+    def __init__(self) -> None:
+        self._pending: "OrderedDict[int, Transaction]" = OrderedDict()
+        self._committed_ids: set = set()
+        self._ever_added = 0
+
+    # ----------------------------------------------------------------- write
+    def add(self, txn: Transaction) -> bool:
+        """Add *txn* to the pool; duplicates and already-committed txns are ignored.
+
+        Returns ``True`` if the transaction was newly added.
+        """
+        if txn.txn_id in self._pending or txn.txn_id in self._committed_ids:
+            return False
+        self._pending[txn.txn_id] = txn
+        self._ever_added += 1
+        return True
+
+    def requeue(self, txns: List[Transaction]) -> None:
+        """Put transactions back at the head of the pool (after an abandoned block)."""
+        for txn in reversed(txns):
+            if txn.txn_id not in self._pending and txn.txn_id not in self._committed_ids:
+                self._pending[txn.txn_id] = txn
+                self._pending.move_to_end(txn.txn_id, last=False)
+
+    def mark_committed(self, txn_ids) -> None:
+        """Record that transactions committed so they are never re-admitted."""
+        for txn_id in txn_ids:
+            self._committed_ids.add(txn_id)
+            self._pending.pop(txn_id, None)
+
+    def is_committed(self, txn_id: int) -> bool:
+        """Return ``True`` if the transaction is known to have committed."""
+        return txn_id in self._committed_ids
+
+    def remove(self, txn_id: int) -> None:
+        """Drop a transaction (e.g. once the client saw it commit elsewhere)."""
+        self._pending.pop(txn_id, None)
+
+    # ------------------------------------------------------------------ read
+    def next_batch(self, batch_size: int) -> List[Transaction]:
+        """Pop up to *batch_size* transactions in FIFO order."""
+        batch: List[Transaction] = []
+        while self._pending and len(batch) < batch_size:
+            _, txn = self._pending.popitem(last=False)
+            batch.append(txn)
+        return batch
+
+    def peek_count(self) -> int:
+        """Number of transactions currently pending."""
+        return len(self._pending)
+
+    @property
+    def total_submitted(self) -> int:
+        """Number of distinct transactions ever added."""
+        return self._ever_added
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, txn_id: int) -> bool:
+        return txn_id in self._pending

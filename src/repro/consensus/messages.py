@@ -1,0 +1,164 @@
+"""Protocol message types.
+
+One module defines every message used by the protocol family so that the
+network layer, the replicas and the tests all share the same vocabulary.
+Messages are plain dataclasses; authentication is implicit (the simulated
+network never mis-attributes a sender), while quorum statements inside
+messages carry explicit threshold signature shares / certificates that are
+verified by receivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.consensus.certificates import Certificate
+from repro.crypto.threshold import SignatureShare
+from repro.ledger.block import Block
+from repro.ledger.transaction import Transaction
+from repro.types import NULL_DIGEST
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A client submits a transaction for ordering and execution."""
+
+    txn: Transaction
+
+
+@dataclass(frozen=True)
+class ResponseEntry:
+    """Per-transaction part of a :class:`ClientResponseBatch`."""
+
+    txn_id: int
+    client_id: int
+    result_digest: str
+    success: bool
+
+
+@dataclass(frozen=True)
+class ClientResponseBatch:
+    """A replica's responses to the clients for one block.
+
+    ``speculative`` distinguishes early finality confirmations (HotStuff-1's
+    commit-votes with speculative results) from post-commit responses.
+    """
+
+    replica_id: int
+    view: int
+    slot: int
+    block_hash: str
+    speculative: bool
+    entries: Tuple[ResponseEntry, ...]
+
+
+@dataclass(frozen=True)
+class Propose:
+    """Leader proposal for a (view, slot).
+
+    ``justify`` is the certificate the block extends (``P(v_lp)``); basic
+    HotStuff-1 additionally carries the highest commit certificate
+    ``commit_cert`` (``C(v_lc)``); slotted proposals may carry the hash of a
+    *carry block* (§6.1, way (ii)).
+    """
+
+    view: int
+    slot: int
+    block: Block
+    justify: Certificate
+    commit_cert: Optional[Certificate] = None
+    carry_hash: str = NULL_DIGEST
+
+
+@dataclass(frozen=True)
+class ProposeVote:
+    """Basic HotStuff-1 first-phase vote, sent to the current leader."""
+
+    view: int
+    voter: int
+    block_hash: str
+    share: SignatureShare
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Basic HotStuff-1 second-phase message: the leader broadcasts ``P(v)``."""
+
+    view: int
+    cert: Certificate
+
+
+@dataclass(frozen=True)
+class NewView:
+    """Vote-and-view-change message sent to the leader of the next view.
+
+    In the streamlined protocols this message doubles as the vote for the
+    current proposal (``share`` over the proposed block); on timeout the share
+    is ``None`` and only the highest known certificate is reported.  For the
+    slotting design it also carries the hash of the sender's highest voted
+    block (``highest_voted_hash``) so the next leader can identify carry
+    blocks.
+    """
+
+    view: int
+    voter: int
+    high_cert: Certificate
+    share: Optional[SignatureShare] = None
+    voted_block_hash: str = NULL_DIGEST
+    highest_voted_hash: str = NULL_DIGEST
+    commit_share: Optional[SignatureShare] = None
+
+
+@dataclass(frozen=True)
+class NewSlot:
+    """Slotting design: a replica's vote for slot ``(slot, view)`` sent to the same leader."""
+
+    view: int
+    slot: int
+    voter: int
+    high_cert: Certificate
+    share: SignatureShare
+    voted_block_hash: str = NULL_DIGEST
+
+
+@dataclass(frozen=True)
+class Reject:
+    """Slotting design: a replica rejects an unsafe proposal and reports its highest certificate."""
+
+    view: int
+    slot: int
+    voter: int
+    high_cert: Certificate
+
+
+@dataclass(frozen=True)
+class Wish:
+    """Pacemaker: a replica wishes to enter *view* (start of an epoch)."""
+
+    view: int
+    voter: int
+    share: SignatureShare
+
+
+@dataclass(frozen=True)
+class TimeoutCertificateMsg:
+    """Pacemaker: broadcast / relay of the timeout certificate ``TC_v``."""
+
+    view: int
+    cert: Certificate
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Recovery: ask another replica for a block by hash."""
+
+    block_hash: str
+    requester: int
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """Recovery: a block returned in response to a :class:`FetchRequest`."""
+
+    block: Block

@@ -1,0 +1,169 @@
+"""Metrics collection.
+
+The paper reports two headline metrics (§7): *throughput* (transactions per
+second for which the system completes consensus) and *client latency* (time
+from a client sending a transaction to receiving a matching quorum of
+responses).  :class:`MetricsCollector` gathers both, plus secondary counters
+(rollbacks, speculative executions, view changes, message counts) used by the
+failure-resiliency experiments and the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LatencySample:
+    """One completed transaction's timing."""
+
+    txn_id: int
+    submitted_at: float
+    completed_at: float
+    speculative: bool
+
+    @property
+    def latency(self) -> float:
+        """Client latency in seconds."""
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class MetricsSummary:
+    """Aggregated results of one experiment run (one protocol, one scenario point)."""
+
+    protocol: str
+    committed_txns: int
+    duration: float
+    throughput_tps: float
+    avg_latency: float
+    p50_latency: float
+    p99_latency: float
+    rollbacks: int
+    rolled_back_txns: int
+    speculative_executions: int
+    view_changes: int
+    timeouts: int
+    messages_sent: int
+    consensus_commits: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports and JSON dumps."""
+        return {
+            "protocol": self.protocol,
+            "committed_txns": self.committed_txns,
+            "duration_s": self.duration,
+            "throughput_tps": self.throughput_tps,
+            "avg_latency_ms": self.avg_latency * 1000.0,
+            "p50_latency_ms": self.p50_latency * 1000.0,
+            "p99_latency_ms": self.p99_latency * 1000.0,
+            "rollbacks": self.rollbacks,
+            "rolled_back_txns": self.rolled_back_txns,
+            "speculative_executions": self.speculative_executions,
+            "view_changes": self.view_changes,
+            "timeouts": self.timeouts,
+            "messages_sent": self.messages_sent,
+            "consensus_commits": self.consensus_commits,
+        }
+
+
+class MetricsCollector:
+    """Collects per-run measurements from clients, replicas and the network."""
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        self.warmup = float(warmup)
+        self.samples: List[LatencySample] = []
+        self.consensus_commits = 0
+        self.view_changes = 0
+        self.timeouts = 0
+        self.rollbacks = 0
+        self.rolled_back_txns = 0
+        self.speculative_executions = 0
+        self.messages_sent = 0
+        self._committed_txn_ids: set = set()
+
+    # ----------------------------------------------------------- client side
+    def record_completion(
+        self, txn_id: int, submitted_at: float, completed_at: float, speculative: bool
+    ) -> None:
+        """Record that a client reached its matching quorum for a transaction."""
+        if txn_id in self._committed_txn_ids:
+            return
+        self._committed_txn_ids.add(txn_id)
+        self.samples.append(
+            LatencySample(
+                txn_id=txn_id,
+                submitted_at=submitted_at,
+                completed_at=completed_at,
+                speculative=speculative,
+            )
+        )
+
+    # ---------------------------------------------------------- replica side
+    def record_consensus_commit(self, txn_count: int) -> None:
+        """Record a block commit observed at a replica (first commit counts)."""
+        self.consensus_commits += txn_count
+
+    def record_view_change(self) -> None:
+        """Record a leader rotation (entering a new view)."""
+        self.view_changes += 1
+
+    def record_timeout(self) -> None:
+        """Record a view timeout at some replica."""
+        self.timeouts += 1
+
+    def record_rollback(self, txn_count: int) -> None:
+        """Record a speculative rollback affecting *txn_count* transactions."""
+        self.rollbacks += 1
+        self.rolled_back_txns += txn_count
+
+    def record_speculative_execution(self, txn_count: int) -> None:
+        """Record speculative execution of a block with *txn_count* transactions."""
+        self.speculative_executions += txn_count
+
+    # ------------------------------------------------------------- summaries
+    def completed_after_warmup(self) -> List[LatencySample]:
+        """Samples completed after the warmup window."""
+        return [sample for sample in self.samples if sample.completed_at >= self.warmup]
+
+    def throughput(self, duration: float) -> float:
+        """Committed transactions per second over the post-warmup window."""
+        window = max(duration - self.warmup, 1e-9)
+        return len(self.completed_after_warmup()) / window
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile (e.g. 0.5, 0.99) over post-warmup samples."""
+        samples = sorted(sample.latency for sample in self.completed_after_warmup())
+        if not samples:
+            return 0.0
+        index = min(len(samples) - 1, max(0, math.ceil(fraction * len(samples)) - 1))
+        return samples[index]
+
+    def average_latency(self) -> float:
+        """Mean client latency over post-warmup samples."""
+        samples = self.completed_after_warmup()
+        if not samples:
+            return 0.0
+        return sum(sample.latency for sample in samples) / len(samples)
+
+    def summarize(self, protocol: str, duration: float) -> MetricsSummary:
+        """Build the final :class:`MetricsSummary` for a run of *duration* seconds."""
+        completed = self.completed_after_warmup()
+        return MetricsSummary(
+            protocol=protocol,
+            committed_txns=len(completed),
+            duration=duration,
+            throughput_tps=self.throughput(duration),
+            avg_latency=self.average_latency(),
+            p50_latency=self.latency_percentile(0.50),
+            p99_latency=self.latency_percentile(0.99),
+            rollbacks=self.rollbacks,
+            rolled_back_txns=self.rolled_back_txns,
+            speculative_executions=self.speculative_executions,
+            view_changes=self.view_changes,
+            timeouts=self.timeouts,
+            messages_sent=self.messages_sent,
+            consensus_commits=self.consensus_commits,
+        )

@@ -1,0 +1,157 @@
+"""Epoch pacemaker (Figure 3).
+
+The pacemaker keeps at least ``n - f`` correct replicas in the same view so
+leaders can collect quorums.  Views are grouped into epochs of ``f + 1``
+consecutive views; at every epoch boundary replicas run a Wish / timeout
+certificate (TC) exchange to re-synchronise, and inside an epoch views advance
+locally (at network speed in the happy path, or on the view timer when the
+leader stalls).
+
+The pacemaker exposes exactly the calls the paper's pseudocode uses:
+
+* ``enter_view`` / ``completed_view`` — view lifecycle,
+* ``share_timer(v)`` — the time (``start + 3 * delta``) after which a leader
+  that could not form the previous view's certificate proposes anyway,
+* ``view_deadline(v)`` — when the view timer for ``v`` fires.
+
+The replica provides two callbacks: ``on_enter_view(view)`` and
+``on_view_timeout(view)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.consensus.certificates import CertificateAuthority, CertKind
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.leader import RoundRobinLeaderElection
+from repro.consensus.messages import TimeoutCertificateMsg, Wish
+from repro.crypto.threshold import SignatureShare
+from repro.sim.process import Timer
+from repro.sim.scheduler import Simulator
+
+
+class Pacemaker:
+    """Per-replica view synchroniser."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        replica,
+        config: ProtocolConfig,
+        authority: CertificateAuthority,
+        leader_election: RoundRobinLeaderElection,
+    ) -> None:
+        self.sim = sim
+        self.replica = replica
+        self.config = config
+        self.authority = authority
+        self.leaders = leader_election
+        self.current_view = 0
+        self._highest_completed = 0
+        self.start_time: Dict[int, float] = {}
+        self._scheduled_start: Dict[int, float] = {}
+        self._view_timer = Timer(sim, self._on_view_timer)
+        self._wish_shares: Dict[int, Dict[int, SignatureShare]] = {}
+        self._tc_formed: Set[int] = set()
+        self._tc_entered: Set[int] = set()
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self, first_view: int = 1) -> None:
+        """Begin operating; every replica calls this at simulation start."""
+        self._started = True
+        if self.config.epoch_sync_enabled and first_view % self.config.epoch_length == 0:
+            self.synchronize_epoch(first_view)
+        else:
+            self.enter_view(first_view)
+
+    def enter_view(self, view: int) -> None:
+        """Enter *view* (monotonic: entering an older view is a no-op)."""
+        if view <= self.current_view:
+            return
+        self.current_view = view
+        self._highest_completed = max(self._highest_completed, view - 1)
+        now = self.sim.now
+        self.start_time[view] = now
+        deadline = self._scheduled_start.get(view + 1, now + self.config.view_timeout)
+        deadline = max(deadline, now + self.config.view_timeout * 0.25)
+        self._view_timer.start_at(deadline, view)
+        self.replica.on_enter_view(view)
+
+    def has_completed(self, view: int) -> bool:
+        """``True`` once the replica has exited *view* (voting in it is disabled)."""
+        return view <= self._highest_completed
+
+    def completed_view(self, view: int) -> None:
+        """Called by the replica when it exits *view* (Figure 3, CompletedView)."""
+        self._highest_completed = max(self._highest_completed, view)
+        next_view = view + 1
+        if next_view <= self.current_view:
+            return
+        if self.config.epoch_sync_enabled and next_view % self.config.epoch_length == 0:
+            self.synchronize_epoch(next_view)
+        else:
+            self.enter_view(next_view)
+
+    def force_enter(self, view: int) -> None:
+        """Catch up to *view* directly (used when a proposal for a higher view arrives)."""
+        if view > self.current_view:
+            self.enter_view(view)
+
+    # --------------------------------------------------------------- timers
+    def view_deadline(self, view: int) -> float:
+        """Absolute simulated time at which the timer for *view* fires."""
+        if view == self.current_view and self._view_timer.deadline is not None:
+            return self._view_timer.deadline
+        return self.start_time.get(view, self.sim.now) + self.config.view_timeout
+
+    def share_timer(self, view: int) -> float:
+        """``StartTime[view] + 3 * delta`` (Figure 3, ShareTimer)."""
+        return self.start_time.get(view, self.sim.now) + 3.0 * self.config.delta
+
+    def _on_view_timer(self, view: int) -> None:
+        if view != self.current_view:
+            return
+        self.replica.on_view_timeout(view)
+
+    # -------------------------------------------------- epoch synchronisation
+    def epoch_leaders(self, view: int) -> list:
+        """The ``f + 1`` leaders of the epoch starting at *view*."""
+        return [self.leaders.leader_of(view + k) for k in range(self.config.f + 1)]
+
+    def synchronize_epoch(self, view: int) -> None:
+        """Send a Wish for *view* to the next epoch's leaders (Figure 3, lines 8-10)."""
+        share = self.authority.create_timeout_vote(self.replica.replica_id, view)
+        wish = Wish(view=view, voter=self.replica.replica_id, share=share)
+        for leader in self.epoch_leaders(view):
+            self.replica.send(leader, wish)
+
+    def handle_wish(self, msg: Wish) -> None:
+        """Epoch-leader role: aggregate Wish shares into a timeout certificate."""
+        if msg.view in self._tc_formed or msg.view <= self.current_view:
+            return
+        if self.replica.replica_id not in self.epoch_leaders(msg.view):
+            return
+        if not self.authority.verify_vote(msg.share, CertKind.TIMEOUT, msg.view, 0, ""):
+            return
+        shares = self._wish_shares.setdefault(msg.view, {})
+        shares[msg.voter] = msg.share
+        if len(shares) >= self.config.quorum:
+            tc = self.authority.form_timeout_certificate(msg.view, list(shares.values()))
+            self._tc_formed.add(msg.view)
+            self.replica.broadcast_replicas(TimeoutCertificateMsg(view=msg.view, cert=tc))
+
+    def handle_timeout_certificate(self, msg: TimeoutCertificateMsg) -> None:
+        """Backup role: relay the TC, schedule the epoch's view start times, enter."""
+        if msg.view in self._tc_entered or msg.view <= self.current_view:
+            return
+        if not self.authority.verify_certificate(msg.cert):
+            return
+        self._tc_entered.add(msg.view)
+        now = self.sim.now
+        for leader in self.epoch_leaders(msg.view):
+            self.replica.send(leader, msg)
+        for k in range(self.config.f + 1):
+            self._scheduled_start[msg.view + k] = now + k * self.config.view_timeout
+        self.enter_view(msg.view)

@@ -1,0 +1,19 @@
+"""Baseline protocols the paper compares HotStuff-1 against.
+
+* :class:`~repro.consensus.protocols.hotstuff.HotStuffReplica` — streamlined
+  (chained) HotStuff with the three-chain commit rule; 7 consensus
+  half-phases before a client response.
+* :class:`~repro.consensus.protocols.hotstuff2.HotStuff2Replica` — HotStuff-2
+  with the two-chain commit rule; 5 consensus half-phases.
+
+Both are built on :class:`~repro.consensus.protocols.chained_base.ChainedReplica`,
+which implements the streamlined one-phase-per-view skeleton (propose, vote to
+the next leader, certificate formation, commit rule application) shared with
+streamlined HotStuff-1.
+"""
+
+from repro.consensus.protocols.chained_base import ChainedReplica
+from repro.consensus.protocols.hotstuff import HotStuffReplica
+from repro.consensus.protocols.hotstuff2 import HotStuff2Replica
+
+__all__ = ["ChainedReplica", "HotStuff2Replica", "HotStuffReplica"]

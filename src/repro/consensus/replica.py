@@ -1,0 +1,341 @@
+"""Replica base class shared by every protocol variant.
+
+:class:`BaseReplica` wires together the substrates (network endpoint,
+certificates, block store, speculative ledger, mempool, pacemaker, cost model,
+Byzantine behaviour) and provides the operations protocol subclasses build
+on:
+
+* message dispatch with simulated processing costs,
+* certificate tracking (highest known certificate, certificate per block),
+* committing a chain through the speculative ledger and responding to
+  clients,
+* the recovery path for missing blocks (fetch from the proposal sender).
+
+Protocol logic itself — when to propose, how to vote, which commit and
+speculation rules apply — lives in the subclasses
+(:mod:`repro.consensus.protocols` and :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.consensus.byzantine import HonestBehavior, ReplicaBehavior
+from repro.consensus.certificates import Certificate, CertificateAuthority, CertKind
+from repro.consensus.client import CLIENT_POOL_NODE_ID
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.costs import CostModel
+from repro.consensus.leader import RoundRobinLeaderElection
+from repro.consensus.mempool import Mempool
+from repro.consensus.messages import (
+    ClientRequest,
+    ClientResponseBatch,
+    FetchRequest,
+    FetchResponse,
+    NewSlot,
+    NewView,
+    Prepare,
+    Propose,
+    ProposeVote,
+    Reject,
+    ResponseEntry,
+    TimeoutCertificateMsg,
+    Wish,
+)
+from repro.consensus.metrics import MetricsCollector
+from repro.consensus.pacemaker import Pacemaker
+from repro.ledger.block import Block
+from repro.ledger.blockstore import BlockStore
+from repro.ledger.speculative import CommitOutcome, SpeculativeLedger
+from repro.ledger.state_machine import StateMachine
+from repro.net.message import Envelope
+from repro.net.network import SimNetwork
+from repro.sim.scheduler import Simulator
+
+
+class BaseReplica:
+    """Common machinery for HotStuff-family replicas."""
+
+    #: Human-readable protocol name, overridden by subclasses.
+    protocol_name = "base"
+    #: Whether the protocol uses the slotting design of §6.
+    supports_slotting = False
+    #: Consensus half-phases between a proposal and the client-visible response.
+    consensus_half_phases = 5
+    #: Closed-loop client population, in batches, that keeps the pipeline at its knee.
+    client_knee_blocks = 4.0
+
+    @staticmethod
+    def client_quorum(config) -> int:
+        """Matching responses a client needs; overridden per protocol."""
+        return config.f + 1
+
+    def __init__(
+        self,
+        replica_id: int,
+        sim: Simulator,
+        network: SimNetwork,
+        config: ProtocolConfig,
+        authority: CertificateAuthority,
+        leader_election: RoundRobinLeaderElection,
+        state_machine: StateMachine,
+        mempool: Mempool,
+        metrics: MetricsCollector,
+        costs: Optional[CostModel] = None,
+        behavior: Optional[ReplicaBehavior] = None,
+        block_store: Optional[BlockStore] = None,
+        client_node_ids: Sequence[int] = (CLIENT_POOL_NODE_ID,),
+    ) -> None:
+        self.replica_id = int(replica_id)
+        self.node_id = int(replica_id)
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.authority = authority
+        self.leaders = leader_election
+        self.mempool = mempool
+        self.metrics = metrics
+        self.costs = costs or CostModel()
+        self.behavior = behavior or HonestBehavior()
+        self.block_store = block_store or BlockStore()
+        self.ledger = SpeculativeLedger(state_machine, self.block_store)
+        self.client_node_ids = list(client_node_ids)
+
+        genesis = self.block_store.genesis
+        self.genesis_cert = CertificateAuthority.genesis_certificate(genesis)
+        #: Highest known certificate (the paper's ``P(v_lp)`` / ``P(s_lp, v_lp)``).
+        self.high_cert: Certificate = self.genesis_cert
+        #: Certificate known for each certified block hash.
+        self.certs_by_block: Dict[str, Certificate] = {genesis.block_hash: self.genesis_cert}
+        #: The justify certificate each known block was proposed with.
+        self.justify_of: Dict[str, Certificate] = {genesis.block_hash: self.genesis_cert}
+
+        self.pacemaker = Pacemaker(sim, self, config, authority, leader_election)
+        #: Whether this replica reports global counters (set for one replica per run).
+        self.report_metrics = False
+        self._pending_fetch: Dict[str, List[Propose]] = {}
+
+        network.register(self)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, first_view: int = 1) -> None:
+        """Start participating in consensus."""
+        if self.behavior.is_crashed():
+            return
+        self.pacemaker.start(first_view)
+
+    @property
+    def current_view(self) -> int:
+        """The replica's current view."""
+        return self.pacemaker.current_view
+
+    def is_leader_of(self, view: int) -> bool:
+        """Return ``True`` if this replica leads *view*."""
+        return self.leaders.is_leader(self.replica_id, view)
+
+    # ------------------------------------------------------------ networking
+    def deliver(self, envelope: Envelope) -> None:
+        """Network entry point: dispatch a message to the matching handler."""
+        if self.behavior.is_crashed():
+            return
+        payload = envelope.payload
+        sender = envelope.sender
+        if isinstance(payload, Propose):
+            self.handle_propose(payload, sender)
+        elif isinstance(payload, NewView):
+            self.handle_new_view(payload, sender)
+        elif isinstance(payload, NewSlot):
+            self.handle_new_slot(payload, sender)
+        elif isinstance(payload, ProposeVote):
+            self.handle_propose_vote(payload, sender)
+        elif isinstance(payload, Prepare):
+            self.handle_prepare(payload, sender)
+        elif isinstance(payload, Reject):
+            self.handle_reject(payload, sender)
+        elif isinstance(payload, ClientRequest):
+            self.handle_client_request(payload, sender)
+        elif isinstance(payload, Wish):
+            self.pacemaker.handle_wish(payload)
+        elif isinstance(payload, TimeoutCertificateMsg):
+            self.pacemaker.handle_timeout_certificate(payload)
+        elif isinstance(payload, FetchRequest):
+            self.handle_fetch_request(payload, sender)
+        elif isinstance(payload, FetchResponse):
+            self.handle_fetch_response(payload, sender)
+
+    def send(self, target: int, payload, size_bytes: int = 256) -> None:
+        """Send *payload* to a single node."""
+        self.network.send(self.node_id, target, payload, size_bytes=size_bytes)
+
+    def broadcast_replicas(
+        self, payload, targets: Optional[Iterable[int]] = None, size_bytes: int = 512
+    ) -> None:
+        """Send *payload* to every replica (or the given subset), including ourselves."""
+        receivers = list(targets) if targets is not None else list(self.config.replica_ids())
+        self.network.broadcast(self.node_id, payload, receivers=receivers, size_bytes=size_bytes)
+
+    # ----------------------------------------------------------- client side
+    def handle_client_request(self, msg: ClientRequest, sender: int) -> None:
+        """Admit a client transaction into the (shared) mempool."""
+        self.mempool.add(msg.txn)
+
+    def respond_to_clients(self, block: Block, results, speculative: bool, delay: float = 0.0) -> None:
+        """Send one response batch per client pool for *block*'s transactions.
+
+        ``delay`` models the simulated CPU time spent executing the block and
+        assembling the responses before they leave the replica.
+        """
+        if not block.transactions or not results:
+            return
+        entries = tuple(
+            ResponseEntry(
+                txn_id=result.txn_id,
+                client_id=txn.client_id,
+                result_digest=result.result_digest,
+                success=result.success,
+            )
+            for txn, result in zip(block.transactions, results)
+        )
+        batch = ClientResponseBatch(
+            replica_id=self.replica_id,
+            view=block.view,
+            slot=block.slot,
+            block_hash=block.block_hash,
+            speculative=speculative,
+            entries=entries,
+        )
+        size = 64 * len(entries)
+        for client_node in self.client_node_ids:
+            if delay > 0:
+                self.sim.schedule(delay, self.send, client_node, batch, size)
+            else:
+                self.send(client_node, batch, size_bytes=size)
+
+    # ----------------------------------------------------------- certificates
+    def record_certificate(self, cert: Certificate) -> bool:
+        """Track *cert*; update the highest known certificate if it is higher.
+
+        Returns ``True`` if the certificate was accepted (valid and not
+        already superseded by an identical record).
+        """
+        if cert.is_genesis:
+            return True
+        if not self.authority.verify_certificate(cert):
+            return False
+        self.certs_by_block.setdefault(cert.block_hash, cert)
+        if cert.position > self.high_cert.position:
+            self.high_cert = cert
+        return True
+
+    def certificate_for_block(self, block_hash: str) -> Optional[Certificate]:
+        """Return the certificate known for *block_hash*, if any."""
+        return self.certs_by_block.get(block_hash)
+
+    def certificate_for_parent_of(self, cert: Certificate) -> Optional[Certificate]:
+        """Return the certificate of the parent of *cert*'s block (used by tail-forking)."""
+        block = self.block_store.maybe_get(cert.block_hash)
+        if block is None or block.is_genesis:
+            return None
+        return self.certs_by_block.get(block.parent_hash)
+
+    # ---------------------------------------------------------------- commits
+    def commit_up_to(self, block: Block, response_delay: float = 0.0) -> List[CommitOutcome]:
+        """Commit *block* and all its uncommitted ancestors, responding to clients.
+
+        Responses are only sent for blocks that were *not* already answered
+        speculatively, matching the paper's "sends a response to a client if R
+        had not sent a speculative response".  ``response_delay`` charges the
+        simulated execution cost before responses leave the replica.
+        """
+        outcomes = self.ledger.commit_chain(block)
+        for outcome in outcomes:
+            self.mempool.mark_committed(txn.txn_id for txn in outcome.block.transactions)
+            if not outcome.was_speculated:
+                self.respond_to_clients(
+                    outcome.block, outcome.results, speculative=False, delay=response_delay
+                )
+            if self.report_metrics:
+                self.metrics.record_consensus_commit(outcome.block.txn_count)
+            self._requeue_forked_siblings(outcome.block)
+        return outcomes
+
+    def speculate_block(self, block: Block, response_delay: float = 0.0) -> None:
+        """Speculatively execute *block* and send early finality confirmations."""
+        if self.ledger.is_committed(block.block_hash) or self.ledger.is_speculated(block.block_hash):
+            return
+        results = self.ledger.speculate(block)
+        self.respond_to_clients(block, results, speculative=True, delay=response_delay)
+        if self.report_metrics:
+            self.metrics.record_speculative_execution(block.txn_count)
+
+    def execution_cost_for(self, txn_count: int) -> float:
+        """Simulated CPU cost of executing *txn_count* transactions on this replica."""
+        per_txn_state_cost = getattr(self.ledger.state_machine, "execution_cost", 1e-6)
+        return self.costs.execution_cost(txn_count, per_txn_state_cost)
+
+    def _requeue_forked_siblings(self, committed_block: Block) -> None:
+        """Requeue transactions of sibling blocks abandoned by the committed chain."""
+        parent_hash = committed_block.parent_hash
+        for sibling in self.block_store.children_of(parent_hash):
+            if sibling.block_hash == committed_block.block_hash:
+                continue
+            pending = [txn for txn in sibling.transactions if not self.mempool.is_committed(txn.txn_id)]
+            if pending:
+                self.mempool.requeue(pending)
+
+    # ------------------------------------------------------------------ fetch
+    def handle_fetch_request(self, msg: FetchRequest, sender: int) -> None:
+        """Serve a block another replica is missing."""
+        block = self.block_store.maybe_get(msg.block_hash)
+        if block is not None:
+            self.send(msg.requester, FetchResponse(block=block), size_bytes=1024)
+
+    def handle_fetch_response(self, msg: FetchResponse, sender: int) -> None:
+        """Store a fetched block and retry proposals that were waiting for it."""
+        self.block_store.add(msg.block)
+        waiting = self._pending_fetch.pop(msg.block.block_hash, [])
+        for proposal in waiting:
+            self.handle_propose(proposal, sender)
+
+    def request_block(self, block_hash: str, ask: int, waiting_proposal: Optional[Propose] = None) -> None:
+        """Ask replica *ask* for a missing block, optionally parking a proposal until it arrives."""
+        if waiting_proposal is not None:
+            self._pending_fetch.setdefault(block_hash, []).append(waiting_proposal)
+        self.send(ask, FetchRequest(block_hash=block_hash, requester=self.replica_id))
+
+    # ----------------------------------------------------- protocol interface
+    def on_enter_view(self, view: int) -> None:
+        """Pacemaker callback: the replica entered *view*."""
+        if self.report_metrics:
+            self.metrics.record_view_change()
+
+    def on_view_timeout(self, view: int) -> None:
+        """Pacemaker callback: the timer for *view* expired."""
+        raise NotImplementedError
+
+    def handle_propose(self, msg: Propose, sender: int) -> None:
+        """Handle a leader proposal."""
+        raise NotImplementedError
+
+    def handle_new_view(self, msg: NewView, sender: int) -> None:
+        """Handle a NewView (vote / view-change) message."""
+        raise NotImplementedError
+
+    def handle_new_slot(self, msg: NewSlot, sender: int) -> None:
+        """Handle a NewSlot vote (slotting design only)."""
+
+    def handle_propose_vote(self, msg: ProposeVote, sender: int) -> None:
+        """Handle a first-phase vote (basic HotStuff-1 only)."""
+
+    def handle_prepare(self, msg: Prepare, sender: int) -> None:
+        """Handle a Prepare broadcast (basic HotStuff-1 only)."""
+
+    def handle_reject(self, msg: Reject, sender: int) -> None:
+        """Handle a Reject message (slotting design only)."""
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(id={self.replica_id}, view={self.current_view}, "
+            f"high={self.high_cert.position})"
+        )

@@ -1,0 +1,51 @@
+"""Protocol registry used by the experiment harness and the examples.
+
+Maps the protocol names the paper uses in its plots to the replica classes
+and the client quorum rule each protocol requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.protocols.hotstuff import HotStuffReplica
+from repro.consensus.protocols.hotstuff2 import HotStuff2Replica
+from repro.consensus.replica import BaseReplica
+from repro.core.basic import BasicHotStuff1Replica
+from repro.core.slotting import SlottedHotStuff1Replica
+from repro.core.streamlined import HotStuff1Replica
+from repro.errors import ConfigurationError
+
+#: Registry of every protocol in the reproduction, keyed by its report name.
+PROTOCOLS: Dict[str, Type[BaseReplica]] = {
+    "hotstuff": HotStuffReplica,
+    "hotstuff-2": HotStuff2Replica,
+    "hotstuff-1": HotStuff1Replica,
+    "hotstuff-1-basic": BasicHotStuff1Replica,
+    "hotstuff-1-slotting": SlottedHotStuff1Replica,
+}
+
+#: The four protocols compared throughout the paper's evaluation section.
+EVALUATION_PROTOCOLS = ("hotstuff", "hotstuff-2", "hotstuff-1", "hotstuff-1-slotting")
+
+
+def replica_class_for(protocol: str) -> Type[BaseReplica]:
+    """Return the replica class registered under *protocol*."""
+    try:
+        return PROTOCOLS[protocol]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
+        ) from exc
+
+
+def client_quorum_for(protocol: str, config: ProtocolConfig) -> int:
+    """Number of matching responses a client needs under *protocol*.
+
+    HotStuff-1 variants require ``n - f`` because speculative responses only
+    prove preparation; HotStuff and HotStuff-2 require ``f + 1`` post-commit
+    responses.
+    """
+    replica_class = replica_class_for(protocol)
+    return replica_class.client_quorum(config)

@@ -1,0 +1,99 @@
+"""The prefix speculation dilemma and its resolution (§3).
+
+A replica that speculatively executes a transaction effectively casts a
+commit-vote towards the client.  Doing so for a block whose prefix might still
+change (or whose certificate might be superseded by one formed in a view the
+replica has not seen) lets clients assemble invalid quorums — the *prefix
+speculation dilemma*.  HotStuff-1 resolves it with two rules:
+
+* **Prefix Speculation rule** (Definition 3.1): speculate on a block only if
+  the block it extends is already committed.
+* **No-Gap rule** (Definition 3.2): speculate only when the certificate was
+  formed in the immediately preceding view/slot, so no higher conflicting
+  certificate can hide in a view gap.
+
+:class:`SpeculationGuard` packages both checks (with per-variant no-gap
+conditions) and keeps counters so tests and ablation benchmarks can observe
+how often each rule blocks speculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ledger.block import Block
+from repro.ledger.speculative import SpeculativeLedger
+
+
+@dataclass(frozen=True)
+class SpeculationDecision:
+    """Outcome of evaluating the speculation rules for one block."""
+
+    allowed: bool
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+def no_gap_streamlined(block: Block, proposal_view: int) -> bool:
+    """Streamlined No-Gap rule: the certified block is from view ``proposal_view - 1``."""
+    return block.view == proposal_view - 1
+
+
+def no_gap_basic(block: Block, certificate_view: int, current_view: int) -> bool:
+    """Basic (non-streamlined) No-Gap rule: the certificate was formed in the current view."""
+    return block.view == certificate_view == current_view
+
+
+def no_gap_slotted(block: Block, proposal_view: int, proposal_slot: int) -> bool:
+    """Slotted No-Gap rule: the certified block is the immediately preceding slot.
+
+    Either the previous slot of the same view, or the last certified slot of
+    the previous view when the proposal opens a new view (Figure 7, line 17).
+    """
+    same_view_previous_slot = block.view == proposal_view and block.slot == proposal_slot - 1
+    previous_view_first_slot = proposal_slot == 1 and block.view == proposal_view - 1
+    return same_view_previous_slot or previous_view_first_slot
+
+
+class SpeculationGuard:
+    """Evaluates the speculation rules against a replica's ledger."""
+
+    def __init__(self, ledger: SpeculativeLedger) -> None:
+        self.ledger = ledger
+        self.allowed_count = 0
+        self.refusals: Dict[str, int] = {}
+
+    # --------------------------------------------------------------- checks
+    def check_streamlined(self, block: Block, proposal_view: int) -> SpeculationDecision:
+        """Apply both rules for streamlined HotStuff-1."""
+        if not no_gap_streamlined(block, proposal_view):
+            return self._refuse("no-gap")
+        return self._check_prefix(block)
+
+    def check_basic(self, block: Block, certificate_view: int, current_view: int) -> SpeculationDecision:
+        """Apply both rules for basic HotStuff-1."""
+        if not no_gap_basic(block, certificate_view, current_view):
+            return self._refuse("no-gap")
+        return self._check_prefix(block)
+
+    def check_slotted(self, block: Block, proposal_view: int, proposal_slot: int) -> SpeculationDecision:
+        """Apply both rules for slotted HotStuff-1."""
+        if not no_gap_slotted(block, proposal_view, proposal_slot):
+            return self._refuse("no-gap")
+        return self._check_prefix(block)
+
+    # ------------------------------------------------------------- internal
+    def _check_prefix(self, block: Block) -> SpeculationDecision:
+        if not self.ledger.prefix_committed(block):
+            return self._refuse("prefix-not-committed")
+        if self.ledger.is_committed(block.block_hash):
+            return self._refuse("already-committed")
+        self.allowed_count += 1
+        return SpeculationDecision(allowed=True, reason="ok")
+
+    def _refuse(self, reason: str) -> SpeculationDecision:
+        self.refusals[reason] = self.refusals.get(reason, 0) + 1
+        return SpeculationDecision(allowed=False, reason=reason)

@@ -1,0 +1,47 @@
+"""Collision-resistant hashing helpers.
+
+The paper assumes a collision-resistant hash function ``H(x)``; we use
+SHA-256 and expose helpers that canonicalise structured inputs so that the
+same logical value always hashes identically regardless of dict ordering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+from repro.types import Digest
+
+
+def hash_bytes(data: bytes) -> Digest:
+    """Return the hex SHA-256 digest of *data*."""
+    return Digest(hashlib.sha256(data).hexdigest())
+
+
+def hash_text(text: str) -> Digest:
+    """Return the hex SHA-256 digest of a UTF-8 encoded string."""
+    return hash_bytes(text.encode("utf-8"))
+
+
+def hash_json(value: Any) -> Digest:
+    """Hash any JSON-serialisable value canonically (sorted keys)."""
+    payload = json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+    return hash_text(payload)
+
+
+def hash_fields(*fields: Any) -> Digest:
+    """Hash a tuple of simple fields (ints, strings, digests, None).
+
+    This is the hashing entry point used for blocks, votes and certificates;
+    each field is rendered with ``repr`` and joined with an unambiguous
+    separator so that ``("ab", "c")`` and ``("a", "bc")`` hash differently.
+    """
+    rendered = "\x1f".join(repr(field) for field in fields)
+    return hash_text(rendered)
+
+
+def combine_digests(digests: Iterable[str]) -> Digest:
+    """Hash an ordered sequence of digests into a single digest."""
+    joined = "\x1e".join(digests)
+    return hash_text(joined)

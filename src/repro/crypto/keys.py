@@ -1,0 +1,84 @@
+"""Key material for replicas and clients.
+
+Keys are derived deterministically from a system-wide seed so that a
+deployment of ``n`` replicas can be reconstructed from its configuration.
+Each :class:`KeyPair` holds a secret signing key (an opaque byte string used
+to key HMAC signatures) and a public verification key (its digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing key pair owned by one replica or client.
+
+    Attributes
+    ----------
+    owner:
+        String identity of the key owner, e.g. ``"replica:3"``.
+    secret:
+        Secret signing key bytes.  Never leaves the owning process in a real
+        deployment; in the simulation it is simply not shared with other
+        replica objects.
+    public:
+        Public verification key (hex digest of the secret under a fixed
+        derivation tag); distributed to every node.
+    """
+
+    owner: str
+    secret: bytes = field(repr=False)
+    public: str = ""
+
+    @staticmethod
+    def generate(owner: str, seed: int = 0) -> "KeyPair":
+        """Deterministically derive a key pair for *owner* from *seed*."""
+        secret = hashlib.sha256(f"secret|{seed}|{owner}".encode("utf-8")).digest()
+        public = hmac.new(secret, b"public-key-derivation", hashlib.sha256).hexdigest()
+        return KeyPair(owner=owner, secret=secret, public=public)
+
+
+class Keychain:
+    """Registry of every public key (and, in simulation, secret key) in a deployment.
+
+    A real deployment would distribute only public keys; the simulator keeps
+    the full key pairs in one registry purely as an implementation
+    convenience.  Correct replicas only ever use their *own* secret key.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._pairs: Dict[str, KeyPair] = {}
+
+    def create(self, owner: str) -> KeyPair:
+        """Create (or return the existing) key pair for *owner*."""
+        if owner not in self._pairs:
+            self._pairs[owner] = KeyPair.generate(owner, self.seed)
+        return self._pairs[owner]
+
+    def create_replicas(self, count: int) -> Dict[int, KeyPair]:
+        """Create key pairs for replicas ``0 .. count-1``."""
+        return {index: self.create(f"replica:{index}") for index in range(count)}
+
+    def get(self, owner: str) -> KeyPair:
+        """Return the key pair for *owner*, raising if it was never created."""
+        if owner not in self._pairs:
+            raise CryptoError(f"no key pair registered for {owner!r}")
+        return self._pairs[owner]
+
+    def public_key(self, owner: str) -> str:
+        """Return the public key for *owner*."""
+        return self.get(owner).public
+
+    def __contains__(self, owner: str) -> bool:
+        return owner in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)

@@ -1,0 +1,58 @@
+"""Plain digital signatures (clients and replicas sign their messages).
+
+The scheme is an HMAC over the message digest keyed by the signer's secret.
+Verification recomputes the HMAC with the signer's key pair.  Because the
+simulated adversary cannot read a correct replica's secret, unforgeability
+holds inside the simulation, matching the paper's assumption that "a faulty
+replica cannot forge the identity/messages of a correct replica".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyPair
+from repro.errors import InvalidSignatureError
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over a message digest.
+
+    Attributes
+    ----------
+    signer:
+        Identity string of the signer (matches :attr:`KeyPair.owner`).
+    digest:
+        The message digest that was signed.
+    value:
+        The signature bytes, hex encoded.
+    """
+
+    signer: str
+    digest: str
+    value: str
+
+
+def sign_message(key: KeyPair, digest: str) -> Signature:
+    """Sign a message *digest* with the secret key in *key*."""
+    mac = hmac.new(key.secret, f"sig|{digest}".encode("utf-8"), hashlib.sha256)
+    return Signature(signer=key.owner, digest=digest, value=mac.hexdigest())
+
+
+def verify_signature(key: KeyPair, signature: Signature) -> bool:
+    """Return ``True`` iff *signature* was produced by *key* over its digest."""
+    if signature.signer != key.owner:
+        return False
+    expected = sign_message(key, signature.digest)
+    return hmac.compare_digest(expected.value, signature.value)
+
+
+def require_valid_signature(key: KeyPair, signature: Signature) -> None:
+    """Verify *signature* and raise :class:`InvalidSignatureError` on failure."""
+    if not verify_signature(key, signature):
+        raise InvalidSignatureError(
+            f"signature by {signature.signer!r} over {signature.digest[:12]}... is invalid"
+        )

@@ -1,0 +1,44 @@
+"""Experiment harness.
+
+The harness turns a declarative :class:`~repro.experiments.runner.ExperimentSpec`
+into a full simulated deployment (replicas, clients, network, faults), runs it
+for a fixed simulated duration and returns a
+:class:`~repro.consensus.metrics.MetricsSummary`.
+
+:mod:`repro.experiments.scenarios` contains one scenario builder per figure of
+the paper's evaluation (§7); :mod:`repro.experiments.report` renders the
+results as the same series the paper plots.
+"""
+
+from repro.experiments.report import format_series, print_series
+from repro.experiments.runner import ExperimentSpec, RunResult, run_experiment
+from repro.experiments.scenarios import (
+    batching_series,
+    delay_injection_series,
+    geo_scale_series,
+    latency_breakdown_series,
+    leader_slowness_series,
+    rollback_attack_series,
+    scalability_series,
+    slotting_ablation_series,
+    tail_forking_series,
+    two_region_split_series,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "RunResult",
+    "batching_series",
+    "delay_injection_series",
+    "format_series",
+    "geo_scale_series",
+    "latency_breakdown_series",
+    "leader_slowness_series",
+    "print_series",
+    "rollback_attack_series",
+    "run_experiment",
+    "scalability_series",
+    "slotting_ablation_series",
+    "tail_forking_series",
+    "two_region_split_series",
+]

@@ -1,0 +1,52 @@
+"""Rendering experiment series as paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_series(rows: Sequence[Dict], title: str = "") -> str:
+    """Render *rows* (a list of flat dicts) as an aligned text table.
+
+    Column order follows first appearance across the rows, so scenario-specific
+    columns (``n``, ``batch_size``, ``delay_ms`` ...) show up next to the
+    metrics they modify.
+    """
+    if not rows:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def print_series(rows: Sequence[Dict], title: str = "") -> None:
+    """Print a series table to stdout (used by the benchmark harness)."""
+    print(format_series(rows, title))
+
+
+def pivot(rows: Sequence[Dict], index: str, metric: str) -> Dict[str, Dict]:
+    """Pivot rows into ``{protocol: {index_value: metric_value}}`` for quick assertions."""
+    table: Dict[str, Dict] = {}
+    for row in rows:
+        protocol = row.get("protocol")
+        if protocol is None or index not in row or metric not in row:
+            continue
+        table.setdefault(protocol, {})[row[index]] = row[metric]
+    return table

@@ -1,0 +1,235 @@
+"""Build and run one simulated deployment from a declarative spec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.consensus.byzantine import ReplicaBehavior
+from repro.consensus.certificates import CertificateAuthority
+from repro.consensus.client import ClientPool
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.costs import CostModel
+from repro.consensus.leader import RoundRobinLeaderElection
+from repro.consensus.mempool import Mempool
+from repro.consensus.metrics import MetricsCollector, MetricsSummary
+from repro.consensus.replica import BaseReplica
+from repro.core.registry import client_quorum_for, replica_class_for
+from repro.crypto.threshold import ThresholdScheme
+from repro.errors import SafetyViolationError
+from repro.net.faults import FaultInjector
+from repro.net.latency import ConstantLatency, GeoLatencyModel, LatencyModel
+from repro.sim.scheduler import Simulator
+from repro.workloads.base import make_workload
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative description of one experiment run (one protocol, one point).
+
+    Attributes mirror the knobs the paper varies in §7: replica count, batch
+    size, workload, geography, injected delays, Byzantine behaviours, and the
+    view timer.  Scenario builders (:mod:`repro.experiments.scenarios`) fill
+    these in for every point of every figure.
+    """
+
+    protocol: str
+    n: int = 4
+    batch_size: int = 100
+    workload: str = "ycsb"
+    workload_kwargs: Dict = field(default_factory=dict)
+    duration: float = 1.0
+    warmup: float = 0.2
+    num_clients: Optional[int] = None
+    seed: int = 1
+    view_timeout: float = 0.030
+    delta: float = 0.001
+    base_latency: float = 0.0005
+    regions: Optional[Sequence[str]] = None
+    client_region: str = "virginia"
+    delay_injection: Optional[Dict] = None
+    behaviors: Dict[int, ReplicaBehavior] = field(default_factory=dict)
+    latency_model: Optional[LatencyModel] = None
+    speculation_enabled: bool = True
+    epoch_sync_enabled: bool = True
+    check_safety: bool = True
+    max_slots_per_view: int = 64
+    knee_factor: float = 0.9
+
+    def label(self) -> str:
+        """Short identifier used in series tables."""
+        return f"{self.protocol}/n={self.n}/batch={self.batch_size}/{self.workload}"
+
+
+@dataclass
+class RunResult:
+    """Everything a scenario needs back from one run."""
+
+    spec: ExperimentSpec
+    summary: MetricsSummary
+    replicas: List[BaseReplica]
+    client_pool: ClientPool
+    network_stats: Dict[str, int]
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per second (post-warmup)."""
+        return self.summary.throughput_tps
+
+    @property
+    def latency_ms(self) -> float:
+        """Average client latency in milliseconds (post-warmup)."""
+        return self.summary.avg_latency * 1000.0
+
+
+def _build_latency_model(spec: ExperimentSpec) -> LatencyModel:
+    if spec.latency_model is not None:
+        return spec.latency_model
+    if spec.regions:
+        placement = {
+            replica_id: spec.regions[replica_id % len(spec.regions)]
+            for replica_id in range(spec.n)
+        }
+        return GeoLatencyModel(placement, default_region=spec.client_region)
+    return ConstantLatency(spec.base_latency)
+
+
+def _default_num_clients(spec: ExperimentSpec, replica_class) -> int:
+    """Size the closed-loop client population at the protocol's pipeline knee.
+
+    The paper tunes the client count to the saturation knee so that measured
+    latency reflects protocol half-phases rather than queueing; the knee is
+    roughly ``client_knee_blocks`` full batches in flight (more for protocols
+    with more half-phases), scaled by ``knee_factor``.
+    """
+    knee_blocks = getattr(replica_class, "client_knee_blocks", 4.0)
+    return max(16, int(round(spec.knee_factor * knee_blocks * spec.batch_size)))
+
+
+def run_experiment(spec: ExperimentSpec) -> RunResult:
+    """Run one experiment and return its result.
+
+    Raises :class:`SafetyViolationError` if ``spec.check_safety`` is set and
+    the committed ledgers of two honest replicas diverge (this never happens
+    with the implemented behaviours; the check guards the reproduction
+    itself).
+    """
+    sim = Simulator(seed=spec.seed)
+    config = ProtocolConfig(
+        n=spec.n,
+        batch_size=spec.batch_size,
+        view_timeout=spec.view_timeout,
+        delta=spec.delta,
+        speculation_enabled=spec.speculation_enabled,
+        epoch_sync_enabled=spec.epoch_sync_enabled,
+        seed=spec.seed,
+        max_slots_per_view=spec.max_slots_per_view,
+    )
+    faults = FaultInjector()
+    if spec.delay_injection:
+        impacted = spec.delay_injection.get("impacted", [])
+        extra = spec.delay_injection.get("extra_delay", 0.0)
+        if impacted and extra > 0:
+            faults.inject_delay(impacted, extra)
+    latency = _build_latency_model(spec)
+
+    from repro.net.network import SimNetwork  # local import to avoid cycles
+
+    network = SimNetwork(sim, latency=latency, faults=faults)
+    scheme = ThresholdScheme(n=config.n, threshold=config.quorum, seed=spec.seed)
+    authority = CertificateAuthority(scheme)
+    leaders = RoundRobinLeaderElection(config.n)
+    workload = make_workload(spec.workload, **spec.workload_kwargs)
+    mempool = Mempool()
+    metrics = MetricsCollector(warmup=spec.warmup)
+    costs = CostModel()
+
+    replica_class = replica_class_for(spec.protocol)
+    replicas: List[BaseReplica] = []
+    for replica_id in range(config.n):
+        replica = replica_class(
+            replica_id,
+            sim,
+            network,
+            config,
+            authority,
+            leaders,
+            workload.make_state_machine(),
+            mempool,
+            metrics,
+            costs=costs,
+            behavior=spec.behaviors.get(replica_id),
+        )
+        replicas.append(replica)
+    reporter = next(
+        (replica for replica in replicas if not replica.behavior.is_byzantine), replicas[0]
+    )
+    reporter.report_metrics = True
+
+    client_pool = ClientPool(
+        sim=sim,
+        network=network,
+        workload=workload,
+        config=config,
+        metrics=metrics,
+        num_clients=spec.num_clients or _default_num_clients(spec, replica_class),
+        required_quorum=client_quorum_for(spec.protocol, config),
+        target_replicas=_client_targets(spec, latency),
+    )
+
+    for replica in replicas:
+        replica.start()
+    client_pool.start()
+    sim.run(until=spec.duration)
+
+    _aggregate_replica_counters(metrics, replicas, network)
+    if spec.check_safety:
+        _check_ledger_safety(replicas)
+    summary = metrics.summarize(spec.protocol, spec.duration)
+    return RunResult(
+        spec=spec,
+        summary=summary,
+        replicas=replicas,
+        client_pool=client_pool,
+        network_stats=network.stats.as_dict(),
+    )
+
+
+def _client_targets(spec: ExperimentSpec, latency: LatencyModel) -> Optional[List[int]]:
+    """Prefer replicas co-located with the clients when a geo model is in use."""
+    if not isinstance(latency, GeoLatencyModel):
+        return None
+    local = [
+        replica_id
+        for replica_id in range(spec.n)
+        if latency.region_of(replica_id) == spec.client_region
+    ]
+    return local or None
+
+
+def _aggregate_replica_counters(
+    metrics: MetricsCollector, replicas: Sequence[BaseReplica], network
+) -> None:
+    """Fold per-replica ledger counters and network stats into the collector."""
+    honest = [replica for replica in replicas if not replica.behavior.is_byzantine]
+    metrics.rollbacks = sum(replica.ledger.rollback_count for replica in honest)
+    metrics.rolled_back_txns = sum(replica.ledger.rolled_back_txns for replica in honest)
+    metrics.speculative_executions = sum(
+        replica.ledger.speculated_block_count for replica in honest
+    )
+    metrics.messages_sent = network.stats.messages_sent
+
+
+def _check_ledger_safety(replicas: Sequence[BaseReplica]) -> None:
+    """Verify that honest replicas' committed ledgers are prefixes of each other."""
+    honest = [replica for replica in replicas if not replica.behavior.is_byzantine]
+    chains = [
+        [block.block_hash for block in replica.ledger.committed.blocks()] for replica in honest
+    ]
+    reference = max(chains, key=len, default=[])
+    for replica, chain in zip(honest, chains):
+        if chain != reference[: len(chain)]:
+            raise SafetyViolationError(
+                f"replica {replica.replica_id} committed a ledger that is not a prefix "
+                "of the longest honest ledger"
+            )

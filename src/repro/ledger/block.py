@@ -1,0 +1,118 @@
+"""Blocks: leader proposals over batches of transactions.
+
+A block is identified by its hash and ordered by ``(view, slot)``
+lexicographically, exactly as §6.1 defines: lower view first, then lower slot
+within a view.  Non-slotted protocols always use ``slot == 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.crypto.hashing import hash_fields
+from repro.ledger.transaction import Transaction
+from repro.types import Digest, NULL_DIGEST
+
+#: View number of the hard-coded genesis block the paper's genesis certificate extends.
+GENESIS_VIEW = 0
+
+
+@dataclass(frozen=True)
+class Block:
+    """An ordered batch of transactions proposed by a leader.
+
+    Attributes
+    ----------
+    block_hash:
+        Hash over the block's identity fields (computed by :meth:`build`).
+    view:
+        View in which the block was proposed.
+    slot:
+        Slot within the view (1 for non-slotted protocols).
+    parent_hash:
+        Hash of the block this block extends (the block certified by
+        ``justify`` for well-formed proposals).
+    proposer:
+        Replica id of the proposing leader.
+    transactions:
+        The batch of client transactions.
+    carry_hash:
+        Hash of the *carry block* protected by a first-slot proposal in the
+        slotting design (§6.1, way (ii)); ``NULL_DIGEST`` when absent.
+    is_genesis:
+        ``True`` only for the hard-coded genesis block.
+    """
+
+    block_hash: Digest
+    view: int
+    slot: int
+    parent_hash: Digest
+    proposer: int
+    transactions: Tuple[Transaction, ...] = field(default_factory=tuple)
+    carry_hash: Digest = NULL_DIGEST
+    is_genesis: bool = False
+
+    @staticmethod
+    def build(
+        view: int,
+        slot: int,
+        parent_hash: str,
+        proposer: int,
+        transactions: Sequence[Transaction] = (),
+        carry_hash: str = NULL_DIGEST,
+        is_genesis: bool = False,
+    ) -> "Block":
+        """Construct a block and compute its hash from its contents."""
+        txns = tuple(transactions)
+        txn_digest = hash_fields(*(txn.digest() for txn in txns)) if txns else NULL_DIGEST
+        block_hash = hash_fields(
+            "block", view, slot, parent_hash, proposer, txn_digest, carry_hash, is_genesis
+        )
+        return Block(
+            block_hash=Digest(block_hash),
+            view=int(view),
+            slot=int(slot),
+            parent_hash=Digest(parent_hash),
+            proposer=int(proposer),
+            transactions=txns,
+            carry_hash=Digest(carry_hash),
+            is_genesis=is_genesis,
+        )
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """Lexicographic (view, slot) position used for block ordering."""
+        return (self.view, self.slot)
+
+    @property
+    def txn_count(self) -> int:
+        """Number of transactions batched in the block."""
+        return len(self.transactions)
+
+    def ordered_before(self, other: "Block") -> bool:
+        """Return ``True`` if this block is ordered strictly before *other* (§6.1)."""
+        return self.position < other.position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(view={self.view}, slot={self.slot}, txns={self.txn_count}, "
+            f"hash={self.block_hash[:8]}, parent={self.parent_hash[:8]})"
+        )
+
+
+def make_genesis_block() -> Block:
+    """Return the hard-coded genesis block all replicas assume to be valid.
+
+    The paper's "Propose message for view 0 ... extends a hard-coded
+    certificate that all replicas assume to be valid"; the genesis block is
+    the anchor of that certificate.
+    """
+    return Block.build(
+        view=GENESIS_VIEW,
+        slot=0,
+        parent_hash=NULL_DIGEST,
+        proposer=-1,
+        transactions=(),
+        is_genesis=True,
+    )

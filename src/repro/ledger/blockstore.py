@@ -1,0 +1,151 @@
+"""Block tree storage with ancestry queries.
+
+Every replica keeps a :class:`BlockStore`.  The store answers the structural
+questions the protocol asks constantly:
+
+* does block ``a`` extend block ``b`` (is ``b`` an ancestor of ``a``)?
+* what is the path from a block back to the last committed block?
+* what is the lowest common ancestor of two conflicting blocks (the rollback
+  target in §4.2)?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import LedgerError, UnknownBlockError
+from repro.ledger.block import Block, make_genesis_block
+from repro.types import Digest, is_null_digest
+
+
+class BlockStore:
+    """In-memory block tree rooted at the genesis block."""
+
+    def __init__(self, genesis: Optional[Block] = None) -> None:
+        self.genesis = genesis or make_genesis_block()
+        self._blocks: Dict[str, Block] = {self.genesis.block_hash: self.genesis}
+        self._children: Dict[str, List[str]] = {self.genesis.block_hash: []}
+
+    # ---------------------------------------------------------------- access
+    def add(self, block: Block) -> Block:
+        """Insert *block*; inserting the same block twice is a no-op.
+
+        The parent does not need to be present yet (blocks can arrive out of
+        order and be fetched later), but ancestry queries through a missing
+        parent will report "unknown".
+        """
+        existing = self._blocks.get(block.block_hash)
+        if existing is not None:
+            return existing
+        self._blocks[block.block_hash] = block
+        self._children.setdefault(block.block_hash, [])
+        if not is_null_digest(block.parent_hash):
+            self._children.setdefault(block.parent_hash, []).append(block.block_hash)
+        return block
+
+    def get(self, block_hash: str) -> Block:
+        """Return the block with *block_hash* or raise :class:`UnknownBlockError`."""
+        block = self._blocks.get(block_hash)
+        if block is None:
+            raise UnknownBlockError(f"unknown block {block_hash[:12]}...")
+        return block
+
+    def maybe_get(self, block_hash: str) -> Optional[Block]:
+        """Return the block with *block_hash*, or ``None`` if absent."""
+        return self._blocks.get(block_hash)
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def children_of(self, block_hash: str) -> List[Block]:
+        """Return the known children of a block."""
+        return [self._blocks[child] for child in self._children.get(block_hash, [])]
+
+    def blocks(self) -> Iterable[Block]:
+        """Iterate over every stored block (order unspecified)."""
+        return self._blocks.values()
+
+    # -------------------------------------------------------------- ancestry
+    def parent_of(self, block: Block) -> Optional[Block]:
+        """Return the parent block, or ``None`` if it is genesis or unknown."""
+        if block.is_genesis or is_null_digest(block.parent_hash):
+            return None
+        return self._blocks.get(block.parent_hash)
+
+    def ancestors(self, block_hash: str, include_self: bool = False) -> List[Block]:
+        """Return the chain of known ancestors from parent up to genesis.
+
+        The list is ordered from the nearest ancestor to the farthest; it
+        stops early if a parent is unknown.
+        """
+        block = self.get(block_hash)
+        chain: List[Block] = [block] if include_self else []
+        current = block
+        while True:
+            parent = self.parent_of(current)
+            if parent is None:
+                break
+            chain.append(parent)
+            current = parent
+        return chain
+
+    def extends(self, descendant_hash: str, ancestor_hash: str) -> bool:
+        """Return ``True`` iff *descendant* extends (has as ancestor) *ancestor*.
+
+        A block does not extend itself, matching Definition 4.3 where
+        ``P(v) extends P(w)`` requires ``v > w``.
+        """
+        if descendant_hash == ancestor_hash:
+            return False
+        if descendant_hash not in self._blocks or ancestor_hash not in self._blocks:
+            return False
+        current = self._blocks[descendant_hash]
+        while True:
+            parent = self.parent_of(current)
+            if parent is None:
+                return False
+            if parent.block_hash == ancestor_hash:
+                return True
+            current = parent
+
+    def conflicts(self, hash_a: str, hash_b: str) -> bool:
+        """Return ``True`` iff neither block extends the other (Definition 4.4)."""
+        if hash_a == hash_b:
+            return False
+        return not self.extends(hash_a, hash_b) and not self.extends(hash_b, hash_a)
+
+    def common_ancestor(self, hash_a: str, hash_b: str) -> Block:
+        """Return the lowest common ancestor of two blocks (the rollback target)."""
+        ancestors_a = {block.block_hash for block in self.ancestors(hash_a, include_self=True)}
+        for block in self.ancestors(hash_b, include_self=True):
+            if block.block_hash in ancestors_a:
+                return block
+        raise LedgerError(
+            f"blocks {hash_a[:8]} and {hash_b[:8]} share no known common ancestor"
+        )
+
+    def path_between(self, ancestor_hash: str, descendant_hash: str) -> List[Block]:
+        """Return blocks strictly after *ancestor* up to and including *descendant*.
+
+        The result is ordered from oldest to newest.  Raises
+        :class:`LedgerError` if *descendant* does not extend *ancestor*.
+        """
+        if ancestor_hash == descendant_hash:
+            return []
+        path: List[Block] = []
+        current = self.get(descendant_hash)
+        while True:
+            path.append(current)
+            parent = self.parent_of(current)
+            if parent is None:
+                raise LedgerError(
+                    f"{descendant_hash[:8]} does not extend {ancestor_hash[:8]}"
+                )
+            if parent.block_hash == ancestor_hash:
+                break
+            current = parent
+        path.reverse()
+        return path

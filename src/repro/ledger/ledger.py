@@ -1,0 +1,78 @@
+"""The committed (global) ledger.
+
+The global ledger is the append-only sequence of committed blocks.  It is the
+structure the paper's safety property speaks about: no two correct replicas
+may hold different blocks at the same ledger position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.crypto.hashing import combine_digests
+from repro.errors import ForkError
+from repro.ledger.block import Block
+
+
+class CommittedLedger:
+    """Append-only sequence of committed blocks with a position index."""
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = []
+        self._positions: Dict[str, int] = {}
+
+    # ----------------------------------------------------------------- write
+    def append(self, block: Block) -> int:
+        """Append *block* and return its position (0-based).
+
+        Appending a block already present is idempotent and returns its
+        existing position.  Appending a block whose parent is not the current
+        head raises :class:`ForkError` — committed ledgers never fork.
+        """
+        existing = self._positions.get(block.block_hash)
+        if existing is not None:
+            return existing
+        if self._blocks:
+            head = self._blocks[-1]
+            if block.parent_hash != head.block_hash:
+                raise ForkError(
+                    f"block {block.block_hash[:8]} (view {block.view}, slot {block.slot}) does not "
+                    f"extend committed head {head.block_hash[:8]} (view {head.view}, slot {head.slot})"
+                )
+        position = len(self._blocks)
+        self._blocks.append(block)
+        self._positions[block.block_hash] = position
+        return position
+
+    # ------------------------------------------------------------------ read
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._positions
+
+    def block_at(self, position: int) -> Block:
+        """Return the committed block at *position*."""
+        return self._blocks[position]
+
+    def position_of(self, block_hash: str) -> Optional[int]:
+        """Return the position of a committed block, or ``None``."""
+        return self._positions.get(block_hash)
+
+    @property
+    def head(self) -> Optional[Block]:
+        """The most recently committed block, or ``None`` when empty."""
+        return self._blocks[-1] if self._blocks else None
+
+    @property
+    def committed_txn_count(self) -> int:
+        """Total number of transactions across all committed blocks."""
+        return sum(block.txn_count for block in self._blocks)
+
+    def blocks(self) -> List[Block]:
+        """Return the committed blocks in order (a copy)."""
+        return list(self._blocks)
+
+    def ledger_digest(self) -> str:
+        """Digest of the committed block-hash sequence (for cross-replica checks)."""
+        return combine_digests(block.block_hash for block in self._blocks)

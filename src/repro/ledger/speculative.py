@@ -1,0 +1,249 @@
+"""Speculative ledger: committed prefix plus a speculated, rollback-able suffix.
+
+The paper (§3, §4.2) gives each replica two ledgers:
+
+* the **global-ledger** — blocks known to be committed; append-only and never
+  rolled back;
+* the **local-ledger** — blocks that were *speculatively executed* after the
+  replica observed a prepare certificate for them; these may later be erased
+  (rolled back) if a conflicting certificate from a higher view supersedes
+  them.
+
+:class:`SpeculativeLedger` packages both together with the replica's state
+machine so that the consensus code can express exactly the operations the
+pseudocode uses:
+
+* ``commit_chain(block)`` — "execute all transactions up to (incl.) B, add
+  result to global-ledger" (traditional / prefix commit rules);
+* ``speculate(block)`` — "execute all transactions in B speculatively, add
+  result to local-ledger" (guarded by the Prefix Speculation rule);
+* rollback to the common ancestor when a conflicting block must be speculated
+  or committed (Definition 4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SpeculationError
+from repro.ledger.block import Block
+from repro.ledger.blockstore import BlockStore
+from repro.ledger.ledger import CommittedLedger
+from repro.ledger.state_machine import ExecutionResult, StateMachine, UndoRecord
+
+
+@dataclass
+class SpeculativeEntry:
+    """A block executed speculatively, together with everything needed to undo it."""
+
+    block: Block
+    results: List[ExecutionResult]
+    undo_records: List[UndoRecord] = field(default_factory=list)
+
+
+@dataclass
+class CommitOutcome:
+    """What happened when a block was committed.
+
+    Attributes
+    ----------
+    block:
+        The committed block.
+    results:
+        Execution results for the block's transactions.
+    was_speculated:
+        ``True`` if the block had already been executed speculatively (so the
+        replica has already answered the clients and must not answer again).
+    position:
+        Position of the block in the global ledger.
+    """
+
+    block: Block
+    results: List[ExecutionResult]
+    was_speculated: bool
+    position: int
+
+
+class SpeculativeLedger:
+    """Committed ledger + speculated suffix with rollback, for one replica."""
+
+    def __init__(self, state_machine: StateMachine, block_store: BlockStore) -> None:
+        self.state_machine = state_machine
+        self.block_store = block_store
+        self.committed = CommittedLedger()
+        self._speculated: List[SpeculativeEntry] = []
+        self.rollback_count = 0
+        self.rolled_back_txns = 0
+        self.speculated_block_count = 0
+
+    # --------------------------------------------------------------- queries
+    @property
+    def committed_head_hash(self) -> str:
+        """Hash of the latest committed block (genesis hash when empty)."""
+        head = self.committed.head
+        return head.block_hash if head is not None else self.block_store.genesis.block_hash
+
+    @property
+    def speculative_head_hash(self) -> str:
+        """Hash of the tip of the speculated suffix (falls back to committed head)."""
+        if self._speculated:
+            return self._speculated[-1].block.block_hash
+        return self.committed_head_hash
+
+    def is_committed(self, block_hash: str) -> bool:
+        """Return ``True`` if *block_hash* is in the global ledger (or is genesis)."""
+        if block_hash == self.block_store.genesis.block_hash:
+            return True
+        return block_hash in self.committed
+
+    def is_speculated(self, block_hash: str) -> bool:
+        """Return ``True`` if *block_hash* sits on the speculated suffix."""
+        return any(entry.block.block_hash == block_hash for entry in self._speculated)
+
+    def speculated_blocks(self) -> List[Block]:
+        """Blocks currently on the speculated suffix, oldest first."""
+        return [entry.block for entry in self._speculated]
+
+    def prefix_committed(self, block: Block) -> bool:
+        """Prefix Speculation rule (Definition 3.1): is *block*'s predecessor committed?"""
+        return self.is_committed(block.parent_hash)
+
+    def state_digest(self) -> str:
+        """Digest of the underlying state machine (committed + speculated effects)."""
+        return self.state_machine.state_digest()
+
+    # -------------------------------------------------------------- speculate
+    def speculate(self, block: Block) -> List[ExecutionResult]:
+        """Speculatively execute *block* and record it on the local ledger.
+
+        Enforces the Prefix Speculation rule: the block's predecessor must be
+        in the global ledger.  If a different block is currently speculated it
+        necessarily conflicts with *block* (both extend the committed head),
+        so the suffix is rolled back first, as Lines 25–26 / 13–14 of the
+        pseudocode require.
+
+        Speculating the same block twice is idempotent and returns the cached
+        results.
+        """
+        for entry in self._speculated:
+            if entry.block.block_hash == block.block_hash:
+                return entry.results
+        if not self.prefix_committed(block):
+            raise SpeculationError(
+                f"cannot speculate block (view={block.view}, slot={block.slot}): "
+                "its predecessor is not committed (Prefix Speculation rule)"
+            )
+        if self._speculated:
+            self.rollback_to_committed_head()
+        self.block_store.add(block)
+        results, undo_records = self._execute_block(block)
+        self._speculated.append(SpeculativeEntry(block=block, results=results, undo_records=undo_records))
+        self.speculated_block_count += 1
+        return results
+
+    # ---------------------------------------------------------------- commit
+    def commit(self, block: Block) -> CommitOutcome:
+        """Commit a single block whose parent is the committed head.
+
+        If the block is currently speculated it is *promoted* without
+        re-execution; otherwise any conflicting speculated suffix is rolled
+        back and the block is executed now.
+        """
+        self.block_store.add(block)
+        if self.is_committed(block.block_hash):
+            position = self.committed.position_of(block.block_hash)
+            return CommitOutcome(block=block, results=[], was_speculated=False, position=position or 0)
+
+        if self._speculated and self._speculated[0].block.block_hash == block.block_hash:
+            entry = self._speculated.pop(0)
+            position = self.committed.append(block)
+            return CommitOutcome(block=block, results=entry.results, was_speculated=True, position=position)
+
+        if self._speculated:
+            # Whatever is speculated conflicts with the block being committed.
+            self.rollback_to_committed_head()
+
+        if block.parent_hash != self.committed_head_hash:
+            raise SpeculationError(
+                f"cannot commit block (view={block.view}, slot={block.slot}): "
+                "its parent is not the committed head; commit the prefix first"
+            )
+        results, _ = self._execute_block(block)
+        position = self.committed.append(block)
+        return CommitOutcome(block=block, results=results, was_speculated=False, position=position)
+
+    def commit_chain(self, target: Block) -> List[CommitOutcome]:
+        """Commit every uncommitted ancestor of *target*, then *target* itself.
+
+        This is the pseudocode's "execute all transactions up to (incl.) B".
+        Returns one :class:`CommitOutcome` per newly committed block, oldest
+        first.  Blocks already committed are skipped.  Raises
+        :class:`SpeculationError` if *target* does not extend the committed
+        head (committing it would fork the global ledger).
+        """
+        self.block_store.add(target)
+        if self.is_committed(target.block_hash):
+            return []
+        head_hash = self.committed_head_hash
+        if target.parent_hash == head_hash:
+            path = [target]
+        else:
+            if not self.block_store.extends(target.block_hash, head_hash):
+                raise SpeculationError(
+                    f"block (view={target.view}, slot={target.slot}) does not extend the "
+                    "committed head; refusing to fork the global ledger"
+                )
+            path = self.block_store.path_between(head_hash, target.block_hash)
+        outcomes = []
+        for block in path:
+            if block.is_genesis:
+                continue
+            outcomes.append(self.commit(block))
+        return outcomes
+
+    # -------------------------------------------------------------- rollback
+    def rollback_to_committed_head(self) -> List[Block]:
+        """Erase the entire speculated suffix, undoing its effects (newest first).
+
+        Returns the rolled-back blocks, newest first.  This is the
+        "roll local-ledger back to the common ancestor" operation for the
+        common case where the conflicting block extends the committed head —
+        which is the only case the Prefix Speculation rule permits.
+        """
+        rolled_back: List[Block] = []
+        while self._speculated:
+            entry = self._speculated.pop()
+            for record in reversed(entry.undo_records):
+                self.state_machine.undo(record)
+            rolled_back.append(entry.block)
+            self.rolled_back_txns += entry.block.txn_count
+        if rolled_back:
+            self.rollback_count += 1
+        return rolled_back
+
+    def rollback_if_conflicting(self, block: Block) -> List[Block]:
+        """Roll back the speculated suffix if it conflicts with *block*.
+
+        Used before speculating or committing *block*; returns the rolled
+        back blocks (empty when nothing conflicted).
+        """
+        if not self._speculated:
+            return []
+        for entry in self._speculated:
+            if entry.block.block_hash == block.block_hash:
+                return []
+        speculative_head = self._speculated[-1].block.block_hash
+        if self.block_store.extends(block.block_hash, speculative_head):
+            return []
+        return self.rollback_to_committed_head()
+
+    # -------------------------------------------------------------- internal
+    def _execute_block(self, block: Block) -> Tuple[List[ExecutionResult], List[UndoRecord]]:
+        results: List[ExecutionResult] = []
+        undo_records: List[UndoRecord] = []
+        for txn in block.transactions:
+            result, record = self.state_machine.apply_with_undo(txn)
+            results.append(result)
+            undo_records.append(record)
+        return results, undo_records

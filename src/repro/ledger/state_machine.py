@@ -1,0 +1,154 @@
+"""Abstract replicated state machine interface.
+
+The consensus layer orders transactions; the state machine executes them.  To
+support the paper's speculative execution with rollback, every state machine
+must be able to *undo* the effect of a previously applied transaction.  The
+concrete machines implement this with per-transaction undo records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.crypto.hashing import hash_fields
+from repro.errors import ExecutionError
+from repro.ledger.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one transaction.
+
+    Attributes
+    ----------
+    txn_id:
+        The executed transaction.
+    success:
+        Whether the operation succeeded (e.g. TPC-C new-order may abort).
+    output:
+        Operation-specific result value (small and hashable-friendly).
+    result_digest:
+        Digest the client uses to match responses across replicas.
+    """
+
+    txn_id: int
+    success: bool
+    output: Any
+    result_digest: str
+
+    @staticmethod
+    def of(txn: Transaction, success: bool, output: Any) -> "ExecutionResult":
+        """Build a result for *txn*, computing the matching digest."""
+        digest = hash_fields("result", txn.txn_id, success, output)
+        return ExecutionResult(txn_id=txn.txn_id, success=success, output=output, result_digest=digest)
+
+
+@dataclass
+class UndoRecord:
+    """Inverse of an applied transaction, sufficient to restore prior state."""
+
+    txn_id: int
+    changes: List[tuple]
+
+
+class StateMachine:
+    """Base class for deterministic, undoable state machines."""
+
+    #: Per-transaction execution cost charged to the simulated CPU (seconds).
+    execution_cost: float = 1.0e-6
+
+    def apply(self, txn: Transaction) -> ExecutionResult:
+        """Execute *txn*, record an undo entry internally, and return its result."""
+        raise NotImplementedError
+
+    def undo(self, record: "UndoRecord") -> None:
+        """Reverse a previously applied transaction given its undo record."""
+        raise NotImplementedError
+
+    def apply_with_undo(self, txn: Transaction) -> tuple:
+        """Execute *txn* and return ``(result, undo_record)``."""
+        raise NotImplementedError
+
+    def state_digest(self) -> str:
+        """Digest of the full state, used by safety checkers to compare replicas."""
+        raise NotImplementedError
+
+    def apply_batch(self, txns: Sequence[Transaction]) -> List[ExecutionResult]:
+        """Execute a batch in order and return the per-transaction results."""
+        return [self.apply(txn) for txn in txns]
+
+
+class RecordingStateMachine(StateMachine):
+    """Helper base class implementing undo bookkeeping over a key/value core.
+
+    Subclasses represent their state as named tables of ``key -> value`` and
+    implement :meth:`_execute`, calling :meth:`_write` for every mutation so
+    the base class can capture old values for undo.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Dict[Any, Any]] = {}
+        self._current_changes: Optional[List[tuple]] = None
+
+    # -------------------------------------------------------------- plumbing
+    def table(self, name: str) -> Dict[Any, Any]:
+        """Return (creating if needed) the named table."""
+        return self._tables.setdefault(name, {})
+
+    def _write(self, table_name: str, key: Any, value: Any) -> None:
+        """Write ``table[key] = value`` recording the previous value for undo."""
+        table = self.table(table_name)
+        if self._current_changes is not None:
+            had_key = key in table
+            old_value = table.get(key)
+            self._current_changes.append((table_name, key, had_key, old_value))
+        table[key] = value
+
+    def _read(self, table_name: str, key: Any, default: Any = None) -> Any:
+        """Read ``table[key]`` with a default."""
+        return self.table(table_name).get(key, default)
+
+    # ------------------------------------------------------------------- api
+    def apply(self, txn: Transaction) -> ExecutionResult:
+        result, _ = self.apply_with_undo(txn)
+        return result
+
+    def apply_with_undo(self, txn: Transaction) -> tuple:
+        self._current_changes = []
+        try:
+            success, output = self._execute(txn)
+        except ExecutionError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            raise ExecutionError(f"transaction {txn.txn_id} failed: {exc}") from exc
+        finally:
+            changes = self._current_changes or []
+            self._current_changes = None
+        record = UndoRecord(txn_id=txn.txn_id, changes=changes)
+        return ExecutionResult.of(txn, success, output), record
+
+    def undo(self, record: UndoRecord) -> None:
+        for table_name, key, had_key, old_value in reversed(record.changes):
+            table = self.table(table_name)
+            if had_key:
+                table[key] = old_value
+            else:
+                table.pop(key, None)
+
+    def state_digest(self) -> str:
+        parts = []
+        for table_name in sorted(self._tables):
+            table = self._tables[table_name]
+            if not table:
+                # Empty tables are indistinguishable from absent ones so that
+                # undoing a transaction that touched a new table restores the
+                # exact pre-transaction digest.
+                continue
+            parts.append(hash_fields(table_name, sorted((repr(k), repr(v)) for k, v in table.items())))
+        return hash_fields("state", *parts)
+
+    # ------------------------------------------------------------- subclass
+    def _execute(self, txn: Transaction) -> tuple:
+        """Execute *txn* against the tables; return ``(success, output)``."""
+        raise NotImplementedError

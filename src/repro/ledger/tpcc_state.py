@@ -1,0 +1,202 @@
+"""TPC-C style OLTP state machine.
+
+The paper's second workload is TPC-C: "online transaction processing (OLTP)
+operations that access a database of 260k records, simulating a complex
+warehouse and order management environment".  This module implements a
+self-contained TPC-C subset with the five standard transaction profiles
+(NewOrder, Payment, OrderStatus, Delivery, StockLevel) over warehouse,
+district, customer, item, stock and order tables, with undo support so the
+speculative ledger can roll it back.
+
+The full TPC-C specification includes many details (C-last name generation,
+think times, terminal emulation) that do not affect consensus behaviour; what
+matters for the reproduction is that TPC-C transactions touch many records
+and therefore cost more simulated execution time than YCSB writes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ExecutionError
+from repro.ledger.state_machine import RecordingStateMachine
+from repro.ledger.transaction import Transaction
+
+#: Districts per warehouse (TPC-C standard).
+DISTRICTS_PER_WAREHOUSE = 10
+#: Customers per district (scaled down from 3000 to keep preload cheap).
+CUSTOMERS_PER_DISTRICT = 30
+#: Items in the catalogue (scaled down from 100k).
+DEFAULT_ITEMS = 1000
+
+
+class TPCCStateMachine(RecordingStateMachine):
+    """A TPC-C-subset state machine with warehouses, stock and orders."""
+
+    #: TPC-C transactions touch many records, so they cost more simulated CPU.
+    execution_cost = 4.0e-6
+
+    def __init__(self, warehouses: int = 2, items: int = DEFAULT_ITEMS) -> None:
+        super().__init__()
+        if warehouses <= 0:
+            raise ExecutionError("TPC-C requires at least one warehouse")
+        self.warehouses = int(warehouses)
+        self.items = int(items)
+        self._load_initial_data()
+
+    # --------------------------------------------------------------- loading
+    def _load_initial_data(self) -> None:
+        warehouse_table = self.table("warehouse")
+        district_table = self.table("district")
+        customer_table = self.table("customer")
+        item_table = self.table("item")
+        stock_table = self.table("stock")
+        for w_id in range(1, self.warehouses + 1):
+            warehouse_table[w_id] = {"ytd": 0.0, "tax": 0.05}
+            for d_id in range(1, DISTRICTS_PER_WAREHOUSE + 1):
+                district_table[(w_id, d_id)] = {"ytd": 0.0, "tax": 0.02, "next_o_id": 1}
+                for c_id in range(1, CUSTOMERS_PER_DISTRICT + 1):
+                    customer_table[(w_id, d_id, c_id)] = {
+                        "balance": -10.0,
+                        "ytd_payment": 10.0,
+                        "payment_cnt": 1,
+                        "delivery_cnt": 0,
+                    }
+        for i_id in range(1, self.items + 1):
+            item_table[i_id] = {"price": 1.0 + (i_id % 100) / 10.0, "name": f"item-{i_id}"}
+            for w_id in range(1, self.warehouses + 1):
+                stock_table[(w_id, i_id)] = {"quantity": 100, "ytd": 0, "order_cnt": 0}
+
+    @property
+    def record_count(self) -> int:
+        """Total number of loaded records across all tables."""
+        return sum(len(table) for table in self._tables.values())
+
+    # -------------------------------------------------------------- execute
+    def _execute(self, txn: Transaction) -> Tuple[bool, object]:
+        operation = txn.operation
+        handlers = {
+            "tpcc_new_order": self._new_order,
+            "tpcc_payment": self._payment,
+            "tpcc_order_status": self._order_status,
+            "tpcc_delivery": self._delivery,
+            "tpcc_stock_level": self._stock_level,
+        }
+        handler = handlers.get(operation)
+        if handler is None:
+            raise ExecutionError(f"TPCCStateMachine cannot execute operation {operation!r}")
+        return handler(txn.payload)
+
+    # ------------------------------------------------------------ new order
+    def _new_order(self, payload: Dict) -> Tuple[bool, object]:
+        w_id = int(payload["w_id"])
+        d_id = int(payload["d_id"])
+        c_id = int(payload["c_id"])
+        lines = payload.get("lines", [])
+        district = dict(self._read("district", (w_id, d_id)) or {})
+        if not district:
+            return False, {"error": "missing district"}
+        order_id = district["next_o_id"]
+        district["next_o_id"] = order_id + 1
+        self._write("district", (w_id, d_id), district)
+
+        total_amount = 0.0
+        for line in lines:
+            i_id = int(line["i_id"])
+            quantity = int(line.get("quantity", 1))
+            item = self._read("item", i_id)
+            if item is None:
+                # 1% of new-order transactions abort on an unused item id per spec.
+                return False, {"error": "invalid item", "order_id": order_id}
+            stock_key = (int(line.get("supply_w_id", w_id)), i_id)
+            stock = dict(self._read("stock", stock_key) or {"quantity": 100, "ytd": 0, "order_cnt": 0})
+            if stock["quantity"] >= quantity + 10:
+                stock["quantity"] -= quantity
+            else:
+                stock["quantity"] = stock["quantity"] - quantity + 91
+            stock["ytd"] += quantity
+            stock["order_cnt"] += 1
+            self._write("stock", stock_key, stock)
+            total_amount += item["price"] * quantity
+
+        order_key = (w_id, d_id, order_id)
+        self._write(
+            "orders",
+            order_key,
+            {"c_id": c_id, "line_count": len(lines), "total": round(total_amount, 2), "delivered": False},
+        )
+        self._write("new_orders", order_key, True)
+        return True, {"order_id": order_id, "total": round(total_amount, 2)}
+
+    # -------------------------------------------------------------- payment
+    def _payment(self, payload: Dict) -> Tuple[bool, object]:
+        w_id = int(payload["w_id"])
+        d_id = int(payload["d_id"])
+        c_id = int(payload["c_id"])
+        amount = float(payload.get("amount", 10.0))
+        warehouse = dict(self._read("warehouse", w_id) or {})
+        district = dict(self._read("district", (w_id, d_id)) or {})
+        customer = dict(self._read("customer", (w_id, d_id, c_id)) or {})
+        if not warehouse or not district or not customer:
+            return False, {"error": "missing row"}
+        warehouse["ytd"] += amount
+        district["ytd"] += amount
+        customer["balance"] -= amount
+        customer["ytd_payment"] += amount
+        customer["payment_cnt"] += 1
+        self._write("warehouse", w_id, warehouse)
+        self._write("district", (w_id, d_id), district)
+        self._write("customer", (w_id, d_id, c_id), customer)
+        return True, {"balance": round(customer["balance"], 2)}
+
+    # --------------------------------------------------------- order status
+    def _order_status(self, payload: Dict) -> Tuple[bool, object]:
+        w_id = int(payload["w_id"])
+        d_id = int(payload["d_id"])
+        c_id = int(payload["c_id"])
+        customer = self._read("customer", (w_id, d_id, c_id))
+        if customer is None:
+            return False, {"error": "missing customer"}
+        latest = None
+        orders = self.table("orders")
+        for (order_w, order_d, order_id), order in orders.items():
+            if order_w == w_id and order_d == d_id and order["c_id"] == c_id:
+                if latest is None or order_id > latest[0]:
+                    latest = (order_id, order)
+        return True, {
+            "balance": round(customer["balance"], 2),
+            "last_order": latest[0] if latest else None,
+        }
+
+    # -------------------------------------------------------------- delivery
+    def _delivery(self, payload: Dict) -> Tuple[bool, object]:
+        w_id = int(payload["w_id"])
+        delivered = 0
+        new_orders = self.table("new_orders")
+        pending = sorted(key for key in new_orders if key[0] == w_id)
+        for key in pending[:DISTRICTS_PER_WAREHOUSE]:
+            order = dict(self._read("orders", key) or {})
+            if not order:
+                continue
+            order["delivered"] = True
+            self._write("orders", key, order)
+            self._write("new_orders", key, False)
+            customer_key = (key[0], key[1], order["c_id"])
+            customer = dict(self._read("customer", customer_key) or {})
+            if customer:
+                customer["balance"] += order.get("total", 0.0)
+                customer["delivery_cnt"] += 1
+                self._write("customer", customer_key, customer)
+            delivered += 1
+        return True, {"delivered": delivered}
+
+    # ----------------------------------------------------------- stock level
+    def _stock_level(self, payload: Dict) -> Tuple[bool, object]:
+        w_id = int(payload["w_id"])
+        threshold = int(payload.get("threshold", 15))
+        low = 0
+        stock_table = self.table("stock")
+        for (stock_w, _), stock in stock_table.items():
+            if stock_w == w_id and stock["quantity"] < threshold:
+                low += 1
+        return True, {"low_stock": low}

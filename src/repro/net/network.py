@@ -1,0 +1,153 @@
+"""Simulated message-passing network."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Protocol
+
+from repro.errors import NetworkError
+from repro.net.faults import FaultInjector
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Envelope
+from repro.sim.scheduler import Simulator
+
+
+class NetworkNode(Protocol):
+    """Anything that can be registered on the network and receive envelopes."""
+
+    node_id: int
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Handle an incoming envelope."""
+
+
+class NetworkStats:
+    """Aggregate traffic counters exposed to the experiment reports."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class SimNetwork:
+    """Point-to-point network with latency model and fault injection.
+
+    Nodes register themselves with :meth:`register`; thereafter any node can
+    :meth:`send` to another node id or :meth:`broadcast` to all replicas.
+    Delivery is scheduled on the simulator after sampling the latency model
+    and applying the fault injector.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency or ConstantLatency(0.001)
+        self.faults = faults or FaultInjector()
+        self.stats = NetworkStats()
+        self._nodes: Dict[int, NetworkNode] = {}
+        self._rng = sim.rng.fork("network")
+        self._trace_hook: Optional[Callable[[Envelope], None]] = None
+
+    # ------------------------------------------------------------- topology
+    def register(self, node: NetworkNode) -> None:
+        """Register *node* so it can receive messages."""
+        node_id = node.node_id
+        if node_id in self._nodes:
+            raise NetworkError(f"node id {node_id} already registered")
+        self._nodes[node_id] = node
+
+    def unregister(self, node_id: int) -> None:
+        """Remove a node (messages to it are dropped afterwards)."""
+        self._nodes.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> list:
+        """Sorted list of registered node ids."""
+        return sorted(self._nodes)
+
+    def set_trace_hook(self, hook: Optional[Callable[[Envelope], None]]) -> None:
+        """Install a hook invoked on every delivered envelope (for tests/tracing)."""
+        self._trace_hook = hook
+
+    # ------------------------------------------------------------------ send
+    def send(self, sender: int, receiver: int, payload: Any, size_bytes: int = 256) -> Optional[Envelope]:
+        """Send *payload* from *sender* to *receiver*.
+
+        Returns the in-flight :class:`Envelope`, or ``None`` if the message
+        was dropped by a fault rule or the receiver is unknown.
+        """
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+        if self.faults.should_drop(sender, receiver):
+            self.faults.record_drop()
+            self.stats.messages_dropped += 1
+            return None
+        if receiver not in self._nodes:
+            self.stats.messages_dropped += 1
+            return None
+        envelope = Envelope(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            sent_at=self.sim.now,
+            size_bytes=size_bytes,
+        )
+        delay = self._one_way_delay(sender, receiver)
+        envelope.deliver_at = self.sim.now + delay
+        self.sim.schedule_at(envelope.deliver_at, self._deliver, envelope)
+        return envelope
+
+    def broadcast(
+        self,
+        sender: int,
+        payload: Any,
+        receivers: Optional[Iterable[int]] = None,
+        include_self: bool = True,
+        size_bytes: int = 256,
+    ) -> int:
+        """Send *payload* to every registered node (or the given *receivers*).
+
+        Returns the number of messages handed to the network (drops included,
+        as the sender cannot observe them).
+        """
+        targets = list(self._nodes if receivers is None else receivers)
+        count = 0
+        for receiver in targets:
+            if not include_self and receiver == sender:
+                continue
+            self.send(sender, receiver, payload, size_bytes=size_bytes)
+            count += 1
+        return count
+
+    # -------------------------------------------------------------- internal
+    def _one_way_delay(self, sender: int, receiver: int) -> float:
+        if sender == receiver:
+            base = 0.0
+        else:
+            override = self.faults.link_override(sender, receiver)
+            base = override if override is not None else self.latency.sample(sender, receiver, self._rng)
+        return base + self.faults.extra_delay(sender, receiver)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        node = self._nodes.get(envelope.receiver)
+        if node is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        if self._trace_hook is not None:
+            self._trace_hook(envelope)
+        node.deliver(envelope)

@@ -1,0 +1,31 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is the substrate on which every experiment in the paper is rerun.
+It provides:
+
+* :class:`~repro.sim.scheduler.Simulator` — a heap-driven event loop with a
+  simulated clock, deterministic tie-breaking and a seeded random source,
+* :class:`~repro.sim.events.Event` — a cancellable scheduled callback,
+* :class:`~repro.sim.process.Timer` / :class:`~repro.sim.process.PeriodicTimer`
+  — convenience wrappers used by the pacemaker and by clients,
+* :class:`~repro.sim.rng.SeededRng` — a reproducible random-number facade.
+
+Every run of an experiment with the same configuration and seed produces the
+same event trace, which is what makes the Byzantine-schedule tests and the
+benchmark series reproducible.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event
+from repro.sim.process import PeriodicTimer, Timer
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import Simulator
+
+__all__ = [
+    "Event",
+    "PeriodicTimer",
+    "SeededRng",
+    "SimClock",
+    "Simulator",
+    "Timer",
+]

@@ -1,0 +1,40 @@
+"""Simulated clock.
+
+The clock is owned by the :class:`~repro.sim.scheduler.Simulator`; everything
+else reads time through it so that replicas, clients and the pacemaker never
+accidentally consult wall-clock time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonically non-decreasing simulated clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to *when*.
+
+        Raises :class:`SimulationError` if *when* is in the past, which would
+        indicate a scheduler bug (events must be popped in time order).
+        """
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now!r}, requested={when!r}"
+            )
+        if when > self._now:
+            self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

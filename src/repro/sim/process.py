@@ -1,0 +1,96 @@
+"""Timer helpers built on top of the simulator.
+
+The pacemaker uses :class:`Timer` for view deadlines and the client pool uses
+:class:`PeriodicTimer` for open-loop request injection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event
+from repro.sim.scheduler import Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    Each call to :meth:`start` cancels any previously pending expiration, so a
+    replica can keep a single ``Timer`` per purpose (e.g. "view timer") and
+    restart it when it enters a new view.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """``True`` while an expiration is scheduled and has not fired."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute time of the pending expiration, or ``None``."""
+        if self._event is not None and self._event.pending:
+            return self._event.time
+        return None
+
+    def start(self, delay: float, *args: Any, **kwargs: Any) -> None:
+        """(Re)start the timer to fire *delay* seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire, *args, **kwargs)
+
+    def start_at(self, when: float, *args: Any, **kwargs: Any) -> None:
+        """(Re)start the timer to fire at absolute time *when*."""
+        self.cancel()
+        self._event = self._sim.schedule_at(when, self._fire, *args, **kwargs)
+
+    def cancel(self) -> None:
+        """Cancel the pending expiration, if any."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self, *args: Any, **kwargs: Any) -> None:
+        self._event = None
+        self._callback(*args, **kwargs)
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself with a fixed period until stopped."""
+
+    def __init__(self, sim: Simulator, period: float, callback: Callable[[], Any]) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self._sim = sim
+        self._period = float(period)
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        """``True`` while the periodic timer is armed."""
+        return not self._stopped
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start ticking; the first tick happens after *initial_delay* (default: one period)."""
+        self._stopped = False
+        delay = self._period if initial_delay is None else initial_delay
+        self._event = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(self._period, self._tick)

@@ -1,0 +1,59 @@
+"""Seeded random-number facade.
+
+All stochastic choices in the reproduction (network jitter, workload keys,
+client think times) flow through :class:`SeededRng` so experiments are
+reproducible from a single integer seed.  Independent sub-streams can be
+forked per component (``rng.fork("network")``) so adding randomness to one
+component does not perturb the draws seen by another.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A thin deterministic wrapper over :class:`random.Random`."""
+
+    def __init__(self, seed: int = 0, namespace: str = "root") -> None:
+        self.seed = int(seed)
+        self.namespace = namespace
+        self._random = random.Random((self.seed, namespace).__repr__())
+
+    def fork(self, namespace: str) -> "SeededRng":
+        """Return an independent sub-stream labelled by *namespace*."""
+        return SeededRng(self.seed, f"{self.namespace}/{namespace}")
+
+    def uniform(self, low: float, high: float) -> float:
+        """Draw a float uniformly from ``[low, high)``."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Draw an integer uniformly from ``[low, high]`` (both inclusive)."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        """Draw a float uniformly from ``[0, 1)``."""
+        return self._random.random()
+
+    def expovariate(self, rate: float) -> float:
+        """Draw an exponential inter-arrival time with the given *rate*."""
+        return self._random.expovariate(rate)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Pick one element of *items* uniformly at random."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle *items* in place."""
+        self._random.shuffle(items)
+
+    def sample(self, items: Sequence[T], count: int) -> list:
+        """Return *count* distinct elements drawn from *items*."""
+        return self._random.sample(items, count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeededRng(seed={self.seed}, namespace={self.namespace!r})"

@@ -1,0 +1,35 @@
+"""Small shared type aliases used across the reproduction.
+
+Keeping these in one module avoids circular imports between the substrates
+(`sim`, `net`, `crypto`, `ledger`) and the consensus layer.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+#: Identifier of a replica (``0 .. n-1``).
+ReplicaId = NewType("ReplicaId", int)
+
+#: Identifier of a logical client.
+ClientId = NewType("ClientId", int)
+
+#: Consensus view number (monotonically increasing, starts at 0 or 1).
+View = NewType("View", int)
+
+#: Slot number within a view (1-based, as in the paper's slotting design).
+Slot = NewType("Slot", int)
+
+#: Hex-encoded digest of a block, transaction or message.
+Digest = NewType("Digest", str)
+
+#: Simulated time, in seconds.
+SimTime = float
+
+#: Sentinel digest used for "no block" / empty carry hashes.
+NULL_DIGEST: Digest = Digest("0" * 64)
+
+
+def is_null_digest(digest: str) -> bool:
+    """Return ``True`` if *digest* is the sentinel empty digest."""
+    return digest == NULL_DIGEST

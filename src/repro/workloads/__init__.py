@@ -1,0 +1,25 @@
+"""Workload generators.
+
+The paper evaluates on two workloads (§7):
+
+* **YCSB** — key-value store write operations over a 600k-record database;
+* **TPC-C** — OLTP operations over a ~260k-record warehouse/order database.
+
+Each generator produces :class:`~repro.ledger.transaction.Transaction`
+objects consumable by the matching state machine, and exposes a factory for
+that state machine so experiment scenarios can be configured with a single
+workload name.
+"""
+
+from repro.workloads.base import Workload, make_workload
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.ycsb import YCSBWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "TPCCWorkload",
+    "Workload",
+    "YCSBWorkload",
+    "ZipfGenerator",
+    "make_workload",
+]

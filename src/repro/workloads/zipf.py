@@ -1,0 +1,60 @@
+"""Zipfian key-popularity generator.
+
+YCSB's default request distribution is Zipfian; this implementation uses the
+classic Gray et al. rejection-free inverse-CDF approximation so key draws are
+O(1) after an O(1) setup (no table of size ``record_count`` is materialised).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import WorkloadError
+from repro.sim.rng import SeededRng
+
+
+class ZipfGenerator:
+    """Draw integers in ``[0, item_count)`` with Zipfian popularity skew.
+
+    Parameters
+    ----------
+    item_count:
+        Number of distinct items (keys).
+    theta:
+        Skew parameter in ``[0, 1)``; 0 degenerates to uniform, YCSB's default
+        is 0.99.
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99) -> None:
+        if item_count <= 0:
+            raise WorkloadError("item_count must be positive")
+        if not 0.0 <= theta < 1.0:
+            raise WorkloadError("theta must be in [0, 1)")
+        self.item_count = int(item_count)
+        self.theta = float(theta)
+        self._zetan = self._zeta(self.item_count, self.theta)
+        self._zeta2 = self._zeta(2, self.theta)
+        self._alpha = 1.0 / (1.0 - self.theta) if self.theta > 0 else 1.0
+        self._eta = (
+            (1.0 - math.pow(2.0 / self.item_count, 1.0 - self.theta))
+            / (1.0 - self._zeta2 / self._zetan)
+            if self.theta > 0
+            else 0.0
+        )
+
+    @staticmethod
+    def _zeta(count: int, theta: float) -> float:
+        return sum(1.0 / math.pow(i, theta) for i in range(1, count + 1)) if theta > 0 else float(count)
+
+    def next(self, rng: SeededRng) -> int:
+        """Draw the next item index using *rng*."""
+        if self.theta == 0.0:
+            return rng.randint(0, self.item_count - 1)
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + math.pow(0.5, self.theta):
+            return 1
+        index = int(self.item_count * math.pow(self._eta * u - self._eta + 1.0, self._alpha))
+        return min(index, self.item_count - 1)

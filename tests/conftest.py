@@ -1,0 +1,90 @@
+"""Shared fixtures for the HotStuff-1 reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.certificates import CertificateAuthority, CertKind
+from repro.consensus.config import ProtocolConfig
+from repro.crypto.threshold import ThresholdScheme
+from repro.ledger.block import Block, make_genesis_block
+from repro.ledger.blockstore import BlockStore
+from repro.ledger.kvstore import KVStateMachine
+from repro.ledger.speculative import SpeculativeLedger
+from repro.ledger.transaction import Transaction
+from repro.sim.scheduler import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def config4():
+    """A minimal 4-replica protocol configuration."""
+    return ProtocolConfig(n=4, batch_size=10, view_timeout=0.01, delta=0.001)
+
+
+@pytest.fixture
+def scheme4(config4):
+    """Threshold scheme matching the 4-replica configuration."""
+    return ThresholdScheme(n=config4.n, threshold=config4.quorum, seed=7)
+
+
+@pytest.fixture
+def authority4(scheme4):
+    """Certificate authority over the 4-replica threshold scheme."""
+    return CertificateAuthority(scheme4)
+
+
+@pytest.fixture
+def block_store():
+    """A block store rooted at genesis."""
+    return BlockStore()
+
+
+@pytest.fixture
+def spec_ledger(block_store):
+    """A speculative ledger over a KV state machine."""
+    return SpeculativeLedger(KVStateMachine(), block_store)
+
+
+def make_txn(index: int, key: str = "user1", value: str = "v") -> Transaction:
+    """Build a simple YCSB-style write transaction."""
+    return Transaction.create(
+        client_id=1,
+        operation="ycsb_write",
+        payload={"key": key, "value": f"{value}{index}"},
+        txn_id=1_000_000 + index,
+    )
+
+
+def build_chain(store: BlockStore, length: int, txns_per_block: int = 1, start_view: int = 1):
+    """Append a linear chain of blocks to *store*; returns the blocks in order."""
+    parent = store.genesis
+    blocks = []
+    for offset in range(length):
+        view = start_view + offset
+        txns = [make_txn(view * 100 + i, key=f"user{view}_{i}") for i in range(txns_per_block)]
+        block = Block.build(
+            view=view,
+            slot=1,
+            parent_hash=parent.block_hash,
+            proposer=view % 4,
+            transactions=txns,
+        )
+        store.add(block)
+        blocks.append(block)
+        parent = block
+    return blocks
+
+
+def certificate_for(authority: CertificateAuthority, config: ProtocolConfig, block: Block, kind=CertKind.PREPARE):
+    """Form a valid certificate for *block* using votes from the first ``quorum`` replicas."""
+    shares = [
+        authority.create_vote(replica_id, kind, block.view, block.slot, block.block_hash)
+        for replica_id in range(config.quorum)
+    ]
+    return authority.form_certificate(kind, block.view, block.slot, block.block_hash, shares)

@@ -1,0 +1,169 @@
+"""Integration tests for the Byzantine attacks of §7.3.
+
+Each test runs a short deployment with the attack behaviour installed and
+checks the qualitative claim the paper makes: the attack hurts the protocols
+without slotting and leaves HotStuff-1 with slotting (mostly) unaffected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.byzantine import (
+    CrashBehavior,
+    HonestBehavior,
+    RollbackAttackBehavior,
+    SlowLeaderBehavior,
+    TailForkingBehavior,
+)
+from repro.experiments.runner import ExperimentSpec, run_experiment
+
+
+def run_with_behaviors(protocol, behaviors, n=7, duration=0.4, view_timeout=0.01, seed=13):
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=n,
+        batch_size=20,
+        duration=duration,
+        warmup=0.1,
+        seed=seed,
+        behaviors=behaviors,
+        view_timeout=view_timeout,
+    )
+    return run_experiment(spec)
+
+
+class TestBehaviorUnits:
+    def test_honest_behavior_defaults(self):
+        behavior = HonestBehavior()
+        assert not behavior.is_byzantine
+        assert not behavior.is_crashed()
+        assert behavior.propose_delay(None, 1) == 0.0
+        assert behavior.equivocal_proposal(None, 1, None) is None
+        assert not behavior.votes_unsafely(None, None)
+
+    def test_crash_behavior_flags(self):
+        behavior = CrashBehavior()
+        assert behavior.is_byzantine
+        assert behavior.is_crashed()
+
+    def test_attack_behaviors_are_flagged_byzantine(self):
+        assert SlowLeaderBehavior().is_byzantine
+        assert TailForkingBehavior().is_byzantine
+        assert RollbackAttackBehavior(victims=[1]).is_byzantine
+
+
+class TestLeaderSlowness:
+    def test_slow_leaders_degrade_streamlined_hotstuff1(self):
+        clean = run_with_behaviors("hotstuff-1", {})
+        attacked = run_with_behaviors("hotstuff-1", {0: SlowLeaderBehavior(), 1: SlowLeaderBehavior()})
+        assert attacked.throughput < 0.8 * clean.throughput
+        assert attacked.latency_ms > clean.latency_ms
+
+    def test_slotting_mitigates_slow_leaders(self):
+        clean = run_with_behaviors("hotstuff-1-slotting", {})
+        attacked = run_with_behaviors(
+            "hotstuff-1-slotting", {0: SlowLeaderBehavior(), 1: SlowLeaderBehavior()}
+        )
+        assert attacked.throughput > 0.85 * clean.throughput
+
+
+class TestTailForking:
+    def test_tail_forking_degrades_streamlined_hotstuff1(self):
+        clean = run_with_behaviors("hotstuff-1", {})
+        attacked = run_with_behaviors("hotstuff-1", {0: TailForkingBehavior(), 1: TailForkingBehavior()})
+        assert attacked.throughput < 0.9 * clean.throughput
+
+    def test_tail_forked_transactions_eventually_commit(self):
+        attacked = run_with_behaviors("hotstuff-1", {0: TailForkingBehavior()}, duration=0.5)
+        # Liveness is preserved: clients still make progress despite forked blocks.
+        assert attacked.summary.committed_txns > 0
+
+    def test_slotting_resists_tail_forking(self):
+        clean = run_with_behaviors("hotstuff-1-slotting", {})
+        attacked = run_with_behaviors(
+            "hotstuff-1-slotting", {0: TailForkingBehavior(), 1: TailForkingBehavior()}
+        )
+        assert attacked.throughput > 0.85 * clean.throughput
+
+
+class TestRollbackAttack:
+    def test_rollback_attack_forces_rollbacks_without_slotting(self):
+        behaviors = {0: RollbackAttackBehavior(victims=[2, 3], colluders=[0, 1]),
+                     1: RollbackAttackBehavior(victims=[2, 3], colluders=[0, 1])}
+        attacked = run_with_behaviors("hotstuff-1", behaviors, duration=0.5)
+        assert attacked.summary.rollbacks > 0
+        assert attacked.summary.rolled_back_txns > 0
+
+    def test_rollback_attack_does_not_break_client_safety(self):
+        behaviors = {0: RollbackAttackBehavior(victims=[2, 3], colluders=[0])}
+        attacked = run_with_behaviors("hotstuff-1", behaviors, duration=0.5)
+        # Committed ledgers of honest replicas stay prefix-consistent (checked by
+        # the runner) and clients only ever complete transactions that commit.
+        committed_ids = set()
+        for block in attacked.replicas[2].ledger.committed.blocks():
+            committed_ids.update(txn.txn_id for txn in block.transactions)
+        sampled = [s.txn_id for s in attacked.client_pool.metrics.samples]
+        missing = [txn_id for txn_id in sampled if txn_id not in committed_ids]
+        # Every completed transaction is committed somewhere in the prefix of an
+        # honest replica (allowing for blocks committed after the window closed).
+        assert len(missing) <= attacked.spec.batch_size
+
+    def test_rollback_attack_degrades_throughput(self):
+        clean = run_with_behaviors("hotstuff-1", {})
+        behaviors = {0: RollbackAttackBehavior(victims=[2, 3], colluders=[0, 1]),
+                     1: RollbackAttackBehavior(victims=[2, 3], colluders=[0, 1])}
+        attacked = run_with_behaviors("hotstuff-1", behaviors, duration=0.5)
+        assert attacked.throughput < clean.throughput
+
+    def test_slotting_confines_rollback_attack(self):
+        clean = run_with_behaviors("hotstuff-1-slotting", {})
+        behaviors = {0: RollbackAttackBehavior(victims=[2, 3], colluders=[0])}
+        attacked = run_with_behaviors("hotstuff-1-slotting", behaviors, duration=0.5)
+        assert attacked.summary.rollbacks == 0
+        assert attacked.throughput > 0.85 * clean.throughput
+
+
+class TestDelayInjection:
+    def test_delays_beyond_f_replicas_slow_the_system(self):
+        clean = ExperimentSpec(protocol="hotstuff-1", n=7, batch_size=20, duration=0.3, warmup=0.05, seed=5)
+        impacted = ExperimentSpec(
+            protocol="hotstuff-1",
+            n=7,
+            batch_size=20,
+            duration=0.6,
+            warmup=0.05,
+            seed=5,
+            delay_injection={"impacted": [4, 5, 6], "extra_delay": 0.02},
+            view_timeout=0.1,
+            delta=0.02,
+        )
+        clean_result = run_experiment(clean)
+        impacted_result = run_experiment(impacted)
+        assert impacted_result.throughput < clean_result.throughput
+        assert impacted_result.latency_ms > clean_result.latency_ms
+
+    def test_crossing_f_plus_one_is_the_pronounced_jump(self):
+        """The paper: the impact is most pronounced when k goes from f to f+1."""
+
+        def run_with_impacted(count):
+            return run_experiment(
+                ExperimentSpec(
+                    protocol="hotstuff-1",
+                    n=7,
+                    batch_size=20,
+                    duration=0.6,
+                    warmup=0.1,
+                    seed=5,
+                    delay_injection={"impacted": list(range(7 - count, 7)), "extra_delay": 0.02},
+                    view_timeout=0.1,
+                    delta=0.02,
+                )
+            )
+
+        at_f = run_with_impacted(2)
+        beyond_f = run_with_impacted(3)
+        # Once every certificate needs an impacted replica, throughput drops and
+        # latency rises relative to the k = f case.
+        assert beyond_f.throughput < at_f.throughput
+        assert beyond_f.latency_ms > at_f.latency_ms

@@ -1,0 +1,155 @@
+"""Tests for the experiment runner, scenario builders and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_series, pivot, print_series
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import (
+    batching_series,
+    latency_breakdown_series,
+    leader_slowness_series,
+    rollback_attack_series,
+    scalability_series,
+    slotting_ablation_series,
+    tail_forking_series,
+)
+
+
+class TestRunner:
+    def test_run_returns_summary_and_stats(self):
+        result = run_experiment(
+            ExperimentSpec(protocol="hotstuff-1", n=4, batch_size=10, duration=0.15, warmup=0.02)
+        )
+        assert result.summary.protocol == "hotstuff-1"
+        assert result.summary.committed_txns > 0
+        assert result.network_stats["messages_sent"] > 0
+        assert result.latency_ms > 0
+        assert len(result.replicas) == 4
+
+    def test_seeded_runs_are_reproducible(self):
+        spec = dict(protocol="hotstuff-2", n=4, batch_size=10, duration=0.15, warmup=0.02, seed=99)
+        first = run_experiment(ExperimentSpec(**spec))
+        second = run_experiment(ExperimentSpec(**spec))
+        assert first.summary.committed_txns == second.summary.committed_txns
+        assert first.summary.avg_latency == pytest.approx(second.summary.avg_latency)
+
+    def test_explicit_client_count_is_respected(self):
+        result = run_experiment(
+            ExperimentSpec(protocol="hotstuff-1", n=4, batch_size=10, duration=0.1, num_clients=7)
+        )
+        assert result.client_pool.num_clients == 7
+
+    def test_geo_spec_places_clients_near_local_replicas(self):
+        result = run_experiment(
+            ExperimentSpec(
+                protocol="hotstuff-1",
+                n=4,
+                batch_size=10,
+                duration=0.4,
+                warmup=0.1,
+                regions=["virginia", "london"],
+                view_timeout=0.5,
+                delta=0.05,
+            )
+        )
+        # Replicas 0 and 2 are in Virginia (round-robin placement), and the
+        # client pool only targets co-located replicas.
+        assert set(result.client_pool.target_replicas) == {0, 2}
+        assert result.summary.committed_txns > 0
+
+
+class TestScenarioBuilders:
+    def test_scalability_series_rows_have_expected_columns(self):
+        rows = scalability_series(
+            protocols=("hotstuff-2", "hotstuff-1"), replica_counts=(4,), duration=0.15, warmup=0.03
+        )
+        assert len(rows) == 2
+        assert {"protocol", "n", "throughput_tps", "avg_latency_ms"} <= set(rows[0])
+
+    def test_batching_series_sweeps_batch_sizes(self):
+        rows = batching_series(
+            protocols=("hotstuff-1",), batch_sizes=(10, 50), n=4, duration=0.15, warmup=0.03
+        )
+        assert [row["batch_size"] for row in rows] == [10, 50]
+
+    def test_latency_breakdown_reports_reductions(self):
+        rows = latency_breakdown_series(
+            protocols=("hotstuff", "hotstuff-2", "hotstuff-1"),
+            replica_counts=(4,),
+            batch_size=20,
+            duration=0.2,
+            warmup=0.05,
+        )
+        reductions = [row for row in rows if "latency_reduction_pct" in row]
+        assert len(reductions) == 2
+        assert all(row["latency_reduction_pct"] > 0 for row in reductions)
+
+    def test_leader_slowness_series_runs(self):
+        rows = leader_slowness_series(
+            protocols=("hotstuff-1",),
+            slow_leader_counts=(0, 1),
+            view_timeouts=(0.01,),
+            n=4,
+            batch_size=10,
+            duration=0.2,
+            warmup=0.05,
+        )
+        assert len(rows) == 2
+        slow = {row["slow_leaders"]: row["throughput_tps"] for row in rows}
+        assert slow[1] <= slow[0]
+
+    def test_tail_forking_series_runs(self):
+        rows = tail_forking_series(
+            protocols=("hotstuff-1",), faulty_counts=(0, 1), n=4, batch_size=10, duration=0.2, warmup=0.05
+        )
+        assert len(rows) == 2
+
+    def test_rollback_series_includes_rollback_counts(self):
+        rows = rollback_attack_series(
+            protocols=("hotstuff-1",), faulty_counts=(1,), n=7, batch_size=10, duration=0.3, warmup=0.05
+        )
+        assert "rollbacks" in rows[0]
+
+    def test_slotting_ablation_covers_four_variants(self):
+        rows = slotting_ablation_series(
+            slow_leader_count=1, n=4, batch_size=10, duration=0.2, warmup=0.05
+        )
+        assert len(rows) == 4
+        assert {row["variant"] for row in rows} == {
+            "speculation on, no slotting",
+            "speculation off, no slotting",
+            "speculation on, slotting",
+            "speculation off, slotting",
+        }
+
+
+class TestReport:
+    def test_format_series_renders_all_columns(self):
+        rows = [
+            {"protocol": "hotstuff-1", "n": 4, "throughput_tps": 100.0},
+            {"protocol": "hotstuff-2", "n": 4, "throughput_tps": 99.0, "extra": "x"},
+        ]
+        text = format_series(rows, title="Figure 8 (a)")
+        assert "Figure 8 (a)" in text
+        assert "hotstuff-1" in text
+        assert "extra" in text
+
+    def test_format_series_empty(self):
+        assert "(no data)" in format_series([], title="empty")
+
+    def test_print_series_writes_to_stdout(self, capsys):
+        print_series([{"protocol": "hotstuff-1", "throughput_tps": 10}], title="t")
+        captured = capsys.readouterr()
+        assert "hotstuff-1" in captured.out
+
+    def test_pivot_groups_by_protocol(self):
+        rows = [
+            {"protocol": "a", "n": 4, "throughput_tps": 1.0},
+            {"protocol": "a", "n": 8, "throughput_tps": 2.0},
+            {"protocol": "b", "n": 4, "throughput_tps": 3.0},
+        ]
+        table = pivot(rows, index="n", metric="throughput_tps")
+        assert table["a"] == {4: 1.0, 8: 2.0}
+        assert table["b"] == {4: 3.0}

@@ -1,0 +1,164 @@
+"""Unit tests for transactions, blocks, the block store and the committed ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ForkError, LedgerError, UnknownBlockError
+from repro.ledger.block import Block, make_genesis_block
+from repro.ledger.blockstore import BlockStore
+from repro.ledger.ledger import CommittedLedger
+from repro.ledger.transaction import Transaction
+
+from tests.conftest import build_chain, make_txn
+
+
+class TestTransaction:
+    def test_create_assigns_unique_ids(self):
+        a = Transaction.create(1, "noop")
+        b = Transaction.create(1, "noop")
+        assert a.txn_id != b.txn_id
+
+    def test_explicit_id_is_respected(self):
+        txn = Transaction.create(2, "noop", txn_id=777)
+        assert txn.txn_id == 777
+
+    def test_digest_depends_on_payload(self):
+        a = Transaction.create(1, "ycsb_write", {"key": "k", "value": "1"}, txn_id=1)
+        b = Transaction.create(1, "ycsb_write", {"key": "k", "value": "2"}, txn_id=1)
+        assert a.digest() != b.digest()
+
+
+class TestBlock:
+    def test_build_computes_stable_hash(self):
+        genesis = make_genesis_block()
+        txns = [make_txn(1)]
+        a = Block.build(1, 1, genesis.block_hash, 0, txns)
+        b = Block.build(1, 1, genesis.block_hash, 0, txns)
+        assert a.block_hash == b.block_hash
+
+    def test_hash_changes_with_content(self):
+        genesis = make_genesis_block()
+        a = Block.build(1, 1, genesis.block_hash, 0, [make_txn(1)])
+        b = Block.build(1, 1, genesis.block_hash, 0, [make_txn(2)])
+        assert a.block_hash != b.block_hash
+
+    def test_lexicographic_ordering_by_view_then_slot(self):
+        genesis = make_genesis_block()
+        low = Block.build(1, 4, genesis.block_hash, 0)
+        high = Block.build(2, 1, genesis.block_hash, 0)
+        same_view = Block.build(2, 2, genesis.block_hash, 0)
+        assert low.ordered_before(high)
+        assert high.ordered_before(same_view)
+
+    def test_genesis_block_is_deterministic(self):
+        assert make_genesis_block().block_hash == make_genesis_block().block_hash
+        assert make_genesis_block().is_genesis
+
+
+class TestBlockStore:
+    def test_contains_genesis(self, block_store):
+        assert block_store.genesis.block_hash in block_store
+
+    def test_add_and_get(self, block_store):
+        [block] = build_chain(block_store, 1)
+        assert block_store.get(block.block_hash) is block
+
+    def test_get_unknown_raises(self, block_store):
+        with pytest.raises(UnknownBlockError):
+            block_store.get("f" * 64)
+
+    def test_add_is_idempotent(self, block_store):
+        [block] = build_chain(block_store, 1)
+        assert block_store.add(block) is block
+        assert len(block_store) == 2  # genesis + block
+
+    def test_ancestors_walk_back_to_genesis(self, block_store):
+        blocks = build_chain(block_store, 3)
+        ancestors = block_store.ancestors(blocks[-1].block_hash)
+        assert [b.view for b in ancestors] == [2, 1, 0]
+
+    def test_extends_transitively(self, block_store):
+        blocks = build_chain(block_store, 4)
+        assert block_store.extends(blocks[3].block_hash, blocks[0].block_hash)
+        assert not block_store.extends(blocks[0].block_hash, blocks[3].block_hash)
+
+    def test_block_does_not_extend_itself(self, block_store):
+        blocks = build_chain(block_store, 1)
+        assert not block_store.extends(blocks[0].block_hash, blocks[0].block_hash)
+
+    def test_conflicts_for_siblings(self, block_store):
+        blocks = build_chain(block_store, 2)
+        fork = Block.build(5, 1, blocks[0].block_hash, 3, [make_txn(999)])
+        block_store.add(fork)
+        assert block_store.conflicts(fork.block_hash, blocks[1].block_hash)
+        assert not block_store.conflicts(blocks[0].block_hash, blocks[1].block_hash)
+
+    def test_common_ancestor_of_forked_branches(self, block_store):
+        blocks = build_chain(block_store, 2)
+        fork = Block.build(7, 1, blocks[0].block_hash, 3)
+        block_store.add(fork)
+        ancestor = block_store.common_ancestor(fork.block_hash, blocks[1].block_hash)
+        assert ancestor.block_hash == blocks[0].block_hash
+
+    def test_path_between_is_ordered_oldest_first(self, block_store):
+        blocks = build_chain(block_store, 3)
+        path = block_store.path_between(block_store.genesis.block_hash, blocks[2].block_hash)
+        assert [b.view for b in path] == [1, 2, 3]
+
+    def test_path_between_unrelated_raises(self, block_store):
+        blocks = build_chain(block_store, 2)
+        fork = Block.build(9, 1, blocks[0].block_hash, 3)
+        block_store.add(fork)
+        with pytest.raises(LedgerError):
+            block_store.path_between(blocks[1].block_hash, fork.block_hash)
+
+    def test_children_of_tracks_forks(self, block_store):
+        blocks = build_chain(block_store, 1)
+        fork = Block.build(4, 1, block_store.genesis.block_hash, 2)
+        block_store.add(fork)
+        children = block_store.children_of(block_store.genesis.block_hash)
+        assert {child.block_hash for child in children} == {blocks[0].block_hash, fork.block_hash}
+
+
+class TestCommittedLedger:
+    def test_append_in_order(self, block_store):
+        blocks = build_chain(block_store, 3)
+        ledger = CommittedLedger()
+        positions = [ledger.append(block) for block in blocks]
+        assert positions == [0, 1, 2]
+        assert ledger.head.block_hash == blocks[-1].block_hash
+        assert len(ledger) == 3
+
+    def test_append_duplicate_is_idempotent(self, block_store):
+        blocks = build_chain(block_store, 1)
+        ledger = CommittedLedger()
+        assert ledger.append(blocks[0]) == 0
+        assert ledger.append(blocks[0]) == 0
+        assert len(ledger) == 1
+
+    def test_fork_rejected(self, block_store):
+        blocks = build_chain(block_store, 2)
+        fork = Block.build(8, 1, blocks[0].block_hash, 3)
+        ledger = CommittedLedger()
+        ledger.append(blocks[0])
+        ledger.append(blocks[1])
+        with pytest.raises(ForkError):
+            ledger.append(fork)
+
+    def test_committed_txn_count(self, block_store):
+        blocks = build_chain(block_store, 2, txns_per_block=3)
+        ledger = CommittedLedger()
+        for block in blocks:
+            ledger.append(block)
+        assert ledger.committed_txn_count == 6
+
+    def test_ledger_digest_changes_with_content(self, block_store):
+        blocks = build_chain(block_store, 2)
+        a = CommittedLedger()
+        a.append(blocks[0])
+        b = CommittedLedger()
+        b.append(blocks[0])
+        assert a.ledger_digest() == b.ledger_digest()
+        a.append(blocks[1])
+        assert a.ledger_digest() != b.ledger_digest()

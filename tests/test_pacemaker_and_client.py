@@ -1,0 +1,179 @@
+"""Unit tests for the pacemaker and the client pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.client import ClientPool
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.messages import ClientRequest, ClientResponseBatch, ResponseEntry
+from repro.consensus.metrics import MetricsCollector
+from repro.consensus.protocols.hotstuff2 import HotStuff2Replica
+from repro.core.streamlined import HotStuff1Replica
+from repro.net.latency import ConstantLatency
+from repro.net.network import SimNetwork
+from repro.sim.scheduler import Simulator
+from repro.workloads.ycsb import YCSBWorkload
+
+from tests.helpers import ReplicaHarness
+
+
+class TestPacemaker:
+    def test_enter_view_is_monotonic(self):
+        harness = ReplicaHarness(HotStuff2Replica)
+        pacemaker = harness.replica.pacemaker
+        pacemaker.start(1)
+        assert pacemaker.current_view == 1
+        pacemaker.enter_view(5)
+        assert pacemaker.current_view == 5
+        pacemaker.enter_view(3)
+        assert pacemaker.current_view == 5
+
+    def test_completed_view_marks_exit(self):
+        harness = ReplicaHarness(HotStuff2Replica)
+        pacemaker = harness.replica.pacemaker
+        pacemaker.start(1)
+        assert not pacemaker.has_completed(1)
+        # View 2 is an epoch boundary for n=4 (epoch length f+1 = 2), so completing
+        # view 1 triggers Wish/TC synchronisation instead of entering directly.
+        pacemaker.completed_view(1)
+        assert pacemaker.has_completed(1)
+        assert pacemaker.current_view == 1
+        # A non-boundary completion advances immediately.
+        pacemaker.force_enter(2)
+        pacemaker.completed_view(2)
+        assert pacemaker.has_completed(2)
+        assert pacemaker.current_view == 3
+
+    def test_entering_a_view_completes_all_older_views(self):
+        harness = ReplicaHarness(HotStuff2Replica)
+        pacemaker = harness.replica.pacemaker
+        pacemaker.start(1)
+        pacemaker.force_enter(7)
+        assert pacemaker.has_completed(6)
+        assert not pacemaker.has_completed(7)
+
+    def test_share_timer_is_three_delta_after_entry(self):
+        harness = ReplicaHarness(HotStuff2Replica)
+        pacemaker = harness.replica.pacemaker
+        pacemaker.start(1)
+        expected = pacemaker.start_time[1] + 3 * harness.config.delta
+        assert pacemaker.share_timer(1) == pytest.approx(expected)
+
+    def test_view_timer_fires_timeout_callback(self):
+        harness = ReplicaHarness(HotStuff2Replica, replica_id=2)
+        timeouts = []
+        harness.replica.on_view_timeout = lambda view: timeouts.append(view)
+        harness.replica.pacemaker.start(1)
+        harness.run(duration=0.05)
+        assert timeouts and timeouts[0] == 1
+
+    def test_epoch_leaders_cover_f_plus_one_views(self):
+        harness = ReplicaHarness(HotStuff2Replica, n=7)
+        pacemaker = harness.replica.pacemaker
+        leaders = pacemaker.epoch_leaders(14)
+        assert len(leaders) == harness.config.f + 1
+        assert leaders[0] == harness.replica.leaders.leader_of(14)
+
+
+def build_client_pool(required_quorum, num_clients=2, n=4):
+    sim = Simulator(seed=5)
+    config = ProtocolConfig(n=n, batch_size=10)
+    network = SimNetwork(sim, latency=ConstantLatency(0.0005))
+    metrics = MetricsCollector()
+    pool = ClientPool(
+        sim=sim,
+        network=network,
+        workload=YCSBWorkload(record_count=100),
+        config=config,
+        metrics=metrics,
+        num_clients=num_clients,
+        required_quorum=required_quorum,
+    )
+    return sim, network, metrics, pool
+
+
+def response_batch(replica_id, txn, block_hash="b" * 64, speculative=True, digest="d1"):
+    entry = ResponseEntry(txn_id=txn.txn_id, client_id=txn.client_id, result_digest=digest, success=True)
+    return ClientResponseBatch(
+        replica_id=replica_id,
+        view=1,
+        slot=1,
+        block_hash=block_hash,
+        speculative=speculative,
+        entries=(entry,),
+    )
+
+
+class TestClientPool:
+    def test_start_issues_one_request_per_client(self):
+        sim, network, metrics, pool = build_client_pool(required_quorum=2, num_clients=3)
+        pool.start()
+        assert len(pool.outstanding) == 3
+
+    def test_completion_requires_quorum_of_matching_responses(self):
+        sim, network, metrics, pool = build_client_pool(required_quorum=3)
+        pool.start()
+        txn = next(iter(pool.outstanding.values())).txn
+        pool._handle_response_batch(response_batch(0, txn))
+        pool._handle_response_batch(response_batch(1, txn))
+        assert txn.txn_id in pool.outstanding
+        pool._handle_response_batch(response_batch(2, txn))
+        assert txn.txn_id not in pool.outstanding
+        assert pool.completed_count == 1
+        assert metrics.samples[0].speculative
+
+    def test_duplicate_responses_from_same_replica_count_once(self):
+        sim, network, metrics, pool = build_client_pool(required_quorum=2)
+        pool.start()
+        txn = next(iter(pool.outstanding.values())).txn
+        pool._handle_response_batch(response_batch(0, txn))
+        pool._handle_response_batch(response_batch(0, txn))
+        assert txn.txn_id in pool.outstanding
+
+    def test_mismatched_results_do_not_combine(self):
+        sim, network, metrics, pool = build_client_pool(required_quorum=2)
+        pool.start()
+        txn = next(iter(pool.outstanding.values())).txn
+        pool._handle_response_batch(response_batch(0, txn, digest="d1"))
+        pool._handle_response_batch(response_batch(1, txn, digest="d2"))
+        assert txn.txn_id in pool.outstanding
+
+    def test_responses_for_different_blocks_do_not_combine(self):
+        sim, network, metrics, pool = build_client_pool(required_quorum=2)
+        pool.start()
+        txn = next(iter(pool.outstanding.values())).txn
+        pool._handle_response_batch(response_batch(0, txn, block_hash="a" * 64))
+        pool._handle_response_batch(response_batch(1, txn, block_hash="c" * 64))
+        assert txn.txn_id in pool.outstanding
+
+    def test_completion_spawns_next_request_closed_loop(self):
+        sim, network, metrics, pool = build_client_pool(required_quorum=1, num_clients=1)
+        pool.start()
+        first_txn = next(iter(pool.outstanding.values())).txn
+        pool._handle_response_batch(response_batch(0, first_txn))
+        assert len(pool.outstanding) == 1
+        remaining = next(iter(pool.outstanding.values())).txn
+        assert remaining.txn_id != first_txn.txn_id
+
+    def test_requests_reach_replicas_over_the_network(self):
+        sim, network, metrics, pool = build_client_pool(required_quorum=2, num_clients=2)
+
+        class Sink:
+            node_id = 0
+            received = []
+
+            def deliver(self, envelope):
+                Sink.received.append(envelope.payload)
+
+        network.register(Sink())
+        pool.target_replicas = [0]
+        pool.start()
+        sim.run(until=0.01)
+        assert all(isinstance(msg, ClientRequest) for msg in Sink.received)
+        assert len(Sink.received) == 2
+
+    def test_client_quorum_rules_per_protocol(self):
+        config = ProtocolConfig(n=31)
+        assert HotStuff1Replica.client_quorum(config) == 21
+        assert HotStuff2Replica.client_quorum(config) == 11

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.mempool import Mempool
+from repro.crypto.threshold import ThresholdScheme
+from repro.ledger.block import Block
+from repro.ledger.blockstore import BlockStore
+from repro.ledger.kvstore import KVStateMachine
+from repro.ledger.speculative import SpeculativeLedger
+from repro.ledger.transaction import Transaction
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import Simulator
+from repro.workloads.zipf import ZipfGenerator
+
+
+# --------------------------------------------------------------------------
+# Threshold signatures
+# --------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    payload=st.text(min_size=1, max_size=20),
+)
+def test_threshold_aggregate_verifies_for_any_quorum(n, payload):
+    f = (n - 1) // 3
+    scheme = ThresholdScheme(n=n, threshold=n - f, seed=1)
+    shares = [scheme.create_share(i, payload) for i in range(n - f)]
+    aggregate = scheme.aggregate(shares)
+    assert scheme.verify_aggregate(aggregate)
+    assert aggregate.share_count == n - f
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    drop=st.integers(min_value=1, max_value=5),
+)
+def test_threshold_rejects_below_quorum(n, drop):
+    f = (n - 1) // 3
+    quorum = n - f
+    scheme = ThresholdScheme(n=n, threshold=quorum, seed=1)
+    count = max(0, quorum - drop)
+    shares = [scheme.create_share(i, "p") for i in range(count)]
+    try:
+        scheme.aggregate(shares)
+        reached = True
+    except Exception:
+        reached = False
+    assert not reached
+
+
+# --------------------------------------------------------------------------
+# Block store ancestry
+# --------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(chain_length=st.integers(min_value=2, max_value=12), fork_at=st.integers(min_value=0, max_value=10))
+def test_blockstore_ancestry_and_conflicts(chain_length, fork_at):
+    store = BlockStore()
+    parent = store.genesis
+    chain = []
+    for view in range(1, chain_length + 1):
+        block = Block.build(view, 1, parent.block_hash, 0)
+        store.add(block)
+        chain.append(block)
+        parent = block
+    fork_index = min(fork_at, chain_length - 1)
+    fork_parent = chain[fork_index - 1] if fork_index > 0 else store.genesis
+    fork = Block.build(100, 1, fork_parent.block_hash, 1)
+    store.add(fork)
+
+    # Every block extends genesis; the tip extends every strict ancestor.
+    tip = chain[-1]
+    assert store.extends(tip.block_hash, store.genesis.block_hash)
+    for ancestor in chain[:-1]:
+        assert store.extends(tip.block_hash, ancestor.block_hash)
+    # The fork conflicts with every block at or after the fork point.
+    for block in chain[fork_index:]:
+        assert store.conflicts(fork.block_hash, block.block_hash)
+    # The common ancestor of the fork and the tip is the fork parent.
+    assert store.common_ancestor(fork.block_hash, tip.block_hash).block_hash == fork_parent.block_hash
+
+
+# --------------------------------------------------------------------------
+# Speculative ledger: speculation + rollback always restores the exact state
+# --------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.sampled_from(["k1", "k2", "k3"]), st.text(min_size=1, max_size=6)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_speculate_then_rollback_restores_state(writes):
+    store = BlockStore()
+    machine = KVStateMachine()
+    ledger = SpeculativeLedger(machine, store)
+    txns = [
+        Transaction.create(1, "ycsb_write", {"key": key, "value": value}, txn_id=index)
+        for index, (key, value) in enumerate(writes)
+    ]
+    block = Block.build(1, 1, store.genesis.block_hash, 0, txns)
+    store.add(block)
+    digest_before = machine.state_digest()
+    ledger.speculate(block)
+    ledger.rollback_to_committed_head()
+    assert machine.state_digest() == digest_before
+    assert ledger.speculative_head_hash == ledger.committed_head_hash
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    prefix_len=st.integers(min_value=1, max_value=5),
+    value=st.text(min_size=1, max_size=5),
+)
+def test_commit_after_speculation_equals_direct_commit(prefix_len, value):
+    """Speculate-then-promote must produce the same state as executing at commit time."""
+
+    def build(length):
+        store = BlockStore()
+        machine = KVStateMachine()
+        ledger = SpeculativeLedger(machine, store)
+        parent = store.genesis
+        blocks = []
+        for view in range(1, length + 1):
+            txn = Transaction.create(
+                1, "ycsb_write", {"key": f"k{view}", "value": f"{value}{view}"}, txn_id=view
+            )
+            block = Block.build(view, 1, parent.block_hash, 0, [txn])
+            store.add(block)
+            blocks.append(block)
+            parent = block
+        return store, machine, ledger, blocks
+
+    # Path A: speculate each block, then commit it.
+    _, machine_a, ledger_a, blocks_a = build(prefix_len)
+    for block in blocks_a:
+        ledger_a.speculate(block)
+        ledger_a.commit(block)
+    # Path B: commit directly.
+    _, machine_b, ledger_b, blocks_b = build(prefix_len)
+    ledger_b.commit_chain(blocks_b[-1])
+    assert machine_a.state_digest() == machine_b.state_digest()
+    assert ledger_a.committed.ledger_digest() == ledger_b.committed.ledger_digest()
+
+
+# --------------------------------------------------------------------------
+# Mempool invariants
+# --------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    ids=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=40),
+    batch=st.integers(min_value=1, max_value=10),
+)
+def test_mempool_never_duplicates_or_resurrects(ids, batch):
+    pool = Mempool()
+    for txn_id in ids:
+        pool.add(Transaction.create(1, "noop", txn_id=txn_id))
+    popped = pool.next_batch(batch)
+    popped_ids = [txn.txn_id for txn in popped]
+    assert len(popped_ids) == len(set(popped_ids))
+    pool.mark_committed(popped_ids)
+    for txn in popped:
+        assert not pool.add(txn)
+    # Whatever remains is exactly the distinct ids minus the committed ones.
+    remaining = set()
+    while True:
+        chunk = pool.next_batch(10)
+        if not chunk:
+            break
+        remaining.update(txn.txn_id for txn in chunk)
+    assert remaining == set(ids) - set(popped_ids)
+
+
+# --------------------------------------------------------------------------
+# Zipf generator bounds
+# --------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    items=st.integers(min_value=1, max_value=10_000),
+    theta=st.floats(min_value=0.0, max_value=0.99),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_zipf_always_in_range(items, theta, seed):
+    gen = ZipfGenerator(items, theta)
+    rng = SeededRng(seed)
+    for _ in range(50):
+        assert 0 <= gen.next(rng) < items
+
+
+# --------------------------------------------------------------------------
+# Simulator determinism
+# --------------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30))
+def test_simulator_fires_in_nondecreasing_time_order(delays):
+    sim = Simulator(seed=0)
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

@@ -1,0 +1,177 @@
+"""Unit tests for the slotting design: SafeSlot cases, carry blocks, trusted leaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.certificates import CertKind
+from repro.consensus.messages import NewView, Propose, Reject
+from repro.core.slotting import SlottedHotStuff1Replica
+from repro.ledger.block import Block
+from repro.types import NULL_DIGEST
+
+from tests.conftest import make_txn
+from tests.helpers import ReplicaHarness
+
+
+@pytest.fixture
+def harness():
+    """A standalone slotted replica (id 0) in a 4-replica configuration."""
+    return ReplicaHarness(SlottedHotStuff1Replica, replica_id=0, n=4)
+
+
+def add_block(harness, view, slot, parent, txn_seed=0, carry_hash=NULL_DIGEST):
+    block = Block.build(
+        view=view,
+        slot=slot,
+        parent_hash=parent.block_hash,
+        proposer=view % 4,
+        transactions=[make_txn(txn_seed + view * 10 + slot)],
+        carry_hash=carry_hash,
+    )
+    harness.replica.block_store.add(block)
+    return block
+
+
+class TestSafeSlot:
+    def test_case1_first_slot_extends_new_view_cert_formed_now(self, harness):
+        genesis = harness.replica.block_store.genesis
+        prev_block = add_block(harness, 1, 3, genesis)
+        cert = harness.certificate(CertKind.NEW_VIEW, prev_block, formed_in_view=2)
+        block = add_block(harness, 2, 1, prev_block)
+        proposal = Propose(view=2, slot=1, block=block, justify=cert)
+        assert harness.replica._safe_slot(proposal)
+
+    def test_case3_first_slot_with_carry_over_new_slot_cert(self, harness):
+        genesis = harness.replica.block_store.genesis
+        certified = add_block(harness, 1, 3, genesis)
+        cert = harness.certificate(CertKind.NEW_SLOT, certified)
+        carry = add_block(harness, 1, 4, certified)
+        block = add_block(harness, 2, 1, carry, carry_hash=carry.block_hash)
+        proposal = Propose(view=2, slot=1, block=block, justify=cert, carry_hash=carry.block_hash)
+        assert harness.replica._safe_slot(proposal)
+
+    def test_first_slot_over_new_slot_cert_without_carry_is_rejected(self, harness):
+        genesis = harness.replica.block_store.genesis
+        certified = add_block(harness, 1, 3, genesis)
+        cert = harness.certificate(CertKind.NEW_SLOT, certified)
+        block = add_block(harness, 2, 1, certified)
+        proposal = Propose(view=2, slot=1, block=block, justify=cert)
+        assert not harness.replica._safe_slot(proposal)
+
+    def test_case2_stale_new_view_cert_requires_matching_carry(self, harness):
+        genesis = harness.replica.block_store.genesis
+        certified = add_block(harness, 1, 2, genesis)
+        stale_cert = harness.certificate(CertKind.NEW_VIEW, certified, formed_in_view=2)
+        carry = add_block(harness, 2, 1, certified)
+        block = add_block(harness, 3, 1, carry, carry_hash=carry.block_hash)
+        proposal = Propose(view=3, slot=1, block=block, justify=stale_cert, carry_hash=carry.block_hash)
+        assert harness.replica._safe_slot(proposal)
+        # Without the carry the same proposal is unsafe.
+        bad_block = add_block(harness, 3, 1, certified, txn_seed=500)
+        bad = Propose(view=3, slot=1, block=bad_block, justify=stale_cert)
+        assert not harness.replica._safe_slot(bad)
+
+    def test_case4_intra_view_slots_extend_previous_slot(self, harness):
+        genesis = harness.replica.block_store.genesis
+        slot1 = add_block(harness, 2, 1, genesis)
+        cert = harness.certificate(CertKind.NEW_SLOT, slot1)
+        slot2 = add_block(harness, 2, 2, slot1)
+        proposal = Propose(view=2, slot=2, block=slot2, justify=cert)
+        assert harness.replica._safe_slot(proposal)
+
+    def test_case4_rejects_skipped_slot(self, harness):
+        genesis = harness.replica.block_store.genesis
+        slot1 = add_block(harness, 2, 1, genesis)
+        cert = harness.certificate(CertKind.NEW_SLOT, slot1)
+        slot3 = add_block(harness, 2, 3, slot1)
+        proposal = Propose(view=2, slot=3, block=slot3, justify=cert)
+        assert not harness.replica._safe_slot(proposal)
+
+    def test_structural_check_parent_must_match_justify_or_carry(self, harness):
+        genesis = harness.replica.block_store.genesis
+        slot1 = add_block(harness, 2, 1, genesis)
+        cert = harness.certificate(CertKind.NEW_SLOT, slot1)
+        unrelated = add_block(harness, 1, 5, genesis, txn_seed=900)
+        wrong_parent = add_block(harness, 2, 2, unrelated, txn_seed=901)
+        proposal = Propose(view=2, slot=2, block=wrong_parent, justify=cert)
+        assert not harness.replica._safe_slot(proposal)
+
+    def test_bootstrap_first_slot_over_genesis_cert_is_safe(self, harness):
+        genesis = harness.replica.block_store.genesis
+        block = add_block(harness, 1, 1, genesis)
+        proposal = Propose(view=1, slot=1, block=block, justify=harness.replica.genesis_cert)
+        assert harness.replica._safe_slot(proposal)
+
+
+class TestCarryBlocks:
+    def test_find_carry_block_after_new_slot_cert(self, harness):
+        genesis = harness.replica.block_store.genesis
+        certified = add_block(harness, 1, 3, genesis)
+        cert = harness.certificate(CertKind.NEW_SLOT, certified)
+        carry = add_block(harness, 1, 4, certified)
+        assert harness.replica._find_carry_block(cert).block_hash == carry.block_hash
+
+    def test_find_carry_block_after_new_view_cert(self, harness):
+        genesis = harness.replica.block_store.genesis
+        certified = add_block(harness, 1, 2, genesis)
+        cert = harness.certificate(CertKind.NEW_VIEW, certified, formed_in_view=2)
+        carry = add_block(harness, 2, 1, certified)
+        assert harness.replica._find_carry_block(cert).block_hash == carry.block_hash
+
+    def test_certified_child_is_not_carried(self, harness):
+        genesis = harness.replica.block_store.genesis
+        certified = add_block(harness, 1, 3, genesis)
+        cert = harness.certificate(CertKind.NEW_SLOT, certified)
+        child = add_block(harness, 1, 4, certified)
+        child_cert = harness.certificate(CertKind.NEW_SLOT, child)
+        harness.replica.record_certificate(child_cert)
+        assert harness.replica._find_carry_block(cert) is None
+
+    def test_no_carry_for_genesis_certificate(self, harness):
+        assert harness.replica._find_carry_block(harness.replica.genesis_cert) is None
+
+
+class TestTrustedLeaders:
+    def make_new_view_from_previous_leader(self, harness, view):
+        """Build a NewView message from the previous leader with a fresh NEW_SLOT cert."""
+        genesis = harness.replica.block_store.genesis
+        certified = add_block(harness, view - 1, 2, genesis)
+        cert = harness.certificate(CertKind.NEW_SLOT, certified)
+        previous_leader = harness.leaders.leader_of(view - 1)
+        return NewView(
+            view=view,
+            voter=previous_leader,
+            high_cert=cert,
+            share=None,
+            voted_block_hash=certified.block_hash,
+            highest_voted_hash=certified.block_hash,
+        ), previous_leader
+
+    def test_trusted_previous_leader_enables_fast_path(self, harness):
+        message, previous_leader = self.make_new_view_from_previous_leader(harness, view=4)
+        assert harness.replica._trusted_fast_path(message, previous_leader)
+
+    def test_distrusted_leader_disables_fast_path(self, harness):
+        message, previous_leader = self.make_new_view_from_previous_leader(harness, view=4)
+        harness.replica.distrusted_leaders.add(previous_leader)
+        assert not harness.replica._trusted_fast_path(message, previous_leader)
+
+    def test_stale_certificate_does_not_enable_fast_path(self, harness):
+        genesis = harness.replica.block_store.genesis
+        old_block = add_block(harness, 1, 1, genesis)
+        old_cert = harness.certificate(CertKind.NEW_SLOT, old_block)
+        previous_leader = harness.leaders.leader_of(3)
+        message = NewView(view=4, voter=previous_leader, high_cert=old_cert, share=None)
+        assert not harness.replica._trusted_fast_path(message, previous_leader)
+
+    def test_reject_with_concealed_certificate_marks_distrust(self, harness):
+        # The replica is the leader of view 4 (views 0, 4, 8 map to replica 0).
+        genesis = harness.replica.block_store.genesis
+        harness.replica.pacemaker.start(1)
+        harness.replica.pacemaker.force_enter(4)
+        concealed_block = add_block(harness, 3, 2, genesis)
+        concealed_cert = harness.certificate(CertKind.NEW_SLOT, concealed_block)
+        reject = Reject(view=4, slot=1, voter=2, high_cert=concealed_cert)
+        harness.replica.handle_reject(reject, sender=2)
+        assert harness.leaders.leader_of(3) in harness.replica.distrusted_leaders

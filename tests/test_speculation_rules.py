@@ -1,0 +1,115 @@
+"""Unit tests for the Prefix Speculation and No-Gap rules (§3, Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.speculation import (
+    SpeculationGuard,
+    no_gap_basic,
+    no_gap_slotted,
+    no_gap_streamlined,
+)
+from repro.ledger.block import Block
+
+from tests.conftest import build_chain, make_txn
+
+
+class TestNoGapRules:
+    def test_streamlined_requires_immediately_preceding_view(self, block_store):
+        blocks = build_chain(block_store, 3)
+        assert no_gap_streamlined(blocks[1], proposal_view=3)
+        assert not no_gap_streamlined(blocks[0], proposal_view=3)
+        assert not no_gap_streamlined(blocks[2], proposal_view=3)
+
+    def test_basic_requires_current_view_certificate(self, block_store):
+        blocks = build_chain(block_store, 2)
+        assert no_gap_basic(blocks[1], certificate_view=2, current_view=2)
+        assert not no_gap_basic(blocks[1], certificate_view=2, current_view=3)
+        assert not no_gap_basic(blocks[0], certificate_view=2, current_view=2)
+
+    def test_slotted_accepts_previous_slot_same_view(self, block_store):
+        parent = block_store.genesis
+        slot2 = Block.build(4, 2, parent.block_hash, 0)
+        assert no_gap_slotted(slot2, proposal_view=4, proposal_slot=3)
+        assert not no_gap_slotted(slot2, proposal_view=4, proposal_slot=4)
+
+    def test_slotted_accepts_previous_view_on_first_slot(self, block_store):
+        last_slot = Block.build(4, 7, block_store.genesis.block_hash, 0)
+        assert no_gap_slotted(last_slot, proposal_view=5, proposal_slot=1)
+        assert not no_gap_slotted(last_slot, proposal_view=6, proposal_slot=1)
+
+
+class TestSpeculationGuard:
+    def test_allows_speculation_when_both_rules_hold(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        spec_ledger.commit_chain(blocks[0])
+        guard = SpeculationGuard(spec_ledger)
+        decision = guard.check_streamlined(blocks[1], proposal_view=3)
+        assert decision
+        assert decision.reason == "ok"
+        assert guard.allowed_count == 1
+
+    def test_refuses_when_prefix_not_committed(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        guard = SpeculationGuard(spec_ledger)
+        decision = guard.check_streamlined(blocks[1], proposal_view=3)
+        assert not decision
+        assert decision.reason == "prefix-not-committed"
+        assert guard.refusals["prefix-not-committed"] == 1
+
+    def test_refuses_when_view_gap_exists(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        spec_ledger.commit_chain(blocks[0])
+        guard = SpeculationGuard(spec_ledger)
+        decision = guard.check_streamlined(blocks[1], proposal_view=5)
+        assert not decision
+        assert decision.reason == "no-gap"
+
+    def test_refuses_already_committed_block(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        spec_ledger.commit_chain(blocks[1])
+        guard = SpeculationGuard(spec_ledger)
+        decision = guard.check_streamlined(blocks[1], proposal_view=3)
+        assert not decision
+        assert decision.reason == "already-committed"
+
+    def test_slotted_guard_uses_slotted_no_gap(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 1)
+        guard = SpeculationGuard(spec_ledger)
+        # Same view, previous slot: allowed once prefix (genesis) is committed.
+        slot_block = Block.build(2, 3, block_store.genesis.block_hash, 0, [make_txn(1)])
+        block_store.add(slot_block)
+        assert guard.check_slotted(slot_block, proposal_view=2, proposal_slot=4)
+        assert not guard.check_slotted(slot_block, proposal_view=2, proposal_slot=6)
+
+
+class TestAppendixA1PrefixDilemma:
+    """Replay of the Appendix A.1 schedule: the rules must block unsafe speculation."""
+
+    def test_unsafe_prefix_speculation_is_blocked(self, spec_ledger, block_store):
+        genesis = block_store.genesis
+        guard = SpeculationGuard(spec_ledger)
+        # View 1: B1 extends genesis; its certificate P(1) is withheld from us.
+        block_b1 = Block.build(1, 1, genesis.block_hash, 1, [make_txn(1)])
+        block_store.add(block_b1)
+        # View 3: a Byzantine leader proposes B3 extending P(1); we receive P(3)
+        # and are asked to speculate B3 *and its prefix B1*.
+        block_b3 = Block.build(3, 1, block_b1.block_hash, 3, [make_txn(3)])
+        block_store.add(block_b3)
+        # The Prefix Speculation rule forbids it: B1 (the prefix) is not committed.
+        decision = guard.check_streamlined(block_b3, proposal_view=4)
+        assert not decision
+        assert decision.reason == "prefix-not-committed"
+
+    def test_no_gap_violation_is_blocked(self, spec_ledger, block_store):
+        genesis = block_store.genesis
+        guard = SpeculationGuard(spec_ledger)
+        block_b1 = Block.build(1, 1, genesis.block_hash, 1, [make_txn(1)])
+        block_store.add(block_b1)
+        # A certificate P(1) formed in view 1 reaches us only in view 5: there is
+        # a view gap, so a higher conflicting certificate might exist (it does,
+        # in the Appendix A schedule) and speculation must be refused.
+        decision = guard.check_streamlined(block_b1, proposal_view=5)
+        assert not decision
+        assert decision.reason == "no-gap"

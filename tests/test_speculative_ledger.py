@@ -1,0 +1,152 @@
+"""Unit tests for the speculative ledger (global/local ledger + rollback)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpeculationError
+from repro.ledger.block import Block
+from repro.ledger.kvstore import KVStateMachine
+from repro.ledger.speculative import SpeculativeLedger
+
+from tests.conftest import build_chain, make_txn
+
+
+def fork_of(block_store, parent, view, value="fork"):
+    """Create a sibling block extending *parent* with one conflicting write."""
+    txn = make_txn(view * 1000, key="contended", value=value)
+    fork = Block.build(view=view, slot=1, parent_hash=parent.block_hash, proposer=3, transactions=[txn])
+    block_store.add(fork)
+    return fork
+
+
+class TestCommit:
+    def test_commit_chain_executes_and_appends(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 3, txns_per_block=2)
+        outcomes = spec_ledger.commit_chain(blocks[-1])
+        assert [o.block.view for o in outcomes] == [1, 2, 3]
+        assert spec_ledger.committed.committed_txn_count == 6
+        assert spec_ledger.committed_head_hash == blocks[-1].block_hash
+
+    def test_commit_is_idempotent(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 1)
+        spec_ledger.commit_chain(blocks[0])
+        assert spec_ledger.commit_chain(blocks[0]) == []
+
+    def test_commit_refuses_fork_of_committed_chain(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        spec_ledger.commit_chain(blocks[1])
+        fork = fork_of(block_store, blocks[0], view=9)
+        with pytest.raises(SpeculationError):
+            spec_ledger.commit_chain(fork)
+
+    def test_commit_of_speculated_block_is_promoted_without_reexecution(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        spec_ledger.commit_chain(blocks[0])
+        spec_ledger.speculate(blocks[1])
+        digest_after_speculation = spec_ledger.state_digest()
+        outcome = spec_ledger.commit(blocks[1])
+        assert outcome.was_speculated
+        assert spec_ledger.state_digest() == digest_after_speculation
+        assert spec_ledger.is_committed(blocks[1].block_hash)
+
+
+class TestSpeculation:
+    def test_prefix_rule_blocks_speculation_on_uncommitted_prefix(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        with pytest.raises(SpeculationError):
+            spec_ledger.speculate(blocks[1])
+
+    def test_speculation_after_prefix_committed(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        spec_ledger.commit_chain(blocks[0])
+        results = spec_ledger.speculate(blocks[1])
+        assert len(results) == 1
+        assert spec_ledger.is_speculated(blocks[1].block_hash)
+        assert not spec_ledger.is_committed(blocks[1].block_hash)
+
+    def test_speculation_is_idempotent(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 1)
+        first = spec_ledger.speculate(blocks[0])
+        second = spec_ledger.speculate(blocks[0])
+        assert first == second
+        assert spec_ledger.speculated_block_count == 1
+
+    def test_speculative_head_tracks_suffix(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 1)
+        assert spec_ledger.speculative_head_hash == spec_ledger.committed_head_hash
+        spec_ledger.speculate(blocks[0])
+        assert spec_ledger.speculative_head_hash == blocks[0].block_hash
+
+
+class TestRollback:
+    def test_conflicting_speculation_triggers_rollback(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 1, txns_per_block=1)
+        machine_digest_before = spec_ledger.state_digest()
+        spec_ledger.speculate(blocks[0])
+        fork = fork_of(block_store, block_store.genesis, view=5)
+        spec_ledger.speculate(fork)
+        assert spec_ledger.rollback_count == 1
+        assert spec_ledger.is_speculated(fork.block_hash)
+        assert not spec_ledger.is_speculated(blocks[0].block_hash)
+        # State must reflect only the fork's effects now.
+        assert spec_ledger.state_digest() != machine_digest_before
+
+    def test_rollback_restores_state_machine_exactly(self, block_store):
+        machine = KVStateMachine()
+        ledger = SpeculativeLedger(machine, block_store)
+        blocks = build_chain(block_store, 1, txns_per_block=3)
+        digest_before = machine.state_digest()
+        ledger.speculate(blocks[0])
+        rolled_back = ledger.rollback_to_committed_head()
+        assert [b.block_hash for b in rolled_back] == [blocks[0].block_hash]
+        assert machine.state_digest() == digest_before
+        assert ledger.rolled_back_txns == 3
+
+    def test_rollback_if_conflicting_keeps_extending_blocks(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 2)
+        spec_ledger.commit_chain(blocks[0])
+        spec_ledger.speculate(blocks[1])
+        child = Block.build(3, 1, blocks[1].block_hash, 0, [make_txn(5)])
+        block_store.add(child)
+        assert spec_ledger.rollback_if_conflicting(child) == []
+        assert spec_ledger.is_speculated(blocks[1].block_hash)
+
+    def test_commit_of_conflicting_block_rolls_back_suffix(self, spec_ledger, block_store):
+        blocks = build_chain(block_store, 1)
+        spec_ledger.speculate(blocks[0])
+        fork = fork_of(block_store, block_store.genesis, view=6)
+        outcome = spec_ledger.commit(fork)
+        assert not outcome.was_speculated
+        assert spec_ledger.rollback_count == 1
+        assert spec_ledger.is_committed(fork.block_hash)
+
+    def test_rollback_with_empty_suffix_is_noop(self, spec_ledger):
+        assert spec_ledger.rollback_to_committed_head() == []
+        assert spec_ledger.rollback_count == 0
+
+
+class TestAppendixA2Scenario:
+    """The rollback scenario from Appendix A.2, replayed against the ledger."""
+
+    def test_withheld_certificate_forces_rollback_then_convergence(self, block_store):
+        machine = KVStateMachine()
+        ledger = SpeculativeLedger(machine, block_store)
+        genesis = block_store.genesis
+        # L1 proposes B1; only f replicas see P(1) and speculate B1.
+        block_b1 = Block.build(1, 1, genesis.block_hash, 1, [make_txn(1, key="contended", value="b1")])
+        block_store.add(block_b1)
+        ledger.speculate(block_b1)
+        assert ledger.is_speculated(block_b1.block_hash)
+        # L2 ignores P(1) and proposes conflicting B2 extending genesis; P(2) forms.
+        block_b2 = Block.build(2, 1, genesis.block_hash, 2, [make_txn(2, key="contended", value="b2")])
+        block_store.add(block_b2)
+        ledger.speculate(block_b2)
+        # The replica rolled back B1 and now reflects B2 only.
+        assert ledger.rollback_count == 1
+        assert not ledger.is_speculated(block_b1.block_hash)
+        assert machine.read("contended").startswith("b2")
+        # Eventually B2 commits; the ledger promotes the speculation.
+        outcome = ledger.commit(block_b2)
+        assert outcome.was_speculated
+        assert ledger.is_committed(block_b2.block_hash)
