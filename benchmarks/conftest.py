@@ -1,4 +1,17 @@
-"""Shared helpers for the benchmark suite."""
+"""Shared helpers for the benchmark suite.
+
+Every benchmark routes through the declarative scenario engine (the legacy
+``*_series`` builders are thin wrappers over
+:func:`repro.experiments.executor.execute_scenario`), so the environment
+knobs below act as suite-level overrides applied to every series:
+
+* ``REPRO_BENCH_SCALE`` — ``quick`` (default) runs a scaled-down grid,
+  ``full`` approaches the paper's grid (see :func:`pick`);
+* ``REPRO_BENCH_JOBS`` — process-pool width for independent runs (default:
+  serial);
+* ``REPRO_BENCH_REPEATS`` — repeats per grid point; rows then aggregate to
+  mean ± stddev over seeds ``seed .. seed+repeats-1``.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +24,10 @@ from repro.experiments.report import format_series, print_series
 
 #: "quick" (default) runs a scaled-down grid; "full" approaches the paper's grid.
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+#: Suite-level engine overrides injected into every benchmarked series.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
 
 #: Directory where each benchmark drops its rendered series table.
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -26,6 +43,16 @@ def pick(quick, full):
     return full if is_full() else quick
 
 
+def suite_overrides() -> dict:
+    """The engine overrides every series runs with (jobs / repeats)."""
+    overrides = {}
+    if JOBS > 1:
+        overrides["jobs"] = JOBS
+    if REPEATS > 1:
+        overrides["repeats"] = REPEATS
+    return overrides
+
+
 def _slugify(title: str) -> str:
     slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
     return slug[:80] or "series"
@@ -34,10 +61,15 @@ def _slugify(title: str) -> str:
 def run_series_once(benchmark, series_fn, title, **kwargs):
     """Run a scenario series exactly once under pytest-benchmark.
 
-    The rendered table is printed (visible with ``pytest -s``) and also written
-    to ``benchmarks/results/<slug>.txt`` so the regenerated figures survive
+    The series executes through the scenario engine with the suite-level
+    overrides from the environment (``REPRO_BENCH_JOBS`` /
+    ``REPRO_BENCH_REPEATS``) merged in.  The rendered table is printed
+    (visible with ``pytest -s``) and also written to
+    ``benchmarks/results/<slug>.txt`` so the regenerated figures survive
     output capturing.
     """
+    for key, value in suite_overrides().items():
+        kwargs.setdefault(key, value)
     result_holder = {}
 
     def runner():

@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "HotStuff-1: Linear Consensus with One-Phase Speculation — "
         "full Python reproduction (protocols, substrates, workloads, evaluation harness)"

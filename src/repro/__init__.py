@@ -27,9 +27,21 @@ from repro.core import (
     replica_class_for,
 )
 from repro.consensus.protocols import HotStuff2Replica, HotStuffReplica
-from repro.experiments import ExperimentSpec, RunResult, run_experiment
+from repro.experiments import (
+    ExperimentSpec,
+    ParallelRunner,
+    RunResult,
+    ScenarioSpec,
+    SuiteSpec,
+    default_suite,
+    execute_scenario,
+    execute_suite,
+    load_suite,
+    run_experiment,
+    scenario_spec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BasicHotStuff1Replica",
@@ -39,11 +51,19 @@ __all__ = [
     "HotStuffReplica",
     "MetricsSummary",
     "PROTOCOLS",
+    "ParallelRunner",
     "ProtocolConfig",
     "RunResult",
+    "ScenarioSpec",
     "SlottedHotStuff1Replica",
+    "SuiteSpec",
     "__version__",
     "client_quorum_for",
+    "default_suite",
+    "execute_scenario",
+    "execute_suite",
+    "load_suite",
     "replica_class_for",
     "run_experiment",
+    "scenario_spec",
 ]

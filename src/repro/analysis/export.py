@@ -1,4 +1,10 @@
-"""Exporting experiment series to CSV and JSON."""
+"""Exporting experiment series (and whole suite results) to CSV and JSON.
+
+Rows are flat dicts; aggregated rows produced by the scenario engine simply
+carry extra ``*_std`` and ``repeats`` columns, which flow through both
+formats unchanged (column order follows first appearance, so each ``_std``
+column lands right next to its metric).
+"""
 
 from __future__ import annotations
 
@@ -6,7 +12,8 @@ import csv
 import io
 import json
 import os
-from typing import Dict, List, Sequence
+import re
+from typing import Dict, List, Mapping, Sequence
 
 
 def _columns(rows: Sequence[Dict]) -> List[str]:
@@ -49,3 +56,23 @@ def write_rows(rows: Sequence[Dict], path: str) -> str:
     with open(path, "w") as handle:
         handle.write(payload)
     return path
+
+
+def write_suite(
+    results: Mapping[str, Sequence[Dict]], out_dir: str, fmt: str = "csv"
+) -> List[str]:
+    """Write one file per scenario of a suite result into *out_dir*.
+
+    *results* is the ``{scenario name: rows}`` mapping returned by
+    :func:`repro.experiments.executor.execute_suite`; *fmt* is ``"csv"`` or
+    ``"json"``.  Returns the list of paths written, one per scenario, named
+    after a slug of the scenario name.
+    """
+    if fmt not in ("csv", "json"):
+        raise ValueError(f"unsupported suite export format {fmt!r} (use 'csv' or 'json')")
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for name, rows in results.items():
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", name).strip("-") or "scenario"
+        paths.append(write_rows(rows, os.path.join(out_dir, f"{slug}.{fmt}")))
+    return paths

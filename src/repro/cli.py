@@ -4,7 +4,10 @@ Usage (installed as a module)::
 
     python -m repro run --protocol hotstuff-1 --replicas 16 --duration 0.5
     python -m repro compare --replicas 16 --batch 100
-    python -m repro figure fig8-scalability --out results.csv
+    python -m repro figure fig8-scalability --jobs 4 --repeats 3 --out results.csv
+    python -m repro suite fig8-scalability fig10-rollback --jobs 4
+    python -m repro suite --config suite.json --out-dir results/
+    python -m repro grid --config suite.json
     python -m repro predict --replicas 32 --batch 100
 
 Sub-commands
@@ -15,8 +18,16 @@ Sub-commands
     Run every evaluation protocol under the same configuration and print the
     comparison table (plus an ASCII latency chart).
 ``figure``
-    Regenerate one of the paper's figures via the scenario builders and
-    optionally export the rows to CSV/JSON.
+    Regenerate one of the paper's figures via the declarative scenario engine
+    and optionally export the rows to CSV/JSON.
+``suite``
+    Run several scenarios as one campaign — either registered figures by name
+    or a JSON :class:`~repro.experiments.spec.SuiteSpec` config — fanned out
+    across a process pool.
+``grid``
+    Expand a suite into its flat run list (scenario × point × protocol ×
+    repeat, with seeds) without executing anything; the dry-run view of what
+    ``suite`` would do.
 ``predict``
     Print the closed-form performance-model predictions for all protocols.
 """
@@ -28,27 +39,32 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.charts import ascii_bar_chart
-from repro.analysis.export import write_rows
+from repro.analysis.export import write_rows, write_suite
 from repro.analysis.model import AnalyticalModel
 from repro.consensus.config import ProtocolConfig
 from repro.core.registry import EVALUATION_PROTOCOLS, PROTOCOLS
-from repro.experiments.report import format_series
+from repro.errors import ConfigurationError
+from repro.experiments.executor import execute_scenario, execute_suite
+from repro.experiments.report import format_series, format_suite
 from repro.experiments.runner import ExperimentSpec, run_experiment
-from repro.experiments import scenarios
+from repro.experiments.spec import SuiteSpec, expand_suite, load_suite
+from repro.experiments.scenarios import scenario_spec
 
-#: Figure name -> (scenario builder, scaled-down default kwargs).
-FIGURES = {
-    "fig8-scalability": (scenarios.scalability_series, {"replica_counts": (4, 16, 32)}),
-    "fig8-batching": (scenarios.batching_series, {"batch_sizes": (100, 1000, 5000), "n": 8}),
-    "fig8-geo-ycsb": (scenarios.geo_scale_series, {"workload": "ycsb", "n": 16, "region_counts": (2, 5)}),
-    "fig8-geo-tpcc": (scenarios.geo_scale_series, {"workload": "tpcc", "n": 16, "region_counts": (2, 5)}),
-    "fig9-delay": (scenarios.delay_injection_series, {"n": 13, "delays_ms": (5.0, 50.0)}),
-    "fig9-geo": (scenarios.two_region_split_series, {"n": 13}),
-    "fig10-slowness": (scenarios.leader_slowness_series, {"n": 16, "slow_leader_counts": (0, 1, 4)}),
-    "fig10-tailfork": (scenarios.tail_forking_series, {"n": 16, "faulty_counts": (0, 1, 4)}),
-    "fig10-rollback": (scenarios.rollback_attack_series, {"n": 16, "faulty_counts": (0, 2, 4)}),
-    "latency-breakdown": (scenarios.latency_breakdown_series, {"replica_counts": (4, 16)}),
-    "ablation-slotting": (scenarios.slotting_ablation_series, {"n": 8}),
+#: Figure name -> scaled-down default overrides applied by the CLI so every
+#: figure regenerates in seconds on a laptop.  The full-scale defaults live in
+#: the spec factories (:data:`repro.experiments.scenarios.SCENARIOS`).
+FIGURES: Dict[str, Dict] = {
+    "fig8-scalability": {"replica_counts": (4, 16, 32)},
+    "fig8-batching": {"batch_sizes": (100, 1000, 5000), "n": 8},
+    "fig8-geo-ycsb": {"n": 16, "region_counts": (2, 5)},
+    "fig8-geo-tpcc": {"n": 16, "region_counts": (2, 5)},
+    "fig9-delay": {"n": 13, "delays_ms": (5.0, 50.0)},
+    "fig9-geo": {"n": 13},
+    "fig10-slowness": {"n": 16, "slow_leader_counts": (0, 1, 4)},
+    "fig10-tailfork": {"n": 16, "faulty_counts": (0, 1, 4)},
+    "fig10-rollback": {"n": 16, "faulty_counts": (0, 2, 4)},
+    "latency-breakdown": {"replica_counts": (4, 16)},
+    "ablation-slotting": {"n": 8},
 }
 
 
@@ -71,6 +87,35 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("name", choices=sorted(FIGURES))
     figure_parser.add_argument("--out", default=None, help="write rows to a .csv or .json file")
     figure_parser.add_argument("--duration", type=float, default=None, help="simulated seconds per run")
+    _add_engine_arguments(figure_parser)
+
+    suite_parser = subparsers.add_parser(
+        "suite", help="run several scenarios as one (optionally parallel) campaign"
+    )
+    suite_parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="figure",
+        help=f"registered figures to include (default: all); available: {', '.join(sorted(FIGURES))}",
+    )
+    suite_parser.add_argument(
+        "--config", default=None, help="JSON SuiteSpec file (overrides the name list)"
+    )
+    suite_parser.add_argument("--duration", type=float, default=None, help="simulated seconds per run")
+    suite_parser.add_argument("--out-dir", default=None, help="write one file per scenario here")
+    suite_parser.add_argument("--format", choices=("csv", "json"), default="csv",
+                              help="export format for --out-dir")
+    _add_engine_arguments(suite_parser)
+
+    grid_parser = subparsers.add_parser(
+        "grid", help="expand a suite into its flat run list without executing"
+    )
+    grid_parser.add_argument("names", nargs="*", metavar="figure",
+                             help="registered figures to expand (default: all)")
+    grid_parser.add_argument("--config", default=None, help="JSON SuiteSpec file")
+    grid_parser.add_argument("--out", default=None, help="write the run list to .csv or .json")
+    grid_parser.add_argument("--repeats", type=int, default=None)
+    grid_parser.add_argument("--seed", type=int, default=None)
 
     predict_parser = subparsers.add_parser("predict", help="closed-form performance predictions")
     predict_parser.add_argument("--replicas", type=int, default=32)
@@ -89,6 +134,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--view-timeout", type=float, default=0.03)
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for independent runs (default: serial)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="repeats per grid point; seeds are seed, seed+1, ...")
+    parser.add_argument("--seed", type=int, default=None, help="base RNG seed")
+
+
 def _spec_from_args(args: argparse.Namespace, protocol: str) -> ExperimentSpec:
     return ExperimentSpec(
         protocol=protocol,
@@ -100,6 +153,48 @@ def _spec_from_args(args: argparse.Namespace, protocol: str) -> ExperimentSpec:
         seed=args.seed,
         view_timeout=args.view_timeout,
     )
+
+
+def _clamp_warmup(scenario) -> None:
+    """Keep a scenario valid when a CLI ``--duration`` undercuts its warmup.
+
+    Scenarios that never set a warmup (e.g. hand-written configs relying on
+    the point builder's default) get one pinned to ``duration / 4`` so the
+    builder default cannot exceed the overridden duration.
+    """
+    duration = scenario.params.get("duration")
+    if duration is None:
+        return
+    warmup = scenario.params.get("warmup")
+    if warmup is None or warmup >= duration:
+        scenario.params["warmup"] = round(duration / 4, 6)
+
+
+def _suite_from_args(args: argparse.Namespace) -> SuiteSpec:
+    """Resolve the suite a ``suite`` or ``grid`` invocation refers to."""
+    if args.config:
+        suite = load_suite(args.config)
+    else:
+        names = list(args.names) or list(FIGURES)
+        for name in names:
+            if name not in FIGURES:
+                raise ConfigurationError(
+                    f"unknown figure {name!r}; available: {sorted(FIGURES)}"
+                )
+        suite = SuiteSpec(
+            name="cli-suite",
+            scenarios=[scenario_spec(name, **FIGURES[name]) for name in names],
+        )
+    if args.repeats is not None:
+        suite.repeats = args.repeats
+    if args.seed is not None:
+        suite.seed = args.seed
+    if getattr(args, "duration", None) is not None:
+        suite.overrides = {**suite.overrides, "duration": args.duration}
+        for scenario in suite.scenarios:
+            scenario.params["duration"] = args.duration
+            _clamp_warmup(scenario)
+    return suite
 
 
 def command_run(args: argparse.Namespace) -> int:
@@ -116,13 +211,7 @@ def command_compare(args: argparse.Namespace) -> int:
     for protocol in EVALUATION_PROTOCOLS:
         result = run_experiment(_spec_from_args(args, protocol))
         rows.append(
-            {
-                "protocol": protocol,
-                "throughput_tps": round(result.throughput, 1),
-                "avg_latency_ms": round(result.latency_ms, 3),
-                "p99_latency_ms": round(result.summary.p99_latency * 1000, 3),
-                "speculative_executions": result.summary.speculative_executions,
-            }
+            result.to_row(speculative_executions=result.summary.speculative_executions)
         )
     print(format_series(rows, title=f"Protocol comparison — n={args.replicas}, batch={args.batch}"))
     print(ascii_bar_chart(rows, "protocol", "avg_latency_ms", title="average client latency (ms)"))
@@ -130,13 +219,44 @@ def command_compare(args: argparse.Namespace) -> int:
 
 
 def command_figure(args: argparse.Namespace) -> int:
-    """Regenerate a figure series and optionally export it."""
-    builder, defaults = FIGURES[args.name]
-    kwargs = dict(defaults)
+    """Regenerate a figure series through the scenario engine and optionally export it."""
+    overrides = dict(FIGURES[args.name])
     if args.duration is not None:
-        kwargs["duration"] = args.duration
-    rows = builder(**kwargs)
+        overrides["duration"] = args.duration
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    spec = scenario_spec(args.name, **overrides)
+    _clamp_warmup(spec)
+    rows = execute_scenario(spec, jobs=args.jobs)
     print(format_series(rows, title=args.name))
+    if args.out:
+        path = write_rows(rows, args.out)
+        print(f"wrote {len(rows)} rows to {path}")
+    return 0
+
+
+def command_suite(args: argparse.Namespace) -> int:
+    """Run a whole scenario suite, optionally across a process pool."""
+    suite = _suite_from_args(args)
+    total = suite.num_runs()
+    print(f"suite {suite.name!r}: {len(suite.scenarios)} scenarios, {total} runs"
+          f" (jobs={args.jobs or suite.jobs or 1})")
+    results = execute_suite(suite, jobs=args.jobs)
+    print(format_suite(results))
+    if args.out_dir:
+        paths = write_suite(results, args.out_dir, fmt=args.format)
+        print(f"wrote {len(paths)} scenario files to {args.out_dir}")
+    return 0
+
+
+def command_grid(args: argparse.Namespace) -> int:
+    """Print (or export) the flat run list a suite expands to."""
+    suite = _suite_from_args(args)
+    requests = expand_suite(suite)
+    rows = [request.describe() for request in requests]
+    print(format_series(rows, title=f"suite {suite.name!r} — {len(rows)} runs"))
     if args.out:
         path = write_rows(rows, args.out)
         print(f"wrote {len(rows)} rows to {path}")
@@ -163,9 +283,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": command_run,
         "compare": command_compare,
         "figure": command_figure,
+        "suite": command_suite,
+        "grid": command_grid,
         "predict": command_predict,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -5,21 +5,49 @@ into a full simulated deployment (replicas, clients, network, faults), runs it
 for a fixed simulated duration and returns a
 :class:`~repro.consensus.metrics.MetricsSummary`.
 
-:mod:`repro.experiments.scenarios` contains one scenario builder per figure of
-the paper's evaluation (§7); :mod:`repro.experiments.report` renders the
-results as the same series the paper plots.
+On top of single runs sits the scenario engine:
+
+* :mod:`repro.experiments.spec` — pure-data :class:`ScenarioSpec` /
+  :class:`SuiteSpec` descriptions (JSON-serializable) and the grid expander
+  that flattens them into deterministic run lists;
+* :mod:`repro.experiments.executor` — serial and process-pool runners plus
+  per-repeat aggregation (mean / stddev rows);
+* :mod:`repro.experiments.scenarios` — one registered spec per figure of the
+  paper's evaluation (§7), with the legacy ``*_series`` builders as thin
+  wrappers;
+* :mod:`repro.experiments.report` — renders results as the same series the
+  paper plots.
 """
 
-from repro.experiments.report import format_series, print_series
+from repro.experiments.executor import (
+    ParallelRunner,
+    SerialRunner,
+    aggregate_records,
+    execute_scenario,
+    execute_suite,
+)
+from repro.experiments.report import format_series, format_suite, print_series
 from repro.experiments.runner import ExperimentSpec, RunResult, run_experiment
+from repro.experiments.spec import (
+    RunRecord,
+    RunRequest,
+    ScenarioSpec,
+    SuiteSpec,
+    expand_scenario,
+    expand_suite,
+    load_suite,
+)
 from repro.experiments.scenarios import (
+    SCENARIOS,
     batching_series,
+    default_suite,
     delay_injection_series,
     geo_scale_series,
     latency_breakdown_series,
     leader_slowness_series,
     rollback_attack_series,
     scalability_series,
+    scenario_spec,
     slotting_ablation_series,
     tail_forking_series,
     two_region_split_series,
@@ -27,17 +55,33 @@ from repro.experiments.scenarios import (
 
 __all__ = [
     "ExperimentSpec",
+    "ParallelRunner",
+    "RunRecord",
+    "RunRequest",
     "RunResult",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "SerialRunner",
+    "SuiteSpec",
+    "aggregate_records",
     "batching_series",
+    "default_suite",
     "delay_injection_series",
+    "execute_scenario",
+    "execute_suite",
+    "expand_scenario",
+    "expand_suite",
     "format_series",
+    "format_suite",
     "geo_scale_series",
     "latency_breakdown_series",
     "leader_slowness_series",
+    "load_suite",
     "print_series",
     "rollback_attack_series",
     "run_experiment",
     "scalability_series",
+    "scenario_spec",
     "slotting_ablation_series",
     "tail_forking_series",
     "two_region_split_series",

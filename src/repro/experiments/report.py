@@ -5,15 +5,45 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 
+def merge_uncertainty(rows: Sequence[Dict]) -> List[Dict]:
+    """Fold ``<metric>_std`` columns into their base column as ``mean ±std``.
+
+    Rows produced by the scenario engine with ``repeats > 1`` carry a
+    standard-deviation column next to every aggregated metric; for display we
+    collapse the pair into one ``value ±std`` cell.  Rows without ``_std``
+    columns (single runs) pass through untouched, so historical tables render
+    exactly as before.
+    """
+    merged: List[Dict] = []
+    for row in rows:
+        std_keys = {key for key in row if key.endswith("_std") and key[: -len("_std")] in row}
+        if not std_keys:
+            merged.append(dict(row))
+            continue
+        out: Dict = {}
+        for key, value in row.items():
+            if key in std_keys:
+                continue
+            std_key = f"{key}_std"
+            if std_key in std_keys:
+                out[key] = f"{value} ±{row[std_key]}"
+            else:
+                out[key] = value
+        merged.append(out)
+    return merged
+
+
 def format_series(rows: Sequence[Dict], title: str = "") -> str:
     """Render *rows* (a list of flat dicts) as an aligned text table.
 
     Column order follows first appearance across the rows, so scenario-specific
     columns (``n``, ``batch_size``, ``delay_ms`` ...) show up next to the
-    metrics they modify.
+    metrics they modify.  Aggregated rows (mean plus ``*_std`` deviation
+    columns) render as ``mean ±std`` cells.
     """
     if not rows:
         return f"{title}\n(no data)\n" if title else "(no data)\n"
+    rows = merge_uncertainty(rows)
     columns: List[str] = []
     for row in rows:
         for key in row:
@@ -34,6 +64,13 @@ def format_series(rows: Sequence[Dict], title: str = "") -> str:
             "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
         )
     return "\n".join(lines) + "\n"
+
+
+def format_suite(results: Dict[str, Sequence[Dict]]) -> str:
+    """Render a whole suite result (``{scenario name: rows}``) as stacked tables."""
+    if not results:
+        return "(no scenarios)\n"
+    return "\n".join(format_series(rows, title=name) for name, rows in results.items())
 
 
 def print_series(rows: Sequence[Dict], title: str = "") -> None:

@@ -16,7 +16,7 @@ from repro.consensus.metrics import MetricsCollector, MetricsSummary
 from repro.consensus.replica import BaseReplica
 from repro.core.registry import client_quorum_for, replica_class_for
 from repro.crypto.threshold import ThresholdScheme
-from repro.errors import SafetyViolationError
+from repro.errors import ConfigurationError, SafetyViolationError
 from repro.net.faults import FaultInjector
 from repro.net.latency import ConstantLatency, GeoLatencyModel, LatencyModel
 from repro.sim.scheduler import Simulator
@@ -60,6 +60,40 @@ class ExperimentSpec:
         """Short identifier used in series tables."""
         return f"{self.protocol}/n={self.n}/batch={self.batch_size}/{self.workload}"
 
+    def validate(self) -> "ExperimentSpec":
+        """Check the spec for configuration errors before any simulator state exists.
+
+        Raises :class:`~repro.errors.ConfigurationError` with a pointed
+        message instead of letting a bad value fail deep inside the
+        simulator.  Returns ``self`` so call sites can chain.
+        """
+        from repro.core.registry import PROTOCOLS
+        from repro.workloads.base import available_workloads
+
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; available: {sorted(PROTOCOLS)}"
+            )
+        if self.n < 4:
+            raise ConfigurationError(
+                f"n must be >= 4 (BFT needs n >= 3f + 1 with f >= 1), got {self.n}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.warmup < 0 or self.warmup >= self.duration:
+            raise ConfigurationError(
+                f"warmup ({self.warmup}) must satisfy 0 <= warmup < duration ({self.duration})"
+            )
+        if self.workload not in available_workloads():
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; available: {available_workloads()}"
+            )
+        if self.view_timeout <= 0:
+            raise ConfigurationError(f"view_timeout must be positive, got {self.view_timeout}")
+        return self
+
 
 @dataclass
 class RunResult:
@@ -80,6 +114,23 @@ class RunResult:
     def latency_ms(self) -> float:
         """Average client latency in milliseconds (post-warmup)."""
         return self.summary.avg_latency * 1000.0
+
+    def to_row(self, **extra) -> Dict:
+        """Flatten the result into a report row (plus scenario-specific *extra* columns).
+
+        This is the single row shape shared by the legacy scenario builders,
+        the declarative engine and the CLI tables.
+        """
+        row = {
+            "protocol": self.spec.protocol,
+            "throughput_tps": round(self.throughput, 1),
+            "avg_latency_ms": round(self.latency_ms, 3),
+            "p99_latency_ms": round(self.summary.p99_latency * 1000.0, 3),
+            "committed_txns": self.summary.committed_txns,
+            "rollbacks": self.summary.rollbacks,
+        }
+        row.update(extra)
+        return row
 
 
 def _build_latency_model(spec: ExperimentSpec) -> LatencyModel:
@@ -112,8 +163,11 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
     Raises :class:`SafetyViolationError` if ``spec.check_safety`` is set and
     the committed ledgers of two honest replicas diverge (this never happens
     with the implemented behaviours; the check guards the reproduction
-    itself).
+    itself).  The spec is validated first, so configuration mistakes raise
+    :class:`~repro.errors.ConfigurationError` before any simulator state is
+    built.
     """
+    spec.validate()
     sim = Simulator(seed=spec.seed)
     config = ProtocolConfig(
         n=spec.n,

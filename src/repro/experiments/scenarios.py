@@ -1,8 +1,19 @@
-"""Scenario builders: one per figure of the paper's evaluation (§7).
+"""Scenario definitions: one declarative spec per figure of the paper's §7.
 
-Every builder sweeps the parameter the corresponding figure varies, runs one
-experiment per (protocol, point) pair, and returns a list of plain-dict rows
-(protocol, x-value, throughput, latency, plus any figure-specific counters).
+Historically every figure had a bespoke builder function with hand-written
+nested loops.  Those builders are now thin wrappers: each figure is a
+:class:`~repro.experiments.spec.ScenarioSpec` (protocols × swept axes ×
+repeats, all plain data) produced by a ``*_spec`` factory, and a *point
+builder* registered for the figure's ``kind`` maps one grid point to the
+concrete :class:`~repro.experiments.runner.ExperimentSpec` the simulator
+consumes.  The :data:`SCENARIOS` registry maps figure names to factories, so
+the CLI, the benchmark harness and JSON suite configs all share one source of
+truth.
+
+The legacy ``*_series`` functions keep their signatures (plus ``repeats`` /
+``jobs``) and now route through :func:`repro.experiments.executor.execute_scenario`,
+which fans independent runs across a process pool when ``jobs > 1``.
+
 The defaults are scaled down (shorter simulated duration, the same parameter
 grid) so the whole suite runs on a laptop; pass larger ``duration`` /
 ``replica_counts`` etc. to approach the paper's full setup.
@@ -10,7 +21,7 @@ grid) so the whole suite runs on a laptop; pass larger ``duration`` /
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.consensus.byzantine import (
     RollbackAttackBehavior,
@@ -18,29 +29,557 @@ from repro.consensus.byzantine import (
     TailForkingBehavior,
 )
 from repro.core.registry import EVALUATION_PROTOCOLS
-from repro.experiments.runner import ExperimentSpec, RunResult, run_experiment
-from repro.net.latency import DEFAULT_REGION_ORDER
+from repro.errors import ConfigurationError
+from repro.experiments.executor import execute_scenario
+from repro.experiments.runner import ExperimentSpec, RunResult
+from repro.experiments.spec import (
+    RunRecord,
+    ScenarioSpec,
+    SuiteSpec,
+    point_builder,
+    post_processor,
+)
+from repro.net.latency import DEFAULT_REGION_ORDER, GeoLatencyModel
 
 #: Default protocols compared in every figure.
 DEFAULT_PROTOCOLS: Sequence[str] = EVALUATION_PROTOCOLS
 
 
 def _row(result: RunResult, **extra) -> Dict:
-    """Convert a run result into a flat report row."""
-    row = {
-        "protocol": result.spec.protocol,
-        "throughput_tps": round(result.throughput, 1),
-        "avg_latency_ms": round(result.latency_ms, 3),
-        "p99_latency_ms": round(result.summary.p99_latency * 1000.0, 3),
-        "committed_txns": result.summary.committed_txns,
-        "rollbacks": result.summary.rollbacks,
-    }
-    row.update(extra)
-    return row
+    """Convert a run result into a flat report row.
+
+    Kept as a (deprecated) alias of :meth:`RunResult.to_row` for callers of
+    the pre-engine API.
+    """
+    return result.to_row(**extra)
 
 
 # --------------------------------------------------------------------------
-# Figure 8 (a, b): scalability with the number of replicas
+# Point builders: grid point -> ExperimentSpec + extra report columns
+# --------------------------------------------------------------------------
+@point_builder("scalability")
+def _build_scalability(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=p["n"],
+        batch_size=p.get("batch_size", 100),
+        duration=p.get("duration", 0.5),
+        warmup=p.get("warmup", 0.1),
+        seed=p.get("seed", 1),
+    )
+    return spec, {"n": p["n"]}
+
+
+@point_builder("batching")
+def _build_batching(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=p.get("n", 32),
+        batch_size=p["batch_size"],
+        duration=p.get("duration", 0.4),
+        warmup=p.get("warmup", 0.1),
+        seed=p.get("seed", 1),
+    )
+    return spec, {"batch_size": p["batch_size"]}
+
+
+@point_builder("geo-scale")
+def _build_geo_scale(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    region_count = p["region_count"]
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=p.get("n", 32),
+        batch_size=p.get("batch_size", 100),
+        workload=p.get("workload", "ycsb"),
+        duration=p.get("duration", 3.0),
+        warmup=p.get("warmup", 0.5),
+        seed=p.get("seed", 1),
+        regions=list(DEFAULT_REGION_ORDER[:region_count]),
+        view_timeout=p.get("view_timeout", 1.0),
+        delta=p.get("delta", 0.3),
+    )
+    return spec, {"regions": region_count, "workload": spec.workload}
+
+
+@point_builder("delay-injection")
+def _build_delay_injection(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    n = p.get("n", 31)
+    delay_ms = p["delay_ms"]
+    impacted_count = p["impacted"]
+    impacted = list(range(n - impacted_count, n))
+    duration = p.get("duration", 0.5)
+    horizon = max(duration, 6 * delay_ms / 1000.0)
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=n,
+        batch_size=p.get("batch_size", 100),
+        duration=horizon,
+        warmup=min(p.get("warmup", 0.1), horizon / 4),
+        seed=p.get("seed", 1),
+        delay_injection={"impacted": impacted, "extra_delay": delay_ms / 1000.0},
+        view_timeout=max(0.01, 4 * delay_ms / 1000.0),
+        delta=max(0.001, delay_ms / 1000.0),
+    )
+    return spec, {"delay_ms": delay_ms, "impacted": impacted_count}
+
+
+@point_builder("two-region-split")
+def _build_two_region_split(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    n = p.get("n", 31)
+    remote_count = p["london_replicas"]
+    placement = {
+        replica_id: ("london" if replica_id >= n - remote_count else "virginia")
+        for replica_id in range(n)
+    }
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=n,
+        batch_size=p.get("batch_size", 100),
+        duration=p.get("duration", 3.0),
+        warmup=p.get("warmup", 0.5),
+        seed=p.get("seed", 1),
+        latency_model=GeoLatencyModel(placement, default_region="virginia"),
+        client_region="virginia",
+        view_timeout=p.get("view_timeout", 0.5),
+        delta=p.get("delta", 0.08),
+    )
+    return spec, {"london_replicas": remote_count}
+
+
+@point_builder("leader-slowness")
+def _build_leader_slowness(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    view_timeout = p["view_timeout"]
+    slow_count = p["slow_leaders"]
+    behaviors = {
+        replica_id: SlowLeaderBehavior(margin=4 * 0.0005 + 0.0005)
+        for replica_id in range(slow_count)
+    }
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=p.get("n", 32),
+        batch_size=p.get("batch_size", 100),
+        duration=max(p.get("duration", 1.0), 20 * view_timeout),
+        warmup=p.get("warmup", 0.2),
+        seed=p.get("seed", 1),
+        behaviors=behaviors,
+        view_timeout=view_timeout,
+    )
+    return spec, {"slow_leaders": slow_count, "view_timeout_ms": view_timeout * 1000}
+
+
+@point_builder("tail-forking")
+def _build_tail_forking(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    faulty_count = p["faulty_leaders"]
+    behaviors = {replica_id: TailForkingBehavior() for replica_id in range(faulty_count)}
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=p.get("n", 32),
+        batch_size=p.get("batch_size", 100),
+        duration=p.get("duration", 1.0),
+        warmup=p.get("warmup", 0.2),
+        seed=p.get("seed", 1),
+        behaviors=behaviors,
+    )
+    return spec, {"faulty_leaders": faulty_count}
+
+
+@point_builder("rollback-attack")
+def _build_rollback_attack(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    n = p.get("n", 32)
+    faulty_count = p["faulty_leaders"]
+    f = (n - 1) // 3
+    colluders = list(range(faulty_count))
+    victims = list(range(faulty_count, faulty_count + min(f, n - faulty_count - 1)))
+    behaviors = {
+        replica_id: RollbackAttackBehavior(victims=victims, colluders=colluders)
+        for replica_id in colluders
+    }
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=n,
+        batch_size=p.get("batch_size", 100),
+        duration=p.get("duration", 1.0),
+        warmup=p.get("warmup", 0.2),
+        seed=p.get("seed", 1),
+        behaviors=behaviors,
+    )
+    return spec, {"faulty_leaders": faulty_count}
+
+
+@point_builder("latency-breakdown")
+def _build_latency_breakdown(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    return _build_scalability(protocol, p)
+
+
+@post_processor("latency-breakdown")
+def _reduce_latency_breakdown(
+    rows: List[Dict], records: List[RunRecord], scenario: ScenarioSpec
+) -> List[Dict]:
+    """Insert the paper's latency-reduction rows after each replica count's block.
+
+    Reductions are derived from the unrounded per-record latencies (averaged
+    over repeats), matching the historical builder which computed them before
+    any rounding.
+    """
+    protocols = list(scenario.protocols)
+    if "hotstuff-1" not in protocols:
+        return rows
+    latency: Dict[int, Dict[str, List[float]]] = {}
+    for record in records:
+        n = record.row.get("n")
+        latency.setdefault(n, {}).setdefault(record.row["protocol"], []).append(
+            record.metrics["latency_ms"]
+        )
+    out: List[Dict] = []
+    per_n = len(protocols)
+    for start in range(0, len(rows), per_n):
+        block = rows[start : start + per_n]
+        out.extend(block)
+        n = block[0].get("n")
+        baseline = {
+            protocol: sum(samples) / len(samples)
+            for protocol, samples in latency.get(n, {}).items()
+        }
+        for other in ("hotstuff", "hotstuff-2"):
+            if other in baseline and baseline[other] > 0:
+                reduction = 100.0 * (1.0 - baseline["hotstuff-1"] / baseline[other])
+                out.append(
+                    {
+                        "protocol": f"hotstuff-1 vs {other}",
+                        "n": n,
+                        "latency_reduction_pct": round(reduction, 1),
+                    }
+                )
+    return out
+
+
+@point_builder("slotting-ablation")
+def _build_slotting_ablation(
+    protocol: Optional[str], p: Dict[str, Any]
+) -> Tuple[ExperimentSpec, Dict]:
+    # The variant axis carries (protocol, speculation flag, label); the
+    # scenario declares no protocol axis of its own.
+    variant_protocol, speculation, label = p["variant"]
+    slow_count = p.get("slow_leader_count", 4)
+    behaviors = {replica_id: SlowLeaderBehavior() for replica_id in range(slow_count)}
+    spec = ExperimentSpec(
+        protocol=variant_protocol,
+        n=p.get("n", 16),
+        batch_size=p.get("batch_size", 100),
+        duration=p.get("duration", 1.0),
+        warmup=p.get("warmup", 0.2),
+        seed=p.get("seed", 1),
+        behaviors=behaviors,
+        speculation_enabled=bool(speculation),
+    )
+    return spec, {"variant": label, "slow_leaders": slow_count}
+
+
+# --------------------------------------------------------------------------
+# Spec factories: one per figure, defaults matching the legacy builders
+# --------------------------------------------------------------------------
+def scalability_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    replica_counts: Sequence[int] = (4, 16, 32, 64),
+    batch_size: int = 100,
+    duration: float = 0.5,
+    warmup: float = 0.1,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Fig. 8 (a, b): throughput/latency versus the number of replicas."""
+    return ScenarioSpec(
+        name="fig8-scalability",
+        kind="scalability",
+        protocols=tuple(protocols),
+        axes={"n": list(replica_counts)},
+        params={"batch_size": batch_size, "duration": duration, "warmup": warmup},
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def batching_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    batch_sizes: Sequence[int] = (100, 1000, 2000, 5000, 10000),
+    n: int = 32,
+    duration: float = 0.4,
+    warmup: float = 0.1,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Fig. 8 (c, d): throughput/latency versus batch size at fixed n."""
+    return ScenarioSpec(
+        name="fig8-batching",
+        kind="batching",
+        protocols=tuple(protocols),
+        axes={"batch_size": list(batch_sizes)},
+        params={"n": n, "duration": duration, "warmup": warmup},
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def geo_scale_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    region_counts: Sequence[int] = (2, 3, 4, 5),
+    workload: str = "ycsb",
+    n: int = 32,
+    batch_size: int = 100,
+    duration: float = 3.0,
+    warmup: float = 0.5,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Fig. 8 (e-h): geo-scale deployments across 2-5 regions."""
+    return ScenarioSpec(
+        name=f"fig8-geo-{workload}",
+        kind="geo-scale",
+        protocols=tuple(protocols),
+        axes={"region_count": list(region_counts)},
+        params={
+            "workload": workload,
+            "n": n,
+            "batch_size": batch_size,
+            "duration": duration,
+            "warmup": warmup,
+        },
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def delay_injection_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    delays_ms: Sequence[float] = (1.0, 5.0, 50.0, 500.0),
+    impacted_counts: Optional[Sequence[int]] = None,
+    n: int = 31,
+    batch_size: int = 100,
+    duration: float = 0.5,
+    warmup: float = 0.1,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Fig. 9 (a-d, f-i): delays injected on k replicas."""
+    f = (n - 1) // 3
+    if impacted_counts is None:
+        impacted_counts = (0, f, f + 1, n - f - 1, n - f, n)
+    return ScenarioSpec(
+        name="fig9-delay",
+        kind="delay-injection",
+        protocols=tuple(protocols),
+        axes={"delay_ms": list(delays_ms), "impacted": list(impacted_counts)},
+        params={"n": n, "batch_size": batch_size, "duration": duration, "warmup": warmup},
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def two_region_split_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    remote_counts: Optional[Sequence[int]] = None,
+    n: int = 31,
+    batch_size: int = 100,
+    duration: float = 3.0,
+    warmup: float = 0.5,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Fig. 9 (e, j): Virginia/London split with clients in Virginia."""
+    f = (n - 1) // 3
+    if remote_counts is None:
+        remote_counts = (0, f, f + 1, n - f - 1, n - f, n)
+    return ScenarioSpec(
+        name="fig9-geo",
+        kind="two-region-split",
+        protocols=tuple(protocols),
+        axes={"london_replicas": list(remote_counts)},
+        params={"n": n, "batch_size": batch_size, "duration": duration, "warmup": warmup},
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def leader_slowness_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    slow_leader_counts: Sequence[int] = (0, 1, 4, 7, 10),
+    view_timeouts: Sequence[float] = (0.010, 0.100),
+    n: int = 32,
+    batch_size: int = 100,
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Fig. 10 (a-d): rational slow leaders under two view timers."""
+    return ScenarioSpec(
+        name="fig10-slowness",
+        kind="leader-slowness",
+        protocols=tuple(protocols),
+        axes={"view_timeout": list(view_timeouts), "slow_leaders": list(slow_leader_counts)},
+        params={"n": n, "batch_size": batch_size, "duration": duration, "warmup": warmup},
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def tail_forking_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    faulty_counts: Sequence[int] = (0, 1, 4, 7, 10),
+    n: int = 32,
+    batch_size: int = 100,
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Fig. 10 (e, f): tail-forking faulty leaders."""
+    return ScenarioSpec(
+        name="fig10-tailfork",
+        kind="tail-forking",
+        protocols=tuple(protocols),
+        axes={"faulty_leaders": list(faulty_counts)},
+        params={"n": n, "batch_size": batch_size, "duration": duration, "warmup": warmup},
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def rollback_attack_spec(
+    protocols: Sequence[str] = ("hotstuff-1", "hotstuff-1-slotting"),
+    faulty_counts: Sequence[int] = (0, 1, 4, 7, 10),
+    n: int = 32,
+    batch_size: int = 100,
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Fig. 10 (g, h): certificate-withholding leaders forcing rollbacks."""
+    return ScenarioSpec(
+        name="fig10-rollback",
+        kind="rollback-attack",
+        protocols=tuple(protocols),
+        axes={"faulty_leaders": list(faulty_counts)},
+        params={"n": n, "batch_size": batch_size, "duration": duration, "warmup": warmup},
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def latency_breakdown_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    replica_counts: Sequence[int] = (4, 32),
+    batch_size: int = 100,
+    duration: float = 0.5,
+    warmup: float = 0.1,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """§7 narrative: fault-free latency comparison plus reduction rows."""
+    return ScenarioSpec(
+        name="latency-breakdown",
+        kind="latency-breakdown",
+        protocols=tuple(protocols),
+        axes={"n": list(replica_counts)},
+        params={"batch_size": batch_size, "duration": duration, "warmup": warmup},
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def slotting_ablation_spec(
+    slow_leader_count: int = 4,
+    n: int = 16,
+    batch_size: int = 100,
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Ablation: speculation × slotting under slow leaders."""
+    variants = [
+        ["hotstuff-1", True, "speculation on, no slotting"],
+        ["hotstuff-1", False, "speculation off, no slotting"],
+        ["hotstuff-1-slotting", True, "speculation on, slotting"],
+        ["hotstuff-1-slotting", False, "speculation off, slotting"],
+    ]
+    return ScenarioSpec(
+        name="ablation-slotting",
+        kind="slotting-ablation",
+        protocols=(),
+        axes={"variant": variants},
+        params={
+            "slow_leader_count": slow_leader_count,
+            "n": n,
+            "batch_size": batch_size,
+            "duration": duration,
+            "warmup": warmup,
+        },
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+#: Figure name -> spec factory.  Single source of truth for the CLI, the
+#: benchmark harness and ``{"figure": ...}`` references in suite configs.
+SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
+    "fig8-scalability": scalability_spec,
+    "fig8-batching": batching_spec,
+    "fig8-geo-ycsb": lambda **kw: geo_scale_spec(workload=kw.pop("workload", "ycsb"), **kw),
+    "fig8-geo-tpcc": lambda **kw: geo_scale_spec(workload=kw.pop("workload", "tpcc"), **kw),
+    "fig9-delay": delay_injection_spec,
+    "fig9-geo": two_region_split_spec,
+    "fig10-slowness": leader_slowness_spec,
+    "fig10-tailfork": tail_forking_spec,
+    "fig10-rollback": rollback_attack_spec,
+    "latency-breakdown": latency_breakdown_spec,
+    "ablation-slotting": slotting_ablation_spec,
+}
+
+
+def scenario_spec(name: str, **overrides) -> ScenarioSpec:
+    """Build the registered scenario *name* with factory-level *overrides*."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from exc
+    try:
+        return factory(**overrides)
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid overrides for scenario {name!r}: {exc}") from exc
+
+
+def default_suite(
+    names: Optional[Sequence[str]] = None,
+    suite_name: str = "paper-evaluation",
+    **common,
+) -> SuiteSpec:
+    """A suite covering the named figures (all of them by default).
+
+    ``common`` keyword arguments are passed to every factory that accepts
+    them (e.g. ``seed=7, repeats=3``).
+    """
+    import inspect
+
+    scenarios = []
+    for name in names or list(SCENARIOS):
+        factory = SCENARIOS[name]
+        parameters = inspect.signature(factory).parameters
+        if any(p.kind == inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+            accepted = set(common)
+        else:
+            accepted = set(parameters)
+        scenarios.append(
+            factory(**{key: value for key, value in common.items() if key in accepted})
+        )
+    return SuiteSpec(name=suite_name, scenarios=scenarios)
+
+
+# --------------------------------------------------------------------------
+# Legacy builder API: same signatures, now routed through the engine
 # --------------------------------------------------------------------------
 def scalability_series(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
@@ -49,26 +588,16 @@ def scalability_series(
     duration: float = 0.5,
     warmup: float = 0.1,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Throughput and latency as the number of replicas grows (Fig. 8 a, b)."""
-    rows = []
-    for n in replica_counts:
-        for protocol in protocols:
-            spec = ExperimentSpec(
-                protocol=protocol,
-                n=n,
-                batch_size=batch_size,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-            )
-            rows.append(_row(run_experiment(spec), n=n))
-    return rows
+    return execute_scenario(
+        scalability_spec(protocols, replica_counts, batch_size, duration, warmup, seed, repeats),
+        jobs=jobs,
+    )
 
 
-# --------------------------------------------------------------------------
-# Figure 8 (c, d): batching
-# --------------------------------------------------------------------------
 def batching_series(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     batch_sizes: Sequence[int] = (100, 1000, 2000, 5000, 10000),
@@ -76,26 +605,15 @@ def batching_series(
     duration: float = 0.4,
     warmup: float = 0.1,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Throughput and latency as the batch size grows at n=32 (Fig. 8 c, d)."""
-    rows = []
-    for batch_size in batch_sizes:
-        for protocol in protocols:
-            spec = ExperimentSpec(
-                protocol=protocol,
-                n=n,
-                batch_size=batch_size,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-            )
-            rows.append(_row(run_experiment(spec), batch_size=batch_size))
-    return rows
+    return execute_scenario(
+        batching_spec(protocols, batch_sizes, n, duration, warmup, seed, repeats), jobs=jobs
+    )
 
 
-# --------------------------------------------------------------------------
-# Figure 8 (e-h): geo-scale deployments with YCSB and TPC-C
-# --------------------------------------------------------------------------
 def geo_scale_series(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     region_counts: Sequence[int] = (2, 3, 4, 5),
@@ -105,31 +623,18 @@ def geo_scale_series(
     duration: float = 3.0,
     warmup: float = 0.5,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Throughput and latency across 2-5 geographic regions (Fig. 8 e-h)."""
-    rows = []
-    for region_count in region_counts:
-        regions = list(DEFAULT_REGION_ORDER[:region_count])
-        for protocol in protocols:
-            spec = ExperimentSpec(
-                protocol=protocol,
-                n=n,
-                batch_size=batch_size,
-                workload=workload,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-                regions=regions,
-                view_timeout=1.0,
-                delta=0.3,
-            )
-            rows.append(_row(run_experiment(spec), regions=region_count, workload=workload))
-    return rows
+    return execute_scenario(
+        geo_scale_spec(
+            protocols, region_counts, workload, n, batch_size, duration, warmup, seed, repeats
+        ),
+        jobs=jobs,
+    )
 
 
-# --------------------------------------------------------------------------
-# Figure 9 (a-d, f-i): injected message delays
-# --------------------------------------------------------------------------
 def delay_injection_series(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     delays_ms: Sequence[float] = (1.0, 5.0, 50.0, 500.0),
@@ -139,37 +644,18 @@ def delay_injection_series(
     duration: float = 0.5,
     warmup: float = 0.1,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Throughput and latency with delays injected on k replicas (Fig. 9 a-d, f-i)."""
-    f = (n - 1) // 3
-    if impacted_counts is None:
-        impacted_counts = (0, f, f + 1, n - f - 1, n - f, n)
-    rows = []
-    for delay_ms in delays_ms:
-        for impacted_count in impacted_counts:
-            impacted = list(range(n - impacted_count, n))
-            for protocol in protocols:
-                horizon = max(duration, 6 * delay_ms / 1000.0)
-                spec = ExperimentSpec(
-                    protocol=protocol,
-                    n=n,
-                    batch_size=batch_size,
-                    duration=horizon,
-                    warmup=min(warmup, horizon / 4),
-                    seed=seed,
-                    delay_injection={"impacted": impacted, "extra_delay": delay_ms / 1000.0},
-                    view_timeout=max(0.01, 4 * delay_ms / 1000.0),
-                    delta=max(0.001, delay_ms / 1000.0),
-                )
-                rows.append(
-                    _row(run_experiment(spec), delay_ms=delay_ms, impacted=impacted_count)
-                )
-    return rows
+    return execute_scenario(
+        delay_injection_spec(
+            protocols, delays_ms, impacted_counts, n, batch_size, duration, warmup, seed, repeats
+        ),
+        jobs=jobs,
+    )
 
 
-# --------------------------------------------------------------------------
-# Figure 9 (e, j): two-region geographical split
-# --------------------------------------------------------------------------
 def two_region_split_series(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     remote_counts: Optional[Sequence[int]] = None,
@@ -178,39 +664,18 @@ def two_region_split_series(
     duration: float = 3.0,
     warmup: float = 0.5,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Virginia/London split with clients in Virginia (Fig. 9 e, j)."""
-    f = (n - 1) // 3
-    if remote_counts is None:
-        remote_counts = (0, f, f + 1, n - f - 1, n - f, n)
-    rows = []
-    for remote_count in remote_counts:
-        from repro.net.latency import GeoLatencyModel
-
-        placement = {
-            replica_id: ("london" if replica_id >= n - remote_count else "virginia")
-            for replica_id in range(n)
-        }
-        for protocol in protocols:
-            spec = ExperimentSpec(
-                protocol=protocol,
-                n=n,
-                batch_size=batch_size,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-                latency_model=GeoLatencyModel(placement, default_region="virginia"),
-                client_region="virginia",
-                view_timeout=0.5,
-                delta=0.08,
-            )
-            rows.append(_row(run_experiment(spec), london_replicas=remote_count))
-    return rows
+    return execute_scenario(
+        two_region_split_spec(
+            protocols, remote_counts, n, batch_size, duration, warmup, seed, repeats
+        ),
+        jobs=jobs,
+    )
 
 
-# --------------------------------------------------------------------------
-# Figure 10 (a-d): leader slowness
-# --------------------------------------------------------------------------
 def leader_slowness_series(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     slow_leader_counts: Sequence[int] = (0, 1, 4, 7, 10),
@@ -220,39 +685,19 @@ def leader_slowness_series(
     duration: float = 1.0,
     warmup: float = 0.2,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Impact of rational slow leaders (Fig. 10 a-d)."""
-    rows = []
-    for view_timeout in view_timeouts:
-        for slow_count in slow_leader_counts:
-            behaviors = {
-                replica_id: SlowLeaderBehavior(margin=4 * 0.0005 + 0.0005)
-                for replica_id in range(slow_count)
-            }
-            for protocol in protocols:
-                spec = ExperimentSpec(
-                    protocol=protocol,
-                    n=n,
-                    batch_size=batch_size,
-                    duration=max(duration, 20 * view_timeout),
-                    warmup=warmup,
-                    seed=seed,
-                    behaviors=dict(behaviors),
-                    view_timeout=view_timeout,
-                )
-                rows.append(
-                    _row(
-                        run_experiment(spec),
-                        slow_leaders=slow_count,
-                        view_timeout_ms=view_timeout * 1000,
-                    )
-                )
-    return rows
+    return execute_scenario(
+        leader_slowness_spec(
+            protocols, slow_leader_counts, view_timeouts, n, batch_size, duration, warmup,
+            seed, repeats,
+        ),
+        jobs=jobs,
+    )
 
 
-# --------------------------------------------------------------------------
-# Figure 10 (e, f): tail-forking attack
-# --------------------------------------------------------------------------
 def tail_forking_series(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     faulty_counts: Sequence[int] = (0, 1, 4, 7, 10),
@@ -261,28 +706,16 @@ def tail_forking_series(
     duration: float = 1.0,
     warmup: float = 0.2,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Impact of tail-forking faulty leaders (Fig. 10 e, f)."""
-    rows = []
-    for faulty_count in faulty_counts:
-        behaviors = {replica_id: TailForkingBehavior() for replica_id in range(faulty_count)}
-        for protocol in protocols:
-            spec = ExperimentSpec(
-                protocol=protocol,
-                n=n,
-                batch_size=batch_size,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-                behaviors=dict(behaviors),
-            )
-            rows.append(_row(run_experiment(spec), faulty_leaders=faulty_count))
-    return rows
+    return execute_scenario(
+        tail_forking_spec(protocols, faulty_counts, n, batch_size, duration, warmup, seed, repeats),
+        jobs=jobs,
+    )
 
 
-# --------------------------------------------------------------------------
-# Figure 10 (g, h): rollback attack
-# --------------------------------------------------------------------------
 def rollback_attack_series(
     protocols: Sequence[str] = ("hotstuff-1", "hotstuff-1-slotting"),
     faulty_counts: Sequence[int] = (0, 1, 4, 7, 10),
@@ -291,34 +724,18 @@ def rollback_attack_series(
     duration: float = 1.0,
     warmup: float = 0.2,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Impact of certificate-withholding leaders that force speculative rollbacks (Fig. 10 g, h)."""
-    f = (n - 1) // 3
-    rows = []
-    for faulty_count in faulty_counts:
-        colluders = list(range(faulty_count))
-        victims = list(range(faulty_count, faulty_count + min(f, n - faulty_count - 1)))
-        behaviors = {
-            replica_id: RollbackAttackBehavior(victims=victims, colluders=colluders)
-            for replica_id in colluders
-        }
-        for protocol in protocols:
-            spec = ExperimentSpec(
-                protocol=protocol,
-                n=n,
-                batch_size=batch_size,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-                behaviors=dict(behaviors),
-            )
-            rows.append(_row(run_experiment(spec), faulty_leaders=faulty_count))
-    return rows
+    return execute_scenario(
+        rollback_attack_spec(
+            protocols, faulty_counts, n, batch_size, duration, warmup, seed, repeats
+        ),
+        jobs=jobs,
+    )
 
 
-# --------------------------------------------------------------------------
-# §7 narrative: fault-free latency breakdown (5 ms / 7 ms / 9 ms claim)
-# --------------------------------------------------------------------------
 def latency_breakdown_series(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     replica_counts: Sequence[int] = (4, 32),
@@ -326,40 +743,18 @@ def latency_breakdown_series(
     duration: float = 0.5,
     warmup: float = 0.1,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Fault-free latency comparison backing the 41.5% / 24.2% reduction claims."""
-    rows = []
-    for n in replica_counts:
-        baseline: Dict[str, float] = {}
-        for protocol in protocols:
-            spec = ExperimentSpec(
-                protocol=protocol,
-                n=n,
-                batch_size=batch_size,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-            )
-            result = run_experiment(spec)
-            baseline[protocol] = result.latency_ms
-            rows.append(_row(result, n=n))
-        if "hotstuff-1" in baseline:
-            for other in ("hotstuff", "hotstuff-2"):
-                if other in baseline and baseline[other] > 0:
-                    reduction = 100.0 * (1.0 - baseline["hotstuff-1"] / baseline[other])
-                    rows.append(
-                        {
-                            "protocol": f"hotstuff-1 vs {other}",
-                            "n": n,
-                            "latency_reduction_pct": round(reduction, 1),
-                        }
-                    )
-    return rows
+    return execute_scenario(
+        latency_breakdown_spec(
+            protocols, replica_counts, batch_size, duration, warmup, seed, repeats
+        ),
+        jobs=jobs,
+    )
 
 
-# --------------------------------------------------------------------------
-# Ablation: speculation and slotting design choices
-# --------------------------------------------------------------------------
 def slotting_ablation_series(
     slow_leader_count: int = 4,
     n: int = 16,
@@ -367,26 +762,11 @@ def slotting_ablation_series(
     duration: float = 1.0,
     warmup: float = 0.2,
     seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Ablation: HotStuff-1 with/without speculation and with/without slotting under slow leaders."""
-    behaviors = {replica_id: SlowLeaderBehavior() for replica_id in range(slow_leader_count)}
-    rows = []
-    variants = (
-        ("hotstuff-1", True, "speculation on, no slotting"),
-        ("hotstuff-1", False, "speculation off, no slotting"),
-        ("hotstuff-1-slotting", True, "speculation on, slotting"),
-        ("hotstuff-1-slotting", False, "speculation off, slotting"),
+    return execute_scenario(
+        slotting_ablation_spec(slow_leader_count, n, batch_size, duration, warmup, seed, repeats),
+        jobs=jobs,
     )
-    for protocol, speculation, label in variants:
-        spec = ExperimentSpec(
-            protocol=protocol,
-            n=n,
-            batch_size=batch_size,
-            duration=duration,
-            warmup=warmup,
-            seed=seed,
-            behaviors=dict(behaviors),
-            speculation_enabled=speculation,
-        )
-        rows.append(_row(run_experiment(spec), variant=label, slow_leaders=slow_leader_count))
-    return rows

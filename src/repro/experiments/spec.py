@@ -1,0 +1,348 @@
+"""Declarative scenario and suite specifications.
+
+A :class:`ScenarioSpec` is a pure-data description of one figure-style
+parameter sweep: the protocols compared, the swept axes (cartesian product in
+declaration order), the shared base parameters, and how many repeats (with
+distinct seeds) to run per grid point.  A :class:`SuiteSpec` groups several
+scenarios and can apply suite-level overrides (seed, repeats, extra params)
+to all of them.  Both serialize to and from plain JSON, so a whole evaluation
+campaign can live in a config file checked into a repo.
+
+The specs themselves never touch the simulator.  A *point builder* registered
+under the spec's ``kind`` (see :func:`point_builder`) turns one grid point
+into a concrete :class:`~repro.experiments.runner.ExperimentSpec` plus the
+extra report columns for that point; :mod:`repro.experiments.scenarios`
+registers one builder per figure family and
+:mod:`repro.experiments.executor` drives the expanded grid serially or across
+a process pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: ``kind`` -> callable(protocol, params) -> (ExperimentSpec, extra_columns).
+POINT_BUILDERS: Dict[str, Callable] = {}
+
+#: ``kind`` -> callable(rows, records, scenario) -> rows (post-aggregation hook).
+POST_PROCESSORS: Dict[str, Callable] = {}
+
+
+def point_builder(kind: str) -> Callable:
+    """Decorator registering a point builder for scenarios of *kind*."""
+
+    def register(fn: Callable) -> Callable:
+        POINT_BUILDERS[kind] = fn
+        return fn
+
+    return register
+
+
+def post_processor(kind: str) -> Callable:
+    """Decorator registering a post-aggregation hook for scenarios of *kind*."""
+
+    def register(fn: Callable) -> Callable:
+        POST_PROCESSORS[kind] = fn
+        return fn
+
+    return register
+
+
+def resolve_point_builder(kind: str) -> Callable:
+    """Return the point builder registered under *kind*.
+
+    Imports :mod:`repro.experiments.scenarios` on first use so worker
+    processes (which only import the executor) see the built-in registrations.
+    """
+    if kind not in POINT_BUILDERS:
+        from repro.experiments import scenarios  # noqa: F401  (registers builders)
+    try:
+        return POINT_BUILDERS[kind]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scenario kind {kind!r}; available: {sorted(POINT_BUILDERS)}"
+        ) from exc
+
+
+@dataclass
+class ScenarioSpec:
+    """Pure-data description of one parameter sweep.
+
+    Attributes
+    ----------
+    name:
+        Unique scenario identifier, e.g. ``"fig8-scalability"``.
+    kind:
+        Key of the point builder that turns grid points into experiment specs.
+    protocols:
+        Protocols compared at every grid point (innermost loop).  An empty
+        tuple means the point builder chooses the protocol itself (used by
+        the ablation scenario, whose axis values carry the protocol).
+    axes:
+        Ordered mapping ``axis name -> values``; the grid is the cartesian
+        product of the axes in declaration order (first axis outermost).
+    params:
+        Base parameters shared by every point (duration, batch size, ...).
+    repeats:
+        Independent repetitions per (point, protocol); repeat ``r`` runs with
+        ``seed + r``.
+    seed:
+        Base RNG seed.
+    """
+
+    name: str
+    kind: str
+    protocols: Tuple[str, ...] = ()
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    repeats: int = 1
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        self.protocols = tuple(self.protocols)
+        self.axes = {str(axis): list(values) for axis, values in self.axes.items()}
+        if self.repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {self.repeats}")
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The grid: one dict of axis values per point, in sweep order."""
+        if not self.axes:
+            return [{}]
+        names = list(self.axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.axes[name] for name in names))
+        ]
+
+    def num_runs(self) -> int:
+        """Total number of simulator runs this scenario expands to."""
+        return len(self.points()) * max(1, len(self.protocols)) * self.repeats
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "protocols": list(self.protocols),
+            "axes": {axis: list(values) for axis, values in self.axes.items()},
+            "params": dict(self.params),
+            "repeats": self.repeats,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Build a spec from a plain dict.
+
+        Besides the inline form produced by :meth:`to_dict`, a dict may
+        reference a registered figure — ``{"figure": "fig8-scalability",
+        "overrides": {...}}`` — which resolves through the scenario registry.
+        """
+        if "figure" in data:
+            from repro.experiments.scenarios import scenario_spec
+
+            return scenario_spec(data["figure"], **data.get("overrides", {}))
+        try:
+            name = data["name"]
+            kind = data["kind"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"scenario spec needs 'name' and 'kind' (or a 'figure' reference): {data!r}"
+            ) from exc
+        return cls(
+            name=name,
+            kind=kind,
+            protocols=tuple(data.get("protocols", ())),
+            axes=dict(data.get("axes", {})),
+            params=dict(data.get("params", {})),
+            repeats=int(data.get("repeats", 1)),
+            seed=int(data.get("seed", 1)),
+        )
+
+
+@dataclass
+class SuiteSpec:
+    """A named collection of scenarios run as one campaign.
+
+    ``repeats`` / ``seed`` / ``overrides`` are suite-level overrides applied
+    to every scenario at expansion time (``overrides`` merges into each
+    scenario's ``params``); ``jobs`` is the default process-pool width.
+    """
+
+    name: str
+    scenarios: List[ScenarioSpec] = field(default_factory=list)
+    repeats: Optional[int] = None
+    seed: Optional[int] = None
+    jobs: Optional[int] = None
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+        }
+        if self.repeats is not None:
+            data["repeats"] = self.repeats
+        if self.seed is not None:
+            data["seed"] = self.seed
+        if self.jobs is not None:
+            data["jobs"] = self.jobs
+        if self.overrides:
+            data["overrides"] = dict(self.overrides)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SuiteSpec":
+        return cls(
+            name=data.get("name", "suite"),
+            scenarios=[ScenarioSpec.from_dict(entry) for entry in data.get("scenarios", [])],
+            repeats=data.get("repeats"),
+            seed=data.get("seed"),
+            jobs=data.get("jobs"),
+            overrides=dict(data.get("overrides", {})),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SuiteSpec":
+        return cls.from_dict(json.loads(text))
+
+    def num_runs(self) -> int:
+        return sum(
+            len(s.points()) * max(1, len(s.protocols)) * (self.repeats or s.repeats)
+            for s in self.scenarios
+        )
+
+
+def load_suite(path: str) -> SuiteSpec:
+    """Load a :class:`SuiteSpec` from a JSON config file."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid suite config {path!r}: {exc}") from exc
+    return SuiteSpec.from_dict(data)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One fully-resolved simulator run: a grid point × protocol × repeat.
+
+    Everything in a request is plain data, so requests cross process
+    boundaries cheaply; the worker rebuilds the ``ExperimentSpec`` via the
+    point builder registered under ``kind``.
+    """
+
+    index: int
+    scenario: str
+    kind: str
+    protocol: Optional[str]
+    params: Dict[str, Any]
+    point: Dict[str, Any]
+    repeat: int
+    seed: int
+    group: int
+
+    def describe(self) -> Dict[str, Any]:
+        """Flat row used by ``repro grid`` to list the expanded runs."""
+        row: Dict[str, Any] = {
+            "index": self.index,
+            "scenario": self.scenario,
+            "protocol": self.protocol or "(per-point)",
+        }
+        row.update(self.point)
+        row["repeat"] = self.repeat
+        row["seed"] = self.seed
+        return row
+
+
+@dataclass
+class RunRecord:
+    """Result of one executed :class:`RunRequest`.
+
+    ``row`` is the rendered report row; ``metrics`` keeps a few unrounded
+    values (average latency, throughput) for post-processors that derive
+    quantities across rows.
+    """
+
+    index: int
+    group: int
+    scenario: str
+    repeat: int
+    seed: int
+    row: Dict[str, Any]
+    metrics: Dict[str, float]
+
+
+def expand_scenario(
+    scenario: ScenarioSpec,
+    repeats: Optional[int] = None,
+    seed: Optional[int] = None,
+    overrides: Optional[Dict[str, Any]] = None,
+    start_index: int = 0,
+    start_group: int = 0,
+) -> List[RunRequest]:
+    """Expand a scenario into the flat, deterministically-ordered run list.
+
+    Ordering is point-major, protocol next, repeat innermost — exactly the
+    order the hand-written scenario builders used, so single-repeat runs
+    reproduce the historical row order.
+    """
+    resolve_point_builder(scenario.kind)  # fail fast on unknown kinds
+    repeats = scenario.repeats if repeats is None else repeats
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    base_seed = scenario.seed if seed is None else seed
+    params = dict(scenario.params)
+    if overrides:
+        params.update(overrides)
+    requests: List[RunRequest] = []
+    index, group = start_index, start_group
+    protocols: Sequence[Optional[str]] = scenario.protocols or (None,)
+    for point in scenario.points():
+        for protocol in protocols:
+            for repeat in range(repeats):
+                requests.append(
+                    RunRequest(
+                        index=index,
+                        scenario=scenario.name,
+                        kind=scenario.kind,
+                        protocol=protocol,
+                        params={**params, **point},
+                        point=dict(point),
+                        repeat=repeat,
+                        seed=base_seed + repeat,
+                        group=group,
+                    )
+                )
+                index += 1
+            group += 1
+    return requests
+
+
+def expand_suite(suite: SuiteSpec) -> List[RunRequest]:
+    """Expand every scenario of a suite into one flat run list."""
+    names = [scenario.name for scenario in suite.scenarios]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate scenario names in suite {suite.name!r}: {names}")
+    requests: List[RunRequest] = []
+    group = 0
+    for scenario in suite.scenarios:
+        expanded = expand_scenario(
+            scenario,
+            repeats=suite.repeats,
+            seed=suite.seed,
+            overrides=suite.overrides,
+            start_index=len(requests),
+            start_group=group,
+        )
+        requests.extend(expanded)
+        group += len({request.group for request in expanded})
+    return requests

@@ -176,3 +176,54 @@ class TestCli:
         assert exit_code == 0
         assert os.path.exists(out)
         assert "latency-breakdown" in captured.out
+
+    def test_figure_command_with_repeats_adds_aggregate_columns(self, tmp_path, capsys):
+        out = str(tmp_path / "rows.json")
+        exit_code = main(
+            ["figure", "ablation-slotting", "--duration", "0.2", "--repeats", "2",
+             "--jobs", "2", "--seed", "3", "--out", out]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "±" in captured.out
+        rows = json.loads(open(out).read())
+        assert all(row["repeats"] == 2 for row in rows)
+        assert "avg_latency_ms_std" in rows[0]
+
+    def test_grid_command_lists_runs_without_executing(self, capsys):
+        exit_code = main(["grid", "fig8-scalability", "--repeats", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        # quick grid: 3 replica counts x 4 protocols x 2 repeats
+        assert "24 runs" in captured.out
+        assert "seed" in captured.out
+
+    def test_suite_command_runs_config_file(self, tmp_path, capsys):
+        config = {
+            "name": "smoke",
+            "scenarios": [
+                {
+                    "name": "tiny-scalability",
+                    "kind": "scalability",
+                    "protocols": ["hotstuff-1"],
+                    "axes": {"n": [4]},
+                    "params": {"batch_size": 10, "duration": 0.15, "warmup": 0.03},
+                }
+            ],
+        }
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(config))
+        out_dir = str(tmp_path / "results")
+        exit_code = main(
+            ["suite", "--config", str(path), "--out-dir", out_dir, "--format", "csv"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "tiny-scalability" in captured.out
+        assert os.path.exists(os.path.join(out_dir, "tiny-scalability.csv"))
+
+    def test_suite_command_rejects_unknown_figure(self, capsys):
+        exit_code = main(["suite", "fig99-bogus"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown figure" in captured.err

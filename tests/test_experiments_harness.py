@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments.report import format_series, pivot, print_series
 from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.experiments.scenarios import (
@@ -37,7 +38,9 @@ class TestRunner:
 
     def test_explicit_client_count_is_respected(self):
         result = run_experiment(
-            ExperimentSpec(protocol="hotstuff-1", n=4, batch_size=10, duration=0.1, num_clients=7)
+            ExperimentSpec(
+                protocol="hotstuff-1", n=4, batch_size=10, duration=0.1, warmup=0.02, num_clients=7
+            )
         )
         assert result.client_pool.num_clients == 7
 
@@ -58,6 +61,44 @@ class TestRunner:
         # client pool only targets co-located replicas.
         assert set(result.client_pool.target_replicas) == {0, 2}
         assert result.summary.committed_txns > 0
+
+
+class TestSpecValidation:
+    def test_valid_spec_passes_and_chains(self):
+        spec = ExperimentSpec(protocol="hotstuff-1", n=4, duration=0.2, warmup=0.05)
+        assert spec.validate() is spec
+
+    @pytest.mark.parametrize(
+        "kwargs, fragment",
+        [
+            ({"protocol": "paxos"}, "unknown protocol"),
+            ({"n": 3}, "n must be >= 4"),
+            ({"batch_size": 0}, "batch_size"),
+            ({"duration": 0.0}, "duration"),
+            ({"duration": 0.1, "warmup": 0.1}, "warmup"),
+            ({"warmup": -0.1}, "warmup"),
+            ({"workload": "tatp"}, "unknown workload"),
+            ({"view_timeout": 0.0}, "view_timeout"),
+        ],
+    )
+    def test_bad_specs_raise_configuration_error(self, kwargs, fragment):
+        defaults = dict(protocol="hotstuff-1", n=4, duration=0.3, warmup=0.05)
+        defaults.update(kwargs)
+        with pytest.raises(ConfigurationError, match=fragment):
+            ExperimentSpec(**defaults).validate()
+
+    def test_run_experiment_validates_at_entry(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(ExperimentSpec(protocol="hotstuff-1", n=2, duration=0.2))
+
+    def test_to_row_includes_extras(self):
+        result = run_experiment(
+            ExperimentSpec(protocol="hotstuff-1", n=4, batch_size=10, duration=0.15, warmup=0.02)
+        )
+        row = result.to_row(n=4, variant="x")
+        assert row["protocol"] == "hotstuff-1"
+        assert row["n"] == 4 and row["variant"] == "x"
+        assert row["throughput_tps"] == round(result.throughput, 1)
 
 
 class TestScenarioBuilders:
