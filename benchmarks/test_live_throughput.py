@@ -1,0 +1,76 @@
+"""Live vs simulated throughput: the same spec over real sockets and the simulator.
+
+Unlike the figure benchmarks (which sweep simulated deployments), this series
+runs one HotStuff-1 point twice — once through the discrete-event simulator
+and once on the live asyncio runtime over localhost TCP — and reports both
+through the identical row pipeline.  The two throughputs are recorded into
+``benchmark.extra_info`` so the pytest-benchmark JSON trajectory tracks how
+the real runtime evolves relative to the model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.live.deploy import run_live_experiment
+
+from benchmarks.conftest import pick, run_series_once
+
+
+def live_vs_sim_series(
+    n=4,
+    batch_size=100,
+    sim_duration=0.25,
+    live_cap=30.0,
+    target_ops=1000,
+    warmup=0.05,
+    seed=1,
+    jobs=None,     # engine overrides injected by conftest; single-point series
+    repeats=None,  # run serially regardless
+):
+    """One grid point, two execution modes; returns one row per mode."""
+    base = dict(
+        protocol="hotstuff-1",
+        n=n,
+        batch_size=batch_size,
+        warmup=warmup,
+        seed=seed,
+        view_timeout=0.05,
+    )
+    sim_result = run_experiment(ExperimentSpec(duration=sim_duration, **base))
+    live_result = run_live_experiment(
+        ExperimentSpec(duration=live_cap, mode="live", **base), target_ops=target_ops
+    )
+    rows = []
+    for mode, result in (("sim", sim_result), ("live", live_result)):
+        rows.append(
+            result.to_row(
+                mode=mode,
+                n=n,
+                duration_s=round(result.summary.duration, 3),
+                messages_sent=result.network_stats["messages_sent"],
+                bytes_sent=result.network_stats["bytes_sent"],
+            )
+        )
+    return rows
+
+
+def test_live_vs_sim_throughput(benchmark):
+    """A 4-replica localhost TCP cluster sustains real throughput; the ratio
+    to the simulated prediction is tracked in the bench JSON trajectory."""
+    rows = run_series_once(
+        benchmark,
+        live_vs_sim_series,
+        title="Live runtime vs simulator — throughput and latency (hotstuff-1, n=4)",
+        target_ops=pick(1000, 5000),
+        sim_duration=pick(0.25, 1.0),
+    )
+    by_mode = {row["mode"]: row for row in rows}
+    assert by_mode["live"]["committed_txns"] >= pick(1000, 5000)
+    assert by_mode["sim"]["committed_txns"] > 0
+    benchmark.extra_info["sim_tps"] = by_mode["sim"]["throughput_tps"]
+    benchmark.extra_info["live_tps"] = by_mode["live"]["throughput_tps"]
+    benchmark.extra_info["live_to_sim_ratio"] = round(
+        by_mode["live"]["throughput_tps"] / max(by_mode["sim"]["throughput_tps"], 1e-9), 4
+    )
+    # Both modes ran the same protocol rules; speculation fired in both.
+    assert by_mode["live"]["rollbacks"] == 0

@@ -40,6 +40,7 @@ from repro.experiments import (
     run_experiment,
     scenario_spec,
 )
+from repro.live.deploy import run_live_experiment
 
 __version__ = "1.1.0"
 
@@ -65,5 +66,6 @@ __all__ = [
     "load_suite",
     "replica_class_for",
     "run_experiment",
+    "run_live_experiment",
     "scenario_spec",
 ]

@@ -3,6 +3,7 @@
 Usage (installed as a module)::
 
     python -m repro run --protocol hotstuff-1 --replicas 16 --duration 0.5
+    python -m repro live --protocol hotstuff1 --n 4
     python -m repro compare --replicas 16 --batch 100
     python -m repro figure fig8-scalability --jobs 4 --repeats 3 --out results.csv
     python -m repro suite fig8-scalability fig10-rollback --jobs 4
@@ -14,6 +15,10 @@ Sub-commands
 ------------
 ``run``
     Run one experiment and print its metric summary.
+``live``
+    Run one experiment on the live asyncio runtime: an n-replica localhost
+    TCP cluster plus a client load generator, reported through the same
+    pipeline as simulations.
 ``compare``
     Run every evaluation protocol under the same configuration and print the
     comparison table (plus an ASCII latency chart).
@@ -45,7 +50,7 @@ from repro.consensus.config import ProtocolConfig
 from repro.core.registry import EVALUATION_PROTOCOLS, PROTOCOLS
 from repro.errors import ConfigurationError
 from repro.experiments.executor import execute_scenario, execute_suite
-from repro.experiments.report import format_series, format_suite
+from repro.experiments.report import format_network_breakdown, format_series, format_suite
 from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.experiments.spec import SuiteSpec, expand_suite, load_suite
 from repro.experiments.scenarios import scenario_spec
@@ -78,7 +83,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     _add_common_arguments(run_parser)
-    run_parser.add_argument("--protocol", default="hotstuff-1", choices=sorted(PROTOCOLS))
+    run_parser.add_argument(
+        "--protocol", default="hotstuff-1",
+        help=f"protocol name or alias, e.g. hotstuff1 (available: {', '.join(sorted(PROTOCOLS))})",
+    )
+
+    live_parser = subparsers.add_parser(
+        "live", help="run one experiment over real localhost TCP sockets"
+    )
+    live_parser.add_argument(
+        "--protocol", default="hotstuff-1",
+        help=f"protocol name or alias, e.g. hotstuff1 (available: {', '.join(sorted(PROTOCOLS))})",
+    )
+    live_parser.add_argument("--n", "--replicas", dest="replicas", type=int, default=4)
+    live_parser.add_argument("--batch", type=int, default=100)
+    live_parser.add_argument("--workload", default="ycsb", choices=("ycsb", "tpcc"))
+    live_parser.add_argument("--duration", type=float, default=15.0,
+                             help="wall-clock measurement cap in seconds")
+    live_parser.add_argument("--warmup", type=float, default=0.25)
+    live_parser.add_argument("--seed", type=int, default=1)
+    live_parser.add_argument("--view-timeout", type=float, default=0.05)
+    live_parser.add_argument("--target-ops", type=int, default=1000,
+                             help="stop once this many client operations completed (0: run full duration)")
+    live_parser.add_argument("--clients", type=int, default=None,
+                             help="closed-loop client population (default: pipeline knee)")
+    live_parser.add_argument("--rate", type=float, default=None,
+                             help="open-loop injection rate in txn/s (default: closed loop)")
 
     compare_parser = subparsers.add_parser("compare", help="compare all evaluation protocols")
     _add_common_arguments(compare_parser)
@@ -202,6 +232,43 @@ def command_run(args: argparse.Namespace) -> int:
     result = run_experiment(_spec_from_args(args, args.protocol))
     rows = [result.summary.as_dict()]
     print(format_series(rows, title=f"{args.protocol} — n={args.replicas}, batch={args.batch}"))
+    print(format_network_breakdown(result.network_stats))
+    return 0
+
+
+def command_live(args: argparse.Namespace) -> int:
+    """Run one experiment on the live asyncio runtime and print its summary."""
+    from repro.live.deploy import run_live_experiment
+
+    spec = ExperimentSpec(
+        protocol=args.protocol,
+        mode="live",
+        n=args.replicas,
+        batch_size=args.batch,
+        workload=args.workload,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        view_timeout=args.view_timeout,
+        num_clients=args.clients,
+    )
+    target_ops = args.target_ops if args.target_ops > 0 else None
+    result = run_live_experiment(spec, target_ops=target_ops, rate=args.rate)
+    summary = result.summary
+    mode = "open-loop" if args.rate else "closed-loop"
+    print(
+        f"live cluster: n={spec.n} {spec.protocol} over localhost TCP, "
+        f"{mode} clients, measured {summary.duration:.2f}s wall-clock"
+    )
+    print(format_series([summary.as_dict()], title=f"{spec.protocol} — live, n={spec.n}"))
+    print(format_network_breakdown(result.network_stats))
+    if target_ops is not None and summary.committed_txns < target_ops:
+        print(
+            f"warning: only {summary.committed_txns} of the targeted "
+            f"{target_ops} operations completed within {spec.duration}s",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -281,6 +348,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": command_run,
+        "live": command_live,
         "compare": command_compare,
         "figure": command_figure,
         "suite": command_suite,

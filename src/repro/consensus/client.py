@@ -115,7 +115,7 @@ class ClientPool:
         target = self.target_replicas[self._next_target % len(self.target_replicas)]
         self._next_target += 1
         request.last_sent_at = self.sim.now
-        self.network.send(self.node_id, target, ClientRequest(txn=request.txn), size_bytes=256)
+        self.network.send(self.node_id, target, ClientRequest(txn=request.txn))
 
     def _client_id(self, logical_client: int) -> int:
         return self.node_id * 1_000_000 - logical_client
@@ -143,6 +143,14 @@ class ClientPool:
             completed_at=self.sim.now,
             speculative=speculative or request.speculative_seen,
         )
+        self._after_completion(request)
+
+    def _after_completion(self, request: OutstandingRequest) -> None:
+        """Closed-loop behaviour: immediately issue the logical client's next request.
+
+        Open-loop load generators (live mode) override this to decouple
+        injection from completion.
+        """
         self._submit_new(request.logical_client)
 
     # ---------------------------------------------------------------- retries

@@ -124,8 +124,7 @@ class ChainedReplica(BaseReplica):
         cost += self.costs.proposal_cost(len(batch), self.config.n)
         delay = self.behavior.propose_delay(self, view)
         targets = self.behavior.proposal_targets(self, view, list(self.config.replica_ids()))
-        size = 512 + 64 * len(batch)
-        self.sim.schedule(cost + delay, self.broadcast_replicas, proposal, targets, size)
+        self.sim.schedule(cost + delay, self.broadcast_replicas, proposal, targets)
         self._maybe_equivocate(view, cost + delay)
 
     def _maybe_equivocate(self, view: int, delay: float) -> None:
@@ -146,7 +145,7 @@ class ChainedReplica(BaseReplica):
         self.block_store.add(alt_block)
         self.justify_of[alt_block.block_hash] = alt_justify
         alt_proposal = Propose(view=view, slot=1, block=alt_block, justify=alt_justify)
-        self.sim.schedule(delay, self.broadcast_replicas, alt_proposal, list(alt_targets), 512)
+        self.sim.schedule(delay, self.broadcast_replicas, alt_proposal, list(alt_targets))
 
     # ------------------------------------------------------------ backup role
     def handle_propose(self, msg: Propose, sender: int) -> None:

@@ -163,12 +163,12 @@ class BaseReplica:
         elif isinstance(payload, FetchResponse):
             self.handle_fetch_response(payload, sender)
 
-    def send(self, target: int, payload, size_bytes: int = 256) -> None:
-        """Send *payload* to a single node."""
+    def send(self, target: int, payload, size_bytes: Optional[int] = None) -> None:
+        """Send *payload* to a single node (sized by the wire codec by default)."""
         self.network.send(self.node_id, target, payload, size_bytes=size_bytes)
 
     def broadcast_replicas(
-        self, payload, targets: Optional[Iterable[int]] = None, size_bytes: int = 512
+        self, payload, targets: Optional[Iterable[int]] = None, size_bytes: Optional[int] = None
     ) -> None:
         """Send *payload* to every replica (or the given subset), including ourselves."""
         receivers = list(targets) if targets is not None else list(self.config.replica_ids())
@@ -204,12 +204,11 @@ class BaseReplica:
             speculative=speculative,
             entries=entries,
         )
-        size = 64 * len(entries)
         for client_node in self.client_node_ids:
             if delay > 0:
-                self.sim.schedule(delay, self.send, client_node, batch, size)
+                self.sim.schedule(delay, self.send, client_node, batch)
             else:
-                self.send(client_node, batch, size_bytes=size)
+                self.send(client_node, batch)
 
     # ----------------------------------------------------------- certificates
     def record_certificate(self, cert: Certificate) -> bool:
@@ -288,7 +287,7 @@ class BaseReplica:
         """Serve a block another replica is missing."""
         block = self.block_store.maybe_get(msg.block_hash)
         if block is not None:
-            self.send(msg.requester, FetchResponse(block=block), size_bytes=1024)
+            self.send(msg.requester, FetchResponse(block=block))
 
     def handle_fetch_response(self, msg: FetchResponse, sender: int) -> None:
         """Store a fetched block and retry proposals that were waiting for it."""

@@ -140,7 +140,7 @@ class BasicHotStuff1Replica(BaseReplica):
         cost += self.costs.proposal_cost(len(batch), self.config.n)
         delay = self.behavior.propose_delay(self, view)
         targets = self.behavior.proposal_targets(self, view, list(self.config.replica_ids()))
-        self.sim.schedule(cost + delay, self.broadcast_replicas, proposal, targets, 512 + 64 * len(batch))
+        self.sim.schedule(cost + delay, self.broadcast_replicas, proposal, targets)
 
     def handle_propose_vote(self, msg: ProposeVote, sender: int) -> None:
         """Aggregate first-phase votes into ``P(v)`` and broadcast the Prepare message."""
@@ -163,7 +163,7 @@ class BasicHotStuff1Replica(BaseReplica):
         self._prepared_views.add(msg.view)
         self.record_certificate(cert)
         cost = self.costs.certificate_formation_cost(self.config.quorum)
-        self.sim.schedule(cost, self.broadcast_replicas, Prepare(view=msg.view, cert=cert), None, 512)
+        self.sim.schedule(cost, self.broadcast_replicas, Prepare(view=msg.view, cert=cert))
 
     # ------------------------------------------------------------ backup role
     def handle_propose(self, msg: Propose, sender: int) -> None:

@@ -29,15 +29,33 @@ PROTOCOLS: Dict[str, Type[BaseReplica]] = {
 #: The four protocols compared throughout the paper's evaluation section.
 EVALUATION_PROTOCOLS = ("hotstuff", "hotstuff-2", "hotstuff-1", "hotstuff-1-slotting")
 
+#: Accepted alternative spellings (CLI convenience), mapped to registry names.
+PROTOCOL_ALIASES: Dict[str, str] = {
+    "hotstuff1": "hotstuff-1",
+    "hotstuff2": "hotstuff-2",
+    "hotstuff1-basic": "hotstuff-1-basic",
+    "hotstuff1-slotting": "hotstuff-1-slotting",
+    "hotstuff-1-streamlined": "hotstuff-1",
+}
 
-def replica_class_for(protocol: str) -> Type[BaseReplica]:
-    """Return the replica class registered under *protocol*."""
-    try:
-        return PROTOCOLS[protocol]
-    except KeyError as exc:
+
+def canonical_protocol(protocol: str) -> str:
+    """Resolve *protocol* (registry name or alias) to its registry name.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names.
+    """
+    name = str(protocol).strip().lower()
+    name = PROTOCOL_ALIASES.get(name, name)
+    if name not in PROTOCOLS:
         raise ConfigurationError(
             f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
-        ) from exc
+        )
+    return name
+
+
+def replica_class_for(protocol: str) -> Type[BaseReplica]:
+    """Return the replica class registered under *protocol* (aliases accepted)."""
+    return PROTOCOLS[canonical_protocol(protocol)]
 
 
 def client_quorum_for(protocol: str, config: ProtocolConfig) -> int:

@@ -300,8 +300,7 @@ class SlottedHotStuff1Replica(BaseReplica):
         cost += self.costs.proposal_cost(len(batch), self.config.n)
         delay = self.behavior.propose_delay(self, view) if slot == 1 else 0.0
         targets = self.behavior.proposal_targets(self, view, list(self.config.replica_ids()))
-        size = 512 + 64 * len(batch)
-        self.sim.schedule(cost + delay, self.broadcast_replicas, proposal, targets, size)
+        self.sim.schedule(cost + delay, self.broadcast_replicas, proposal, targets)
 
     def handle_reject(self, msg: Reject, sender: int) -> None:
         """Figure 6, Lines 22-24: adopt the higher certificate and distrust the previous leader."""

@@ -42,6 +42,12 @@ def execute_request(request: RunRequest) -> RunRecord:
 
     builder = resolve_point_builder(request.kind)
     spec, extras = builder(request.protocol, {**request.params, "seed": request.seed})
+    # The execution mode is an engine-level knob: any scenario of any kind can
+    # run its points live (over real sockets) by carrying {"mode": "live"} in
+    # its params, without every point builder having to thread it through.
+    mode = request.params.get("mode")
+    if mode is not None:
+        spec.mode = mode
     result = run_experiment(spec)
     return RunRecord(
         index=request.index,

@@ -66,6 +66,36 @@ def format_series(rows: Sequence[Dict], title: str = "") -> str:
     return "\n".join(lines) + "\n"
 
 
+def format_network_breakdown(network_stats: Dict, title: str = "network traffic by message type") -> str:
+    """Render the per-message-type counters of a run's ``network_stats``.
+
+    Expects the dict produced by :meth:`repro.net.network.NetworkStats.as_dict`
+    (one row per payload type, plus a totals row carrying the drop and byte
+    counters).  Plain stats dicts without per-type maps render as totals only.
+    """
+    sent_by_type = network_stats.get("sent_by_type", {})
+    delivered_by_type = network_stats.get("delivered_by_type", {})
+    names = sorted(set(sent_by_type) | set(delivered_by_type), key=lambda name: (-sent_by_type.get(name, 0), name))
+    rows = [
+        {
+            "message_type": name,
+            "sent": sent_by_type.get(name, 0),
+            "delivered": delivered_by_type.get(name, 0),
+        }
+        for name in names
+    ]
+    rows.append(
+        {
+            "message_type": "(total)",
+            "sent": network_stats.get("messages_sent", 0),
+            "delivered": network_stats.get("messages_delivered", 0),
+            "dropped": network_stats.get("messages_dropped", 0),
+            "bytes_sent": network_stats.get("bytes_sent", 0),
+        }
+    )
+    return format_series(rows, title=title)
+
+
 def format_suite(results: Dict[str, Sequence[Dict]]) -> str:
     """Render a whole suite result (``{scenario name: rows}``) as stacked tables."""
     if not results:

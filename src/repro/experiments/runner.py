@@ -35,6 +35,7 @@ class ExperimentSpec:
 
     protocol: str
     n: int = 4
+    mode: str = "sim"
     batch_size: int = 100
     workload: str = "ycsb"
     workload_kwargs: Dict = field(default_factory=dict)
@@ -67,13 +68,21 @@ class ExperimentSpec:
         message instead of letting a bad value fail deep inside the
         simulator.  Returns ``self`` so call sites can chain.
         """
-        from repro.core.registry import PROTOCOLS
+        from repro.core.registry import canonical_protocol
         from repro.workloads.base import available_workloads
 
-        if self.protocol not in PROTOCOLS:
+        self.protocol = canonical_protocol(self.protocol)
+        if self.mode not in ("sim", "live"):
             raise ConfigurationError(
-                f"unknown protocol {self.protocol!r}; available: {sorted(PROTOCOLS)}"
+                f"unknown mode {self.mode!r}; available: ['live', 'sim']"
             )
+        if self.mode == "live":
+            if self.regions or self.latency_model is not None or self.delay_injection:
+                raise ConfigurationError(
+                    "live mode runs over real sockets: regions / latency_model / "
+                    "delay_injection are simulation-only knobs (multi-host deploys "
+                    "are a ROADMAP item)"
+                )
         if self.n < 4:
             raise ConfigurationError(
                 f"n must be >= 4 (BFT needs n >= 3f + 1 with f >= 1), got {self.n}"
@@ -145,7 +154,7 @@ def _build_latency_model(spec: ExperimentSpec) -> LatencyModel:
     return ConstantLatency(spec.base_latency)
 
 
-def _default_num_clients(spec: ExperimentSpec, replica_class) -> int:
+def default_num_clients(spec: ExperimentSpec, replica_class) -> int:
     """Size the closed-loop client population at the protocol's pipeline knee.
 
     The paper tunes the client count to the saturation knee so that measured
@@ -157,18 +166,35 @@ def _default_num_clients(spec: ExperimentSpec, replica_class) -> int:
     return max(16, int(round(spec.knee_factor * knee_blocks * spec.batch_size)))
 
 
-def run_experiment(spec: ExperimentSpec) -> RunResult:
-    """Run one experiment and return its result.
+@dataclass
+class Deployment:
+    """The consensus-side components of one deployment, substrate-agnostic.
 
-    Raises :class:`SafetyViolationError` if ``spec.check_safety`` is set and
-    the committed ledgers of two honest replicas diverge (this never happens
-    with the implemented behaviours; the check guards the reproduction
-    itself).  The spec is validated first, so configuration mistakes raise
-    :class:`~repro.errors.ConfigurationError` before any simulator state is
-    built.
+    Built by :func:`build_deployment` for the simulator and the live runtime
+    alike, so the two substrates can never drift apart in how they configure
+    protocols, crypto, workloads or replicas.
     """
-    spec.validate()
-    sim = Simulator(seed=spec.seed)
+
+    config: ProtocolConfig
+    authority: CertificateAuthority
+    leaders: RoundRobinLeaderElection
+    workload: object
+    mempool: Mempool
+    metrics: MetricsCollector
+    costs: CostModel
+    replica_class: type
+    replicas: List[BaseReplica]
+
+
+def build_deployment(spec: ExperimentSpec, scheduler, network_for) -> Deployment:
+    """Construct config, crypto, workload and replicas for one deployment.
+
+    ``scheduler`` is the shared time source (a :class:`Simulator` or a
+    :class:`~repro.live.runtime.WallClock`); ``network_for(replica_id)``
+    returns the network endpoint each replica is built against (the one
+    shared :class:`SimNetwork`, or that replica's ``AsyncTcpTransport``).
+    The first honest replica is marked as the metrics reporter.
+    """
     config = ProtocolConfig(
         n=spec.n,
         batch_size=spec.batch_size,
@@ -179,6 +205,72 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
         seed=spec.seed,
         max_slots_per_view=spec.max_slots_per_view,
     )
+    scheme = ThresholdScheme(n=config.n, threshold=config.quorum, seed=spec.seed)
+    authority = CertificateAuthority(scheme)
+    leaders = RoundRobinLeaderElection(config.n)
+    workload = make_workload(spec.workload, **spec.workload_kwargs)
+    mempool = Mempool()
+    metrics = MetricsCollector(warmup=spec.warmup)
+    costs = CostModel()
+    replica_class = replica_class_for(spec.protocol)
+    replicas: List[BaseReplica] = []
+    for replica_id in range(config.n):
+        replicas.append(
+            replica_class(
+                replica_id,
+                scheduler,
+                network_for(replica_id),
+                config,
+                authority,
+                leaders,
+                workload.make_state_machine(),
+                mempool,
+                metrics,
+                costs=costs,
+                behavior=spec.behaviors.get(replica_id),
+            )
+        )
+    reporter = next(
+        (replica for replica in replicas if not replica.behavior.is_byzantine), replicas[0]
+    )
+    reporter.report_metrics = True
+    return Deployment(
+        config=config,
+        authority=authority,
+        leaders=leaders,
+        workload=workload,
+        mempool=mempool,
+        metrics=metrics,
+        costs=costs,
+        replica_class=replica_class,
+        replicas=replicas,
+    )
+
+
+def run_experiment(spec: ExperimentSpec) -> RunResult:
+    """Run one experiment and return its result.
+
+    Raises :class:`SafetyViolationError` if ``spec.check_safety`` is set and
+    the committed ledgers of two honest replicas diverge (this never happens
+    with the implemented behaviours; the check guards the reproduction
+    itself).  The spec is validated first, so configuration mistakes raise
+    :class:`~repro.errors.ConfigurationError` before any simulator state is
+    built.
+
+    Specs with ``mode="live"`` are dispatched to the asyncio deployment
+    runtime (:func:`repro.live.deploy.run_live_experiment`), which executes
+    the same replicas over real localhost TCP sockets and returns through the
+    identical :class:`RunResult` pipeline.
+    """
+    spec.validate()
+    if spec.mode == "live":
+        from repro.live.deploy import run_live_experiment  # local import: avoids cycle
+
+        return run_live_experiment(spec)
+    from repro.live.codec import reset_size_cache
+
+    reset_size_cache()  # message sizes are memoized per shape, scoped to one run
+    sim = Simulator(seed=spec.seed)
     faults = FaultInjector()
     if spec.delay_injection:
         impacted = spec.delay_injection.get("impacted", [])
@@ -190,60 +282,33 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
     from repro.net.network import SimNetwork  # local import to avoid cycles
 
     network = SimNetwork(sim, latency=latency, faults=faults)
-    scheme = ThresholdScheme(n=config.n, threshold=config.quorum, seed=spec.seed)
-    authority = CertificateAuthority(scheme)
-    leaders = RoundRobinLeaderElection(config.n)
-    workload = make_workload(spec.workload, **spec.workload_kwargs)
-    mempool = Mempool()
-    metrics = MetricsCollector(warmup=spec.warmup)
-    costs = CostModel()
-
-    replica_class = replica_class_for(spec.protocol)
-    replicas: List[BaseReplica] = []
-    for replica_id in range(config.n):
-        replica = replica_class(
-            replica_id,
-            sim,
-            network,
-            config,
-            authority,
-            leaders,
-            workload.make_state_machine(),
-            mempool,
-            metrics,
-            costs=costs,
-            behavior=spec.behaviors.get(replica_id),
-        )
-        replicas.append(replica)
-    reporter = next(
-        (replica for replica in replicas if not replica.behavior.is_byzantine), replicas[0]
-    )
-    reporter.report_metrics = True
+    deployment = build_deployment(spec, sim, lambda replica_id: network)
+    metrics = deployment.metrics
 
     client_pool = ClientPool(
         sim=sim,
         network=network,
-        workload=workload,
-        config=config,
+        workload=deployment.workload,
+        config=deployment.config,
         metrics=metrics,
-        num_clients=spec.num_clients or _default_num_clients(spec, replica_class),
-        required_quorum=client_quorum_for(spec.protocol, config),
+        num_clients=spec.num_clients or default_num_clients(spec, deployment.replica_class),
+        required_quorum=client_quorum_for(spec.protocol, deployment.config),
         target_replicas=_client_targets(spec, latency),
     )
 
-    for replica in replicas:
+    for replica in deployment.replicas:
         replica.start()
     client_pool.start()
     sim.run(until=spec.duration)
 
-    _aggregate_replica_counters(metrics, replicas, network)
+    aggregate_replica_counters(metrics, deployment.replicas, network.stats)
     if spec.check_safety:
-        _check_ledger_safety(replicas)
+        check_ledger_safety(deployment.replicas)
     summary = metrics.summarize(spec.protocol, spec.duration)
     return RunResult(
         spec=spec,
         summary=summary,
-        replicas=replicas,
+        replicas=deployment.replicas,
         client_pool=client_pool,
         network_stats=network.stats.as_dict(),
     )
@@ -261,20 +326,25 @@ def _client_targets(spec: ExperimentSpec, latency: LatencyModel) -> Optional[Lis
     return local or None
 
 
-def _aggregate_replica_counters(
-    metrics: MetricsCollector, replicas: Sequence[BaseReplica], network
+def aggregate_replica_counters(
+    metrics: MetricsCollector, replicas: Sequence[BaseReplica], stats
 ) -> None:
-    """Fold per-replica ledger counters and network stats into the collector."""
+    """Fold per-replica ledger counters and network *stats* into the collector.
+
+    Shared by the simulated runner and the live deployment harness, which
+    passes the :class:`~repro.net.network.NetworkStats` merged across every
+    node's transport.
+    """
     honest = [replica for replica in replicas if not replica.behavior.is_byzantine]
     metrics.rollbacks = sum(replica.ledger.rollback_count for replica in honest)
     metrics.rolled_back_txns = sum(replica.ledger.rolled_back_txns for replica in honest)
     metrics.speculative_executions = sum(
         replica.ledger.speculated_block_count for replica in honest
     )
-    metrics.messages_sent = network.stats.messages_sent
+    metrics.messages_sent = stats.messages_sent
 
 
-def _check_ledger_safety(replicas: Sequence[BaseReplica]) -> None:
+def check_ledger_safety(replicas: Sequence[BaseReplica]) -> None:
     """Verify that honest replicas' committed ledgers are prefixes of each other."""
     honest = [replica for replica in replicas if not replica.behavior.is_byzantine]
     chains = [

@@ -1,0 +1,53 @@
+"""Live asyncio deployment runtime.
+
+Runs the same protocol state machines the simulator drives — unmodified —
+over real asyncio TCP sockets: :mod:`repro.live.codec` defines the
+length-prefixed wire format, :mod:`repro.live.transport` the per-node TCP
+transport, :mod:`repro.live.runtime` the wall-clock scheduler facade, and
+:mod:`repro.live.deploy` the localhost cluster + load-generator harness that
+funnels results into the standard :class:`~repro.experiments.runner.RunResult`
+pipeline.
+
+Heavier submodules are imported lazily so that the simulated network can ask
+the codec for message sizes without dragging the consensus layer into its
+import graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "AsyncTcpTransport",
+    "LiveCluster",
+    "LiveLoadGenerator",
+    "LiveNode",
+    "Transport",
+    "WallClock",
+    "codec",
+    "run_live_experiment",
+]
+
+_LAZY = {
+    "AsyncTcpTransport": ("repro.live.transport", "AsyncTcpTransport"),
+    "Transport": ("repro.live.transport", "Transport"),
+    "WallClock": ("repro.live.runtime", "WallClock"),
+    "LiveCluster": ("repro.live.runtime", "LiveCluster"),
+    "LiveNode": ("repro.live.runtime", "LiveNode"),
+    "LiveLoadGenerator": ("repro.live.deploy", "LiveLoadGenerator"),
+    "run_live_experiment": ("repro.live.deploy", "run_live_experiment"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name == "codec":
+        import repro.live.codec as codec
+
+        return codec
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,220 @@
+"""Live deployment harness: an n-replica localhost cluster plus load generator.
+
+:func:`run_live_experiment` is the wall-clock twin of
+:func:`repro.experiments.runner.run_experiment`: it takes the same
+:class:`ExperimentSpec`, builds the same replica classes against
+:class:`~repro.live.transport.AsyncTcpTransport` endpoints and a shared
+:class:`~repro.live.runtime.WallClock`, drives real traffic for
+``spec.duration`` wall-clock seconds (or until ``target_ops`` client
+operations complete), and funnels the measurements through the identical
+:class:`~repro.experiments.runner.RunResult` → report pipeline.  No protocol
+rule is forked: speculation, slotting and commit logic run byte-for-byte the
+same code as in simulation.
+
+Like the simulator (see :mod:`repro.consensus.mempool`), the in-process
+cluster models perfect request dissemination with one shared mempool; the
+consensus traffic itself — proposals, votes, certificates, client responses —
+travels over real TCP sockets.  A distributed mempool and multi-host deploys
+are ROADMAP items this module is the foundation for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from repro.consensus.client import CLIENT_POOL_NODE_ID, ClientPool
+from repro.core.registry import client_quorum_for
+from repro.errors import ConfigurationError, ConsensusError
+from repro.experiments.runner import (
+    ExperimentSpec,
+    RunResult,
+    aggregate_replica_counters,
+    build_deployment,
+    check_ledger_safety,
+    default_num_clients,
+)
+from repro.live.runtime import LiveCluster, LiveNode, WallClock
+from repro.live.transport import AsyncTcpTransport
+from repro.net.network import NetworkStats
+from repro.sim.process import PeriodicTimer
+
+#: How often the measurement loop checks the stop conditions (seconds).
+POLL_INTERVAL = 0.02
+
+#: Open-loop injection ticks are capped at this period; each tick submits
+#: however many transactions the target rate is behind by.
+MIN_INJECT_PERIOD = 0.005
+
+
+class LiveLoadGenerator(ClientPool):
+    """Client load for live runs: closed-loop by default, open-loop at a rate.
+
+    With ``rate=None`` this is exactly the simulator's closed-loop
+    :class:`ClientPool` (each logical client keeps one request outstanding).
+    With a positive ``rate`` the generator runs open-loop: transactions are
+    injected at ``rate`` per second regardless of completions, which is how
+    the paper's real deployments measure saturation throughput.
+    """
+
+    def __init__(self, *args, rate: Optional[float] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if rate is not None and rate <= 0:
+            raise ConfigurationError(f"open-loop rate must be positive, got {rate}")
+        self.rate = rate
+        self.injected_count = 0
+        self._inject_started_at = 0.0
+        self._next_logical = 0
+        self._injector: Optional[PeriodicTimer] = None
+        if rate is not None:
+            period = max(1.0 / rate, MIN_INJECT_PERIOD)
+            # After a stall the injector catches up gradually: at most a few
+            # ticks' worth per callback, so one tick never floods the loop
+            # (and the transport queues) with the whole backlog at once.
+            self._burst_limit = max(1, int(rate * period * 4))
+            self._injector = PeriodicTimer(self.sim, period, self._inject)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Arm the retry timer and either the closed-loop seeds or the injector."""
+        if self.rate is None:
+            super().start()
+            return
+        self._inject_started_at = self.sim.now
+        self._retry_timer.start()
+        self._injector.start(initial_delay=0.0)
+
+    def stop(self) -> None:
+        """Stop issuing new requests."""
+        super().stop()
+        if self._injector is not None:
+            self._injector.stop()
+
+    # -------------------------------------------------------------- open loop
+    def _inject(self) -> None:
+        """Catch the injected count up to ``rate * elapsed``, bounded per tick."""
+        target = int((self.sim.now - self._inject_started_at) * self.rate)
+        burst = min(target - self.injected_count, self._burst_limit)
+        for _ in range(burst):
+            self._submit_new(self._next_logical)
+            self._next_logical += 1
+            self.injected_count += 1
+
+    def _after_completion(self, request) -> None:
+        if self.rate is None:
+            super()._after_completion(request)
+        # Open loop: injection is time-driven, completions do not re-issue.
+
+
+def merge_network_stats(transports) -> NetworkStats:
+    """Sum the per-node transport counters into one cluster-wide view."""
+    merged = NetworkStats()
+    for transport in transports:
+        merged.merge(transport.stats)
+    return merged
+
+
+def run_live_experiment(
+    spec: ExperimentSpec,
+    target_ops: Optional[int] = None,
+    rate: Optional[float] = None,
+) -> RunResult:
+    """Run one live experiment over localhost TCP and return its result.
+
+    Parameters
+    ----------
+    spec:
+        The same declarative spec the simulator takes.  ``spec.duration`` is
+        the wall-clock measurement cap in seconds.
+    target_ops:
+        Stop early once this many client operations have completed (after the
+        warmup has elapsed); ``None`` runs the full duration.
+    rate:
+        Open-loop injection rate in transactions per second; ``None`` uses
+        the closed-loop client population sized exactly as in simulation.
+    """
+    spec.validate()
+    return asyncio.run(_run_live(spec, target_ops=target_ops, rate=rate))
+
+
+async def _run_live(
+    spec: ExperimentSpec, target_ops: Optional[int], rate: Optional[float]
+) -> RunResult:
+    from repro.live.codec import reset_size_cache
+
+    reset_size_cache()
+    clock = WallClock(seed=spec.seed)
+    transports: Dict[int, AsyncTcpTransport] = {
+        replica_id: AsyncTcpTransport(replica_id, clock) for replica_id in range(spec.n)
+    }
+    client_transport = AsyncTcpTransport(CLIENT_POOL_NODE_ID, clock)
+    nodes = [LiveNode(node_id, transport) for node_id, transport in transports.items()]
+    nodes.append(LiveNode(CLIENT_POOL_NODE_ID, client_transport))
+    cluster = LiveCluster(clock, nodes)
+    await cluster.start()
+
+    try:
+        deployment = build_deployment(
+            spec, clock, lambda replica_id: transports[replica_id]
+        )
+        replicas = deployment.replicas
+        metrics = deployment.metrics
+
+        client_pool = LiveLoadGenerator(
+            sim=clock,
+            network=client_transport,
+            workload=deployment.workload,
+            config=deployment.config,
+            metrics=metrics,
+            num_clients=spec.num_clients or default_num_clients(spec, deployment.replica_class),
+            required_quorum=client_quorum_for(spec.protocol, deployment.config),
+            rate=rate,
+        )
+
+        for replica in replicas:
+            replica.start()
+        client_pool.start()
+
+        # Count post-warmup completions incrementally: samples only ever
+        # append, so each poll scans just the new tail instead of rebuilding
+        # the filtered list on the loop that is also running consensus.
+        counted_ops = 0
+        scanned = 0
+        while clock.now < spec.duration:
+            await asyncio.sleep(POLL_INTERVAL)
+            if target_ops is None or clock.now <= spec.warmup:
+                continue
+            fresh = metrics.samples[scanned:]
+            scanned += len(fresh)
+            counted_ops += sum(1 for sample in fresh if sample.completed_at >= spec.warmup)
+            if counted_ops >= target_ops:
+                break
+        elapsed = clock.now
+        client_pool.stop()
+        # Snapshot traffic counters at the end of the measurement window, so
+        # the report excludes teardown traffic (replica timers keep firing
+        # until the transports close, and post-close sends count as drops).
+        stats = merge_network_stats(cluster.transports)
+    finally:
+        await cluster.close()
+
+    errors = cluster.delivery_errors()
+    if errors:
+        raise ConsensusError(
+            f"live run hit {len(errors)} delivery error(s); first: {errors[0]!r}"
+        ) from errors[0]
+
+    # Completions recorded while the teardown drained land past the
+    # measurement window; trim them so throughput matches the window.
+    metrics.samples = [sample for sample in metrics.samples if sample.completed_at <= elapsed]
+    aggregate_replica_counters(metrics, replicas, stats)
+    if spec.check_safety:
+        check_ledger_safety(replicas)
+    summary = metrics.summarize(spec.protocol, elapsed)
+    return RunResult(
+        spec=spec,
+        summary=summary,
+        replicas=replicas,
+        client_pool=client_pool,
+        network_stats=stats.as_dict(),
+    )

@@ -10,6 +10,22 @@ from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Envelope
 from repro.sim.scheduler import Simulator
 
+_encoded_size = None
+
+
+def _wire_size(payload: Any) -> int:
+    """Real encoded size of *payload* under the live wire format.
+
+    Imported lazily so the network substrate stays importable on its own;
+    unknown payload types (test stubs) keep the historical 256-byte charge.
+    """
+    global _encoded_size
+    if _encoded_size is None:
+        from repro.live.codec import encoded_size
+
+        _encoded_size = encoded_size
+    return _encoded_size(payload)
+
 
 class NetworkNode(Protocol):
     """Anything that can be registered on the network and receive envelopes."""
@@ -21,21 +37,55 @@ class NetworkNode(Protocol):
 
 
 class NetworkStats:
-    """Aggregate traffic counters exposed to the experiment reports."""
+    """Aggregate traffic counters exposed to the experiment reports.
+
+    Besides the classic totals, the stats break sends and deliveries down by
+    payload type (``Propose``, ``NewView``, ...), which is how the paper
+    discusses message complexity; :func:`repro.experiments.report.format_network_breakdown`
+    renders the breakdown as a table.
+    """
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        self.sent_by_type: Dict[str, int] = {}
+        self.delivered_by_type: Dict[str, int] = {}
+
+    def record_sent(self, payload: Any, size_bytes: int) -> None:
+        """Count one outgoing message of *size_bytes*, keyed by payload type."""
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        name = type(payload).__name__
+        self.sent_by_type[name] = self.sent_by_type.get(name, 0) + 1
+
+    def record_delivered(self, payload: Any) -> None:
+        """Count one delivered message, keyed by payload type."""
+        self.messages_delivered += 1
+        name = type(payload).__name__
+        self.delivered_by_type[name] = self.delivered_by_type.get(name, 0) + 1
+
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold *other*'s counters into this one (live mode aggregates per-node stats)."""
+        self.messages_sent += other.messages_sent
+        self.messages_delivered += other.messages_delivered
+        self.messages_dropped += other.messages_dropped
+        self.bytes_sent += other.bytes_sent
+        for name, count in other.sent_by_type.items():
+            self.sent_by_type[name] = self.sent_by_type.get(name, 0) + count
+        for name, count in other.delivered_by_type.items():
+            self.delivered_by_type[name] = self.delivered_by_type.get(name, 0) + count
 
     def as_dict(self) -> Dict[str, int]:
-        """Return the counters as a plain dictionary."""
+        """Return the counters as a plain dictionary (per-type maps nested)."""
         return {
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
             "bytes_sent": self.bytes_sent,
+            "sent_by_type": dict(self.sent_by_type),
+            "delivered_by_type": dict(self.delivered_by_type),
         }
 
 
@@ -84,14 +134,22 @@ class SimNetwork:
         self._trace_hook = hook
 
     # ------------------------------------------------------------------ send
-    def send(self, sender: int, receiver: int, payload: Any, size_bytes: int = 256) -> Optional[Envelope]:
+    def send(
+        self, sender: int, receiver: int, payload: Any, size_bytes: Optional[int] = None
+    ) -> Optional[Envelope]:
         """Send *payload* from *sender* to *receiver*.
+
+        ``size_bytes`` defaults to the message's real encoded size under the
+        live wire format (:func:`repro.live.codec.encoded_size`), so simulated
+        byte counters match what a live deployment would put on the sockets;
+        pass an explicit value to model a different serialization.
 
         Returns the in-flight :class:`Envelope`, or ``None`` if the message
         was dropped by a fault rule or the receiver is unknown.
         """
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size_bytes
+        if size_bytes is None:
+            size_bytes = _wire_size(payload)
+        self.stats.record_sent(payload, size_bytes)
         if self.faults.should_drop(sender, receiver):
             self.faults.record_drop()
             self.stats.messages_dropped += 1
@@ -117,13 +175,15 @@ class SimNetwork:
         payload: Any,
         receivers: Optional[Iterable[int]] = None,
         include_self: bool = True,
-        size_bytes: int = 256,
+        size_bytes: Optional[int] = None,
     ) -> int:
         """Send *payload* to every registered node (or the given *receivers*).
 
         Returns the number of messages handed to the network (drops included,
         as the sender cannot observe them).
         """
+        if size_bytes is None:
+            size_bytes = _wire_size(payload)  # encode once for the whole fan-out
         targets = list(self._nodes if receivers is None else receivers)
         count = 0
         for receiver in targets:
@@ -147,7 +207,7 @@ class SimNetwork:
         if node is None:
             self.stats.messages_dropped += 1
             return
-        self.stats.messages_delivered += 1
+        self.stats.record_delivered(envelope.payload)
         if self._trace_hook is not None:
             self._trace_hook(envelope)
         node.deliver(envelope)

@@ -35,10 +35,13 @@ class ZipfGenerator:
         self._zetan = self._zeta(self.item_count, self.theta)
         self._zeta2 = self._zeta(2, self.theta)
         self._alpha = 1.0 / (1.0 - self.theta) if self.theta > 0 else 1.0
+        # For item_count <= 2 the denominator is zero (zeta(2) == zeta(n)),
+        # but eta is never consulted: next() resolves those draws entirely
+        # through its first two inverse-CDF branches.
+        eta_denominator = 1.0 - self._zeta2 / self._zetan
         self._eta = (
-            (1.0 - math.pow(2.0 / self.item_count, 1.0 - self.theta))
-            / (1.0 - self._zeta2 / self._zetan)
-            if self.theta > 0
+            (1.0 - math.pow(2.0 / self.item_count, 1.0 - self.theta)) / eta_denominator
+            if self.theta > 0 and eta_denominator != 0.0
             else 0.0
         )
 

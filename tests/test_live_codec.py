@@ -1,0 +1,176 @@
+"""Wire-codec round-trips for every protocol message type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.certificates import CertKind, Certificate
+from repro.consensus.messages import (
+    ClientRequest,
+    ClientResponseBatch,
+    FetchRequest,
+    FetchResponse,
+    NewSlot,
+    NewView,
+    Prepare,
+    Propose,
+    ProposeVote,
+    Reject,
+    ResponseEntry,
+    TimeoutCertificateMsg,
+    Wish,
+)
+from repro.crypto.threshold import ThresholdScheme
+from repro.experiments.report import format_network_breakdown
+from repro.ledger.block import Block, make_genesis_block
+from repro.ledger.transaction import Transaction
+from repro.live import codec
+from repro.types import NULL_DIGEST
+
+
+def _fixture_objects():
+    """Build one of everything: shares, an aggregate, a block, a certificate."""
+    scheme = ThresholdScheme(n=4, threshold=3, seed=7)
+    shares = [scheme.create_share(signer, "digest-of-vote", context="prepare") for signer in range(3)]
+    aggregate = scheme.aggregate(shares)
+    txns = tuple(
+        Transaction.create(
+            client_id=-1_000_000 - i,
+            operation="ycsb_write",
+            payload={"key": 40 + i, "value": "v" * 16},
+            submitted_at=0.25,
+        )
+        for i in range(3)
+    )
+    block = Block.build(
+        view=5,
+        slot=2,
+        parent_hash=make_genesis_block().block_hash,
+        proposer=1,
+        transactions=txns,
+        carry_hash=NULL_DIGEST,
+    )
+    cert = Certificate(
+        kind=CertKind.PREPARE,
+        view=5,
+        slot=2,
+        block_hash=block.block_hash,
+        signature=aggregate,
+        formed_in_view=6,
+    )
+    return shares, block, cert, txns
+
+
+def _all_messages():
+    shares, block, cert, txns = _fixture_objects()
+    entries = tuple(
+        ResponseEntry(txn_id=txn.txn_id, client_id=txn.client_id, result_digest="r" * 64, success=True)
+        for txn in txns
+    )
+    return [
+        ClientRequest(txn=txns[0]),
+        ClientResponseBatch(
+            replica_id=2, view=5, slot=2, block_hash=block.block_hash, speculative=True, entries=entries
+        ),
+        Propose(view=5, slot=2, block=block, justify=cert, commit_cert=cert, carry_hash=block.block_hash),
+        Propose(view=5, slot=2, block=block, justify=cert),  # optional fields absent
+        ProposeVote(view=5, voter=3, block_hash=block.block_hash, share=shares[0]),
+        Prepare(view=5, cert=cert),
+        NewView(view=6, voter=1, high_cert=cert, share=shares[1], voted_block_hash=block.block_hash),
+        NewView(view=6, voter=1, high_cert=cert, share=None),  # timeout vote
+        NewSlot(view=5, slot=3, voter=0, high_cert=cert, share=shares[2], voted_block_hash=block.block_hash),
+        Reject(view=5, slot=3, voter=2, high_cert=cert),
+        Wish(view=6, voter=3, share=shares[0]),
+        TimeoutCertificateMsg(view=6, cert=cert),
+        FetchRequest(block_hash=block.block_hash, requester=1),
+        FetchResponse(block=block),
+    ]
+
+
+class TestMessageRoundTrip:
+    def test_every_message_type_round_trips(self):
+        seen_types = set()
+        for message in _all_messages():
+            decoded = codec.decode_message(codec.encode_message(message))
+            assert decoded == message
+            seen_types.add(type(message))
+        assert seen_types == set(codec.MESSAGE_TYPES)
+
+    def test_nested_objects_are_reconstructed_with_their_types(self):
+        _, block, cert, _ = _fixture_objects()
+        proposal = codec.decode_message(codec.encode_message(Propose(view=5, slot=2, block=block, justify=cert)))
+        assert isinstance(proposal.block, Block)
+        assert isinstance(proposal.block.transactions, tuple)
+        assert isinstance(proposal.block.transactions[0], Transaction)
+        assert isinstance(proposal.justify, Certificate)
+        assert proposal.justify.kind is CertKind.PREPARE
+        assert isinstance(proposal.justify.signature.signers, tuple)
+
+    def test_transaction_payload_keys_survive_including_non_string(self):
+        txn = Transaction.create(client_id=1, operation="op", payload={1: "a", "b": [1, 2], "c": {"d": 0.5}})
+        decoded = codec.decode_message(codec.encode_message(ClientRequest(txn=txn)))
+        assert decoded.txn.payload == {1: "a", "b": [1, 2], "c": {"d": 0.5}}
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(codec.UnknownWireTypeError):
+            codec.encode_message(object())
+
+    def test_garbage_bytes_raise_codec_error(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode_message(b"not json at all{")
+
+
+class TestEnvelopeFrames:
+    def test_frame_round_trip_preserves_routing_fields(self):
+        message = _all_messages()[0]
+        frame = codec.encode_envelope_frame(3, -1, message, 1.25)
+        (length,) = codec.FRAME_HEADER.unpack(frame[:4])
+        assert length == len(frame) - 4
+        sender, receiver, sent_at, payload = codec.decode_envelope_body(frame[4:])
+        assert (sender, receiver, sent_at, payload) == (3, -1, 1.25, message)
+
+    def test_wire_version_mismatch_rejected(self):
+        frame = codec.encode_envelope_frame(0, 1, _all_messages()[0], 0.0)
+        body = frame[4:].replace(b'{"v":1,', b'{"v":99,')
+        with pytest.raises(codec.CodecError):
+            codec.decode_envelope_body(body)
+
+
+class TestEncodedSize:
+    def test_known_messages_are_sized_from_their_encoding(self):
+        codec._size_cache.clear()  # other tests' runs may have seeded shapes
+        for message in _all_messages():
+            expected = len(codec.encode_message(message)) + codec.ENVELOPE_OVERHEAD
+            assert codec.encoded_size(message) == expected
+
+    def test_unknown_payloads_charge_the_default(self):
+        assert codec.encoded_size("plain string") == codec.DEFAULT_SIZE_BYTES
+        assert codec.encoded_size(None, default=99) == 99
+
+    def test_size_scales_with_batch(self):
+        shares, block, cert, txns = _fixture_objects()
+        big = Block.build(view=5, slot=1, parent_hash=block.parent_hash, proposer=0, transactions=txns * 20)
+        small = Propose(view=5, slot=1, block=block, justify=cert)
+        large = Propose(view=5, slot=1, block=big, justify=cert)
+        assert codec.encoded_size(large) > codec.encoded_size(small) + 1000
+
+
+class TestNetworkBreakdownReport:
+    def test_renders_per_type_rows_and_totals(self):
+        stats = {
+            "messages_sent": 12,
+            "messages_delivered": 10,
+            "messages_dropped": 2,
+            "bytes_sent": 3456,
+            "sent_by_type": {"Propose": 4, "NewView": 8},
+            "delivered_by_type": {"Propose": 4, "NewView": 6},
+        }
+        table = format_network_breakdown(stats)
+        lines = table.splitlines()
+        assert any(line.startswith("NewView") for line in lines)  # sorted by sent desc
+        assert any(line.startswith("Propose") for line in lines)
+        assert any("(total)" in line and "3456" in line for line in lines)
+
+    def test_plain_stats_render_totals_only(self):
+        table = format_network_breakdown({"messages_sent": 1, "bytes_sent": 256})
+        assert "(total)" in table

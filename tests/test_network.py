@@ -134,6 +134,49 @@ class TestSimNetwork:
         sim.run()
         assert len(seen) == 1
 
+    def test_protocol_messages_are_sized_by_the_wire_codec(self):
+        from repro.consensus.messages import FetchRequest
+        from repro.live.codec import encoded_size
+
+        sim, network, nodes = build_network()
+        message = FetchRequest(block_hash="c" * 64, requester=0)
+        envelope = network.send(0, 1, message)
+        assert envelope.size_bytes == encoded_size(message)
+        assert network.stats.bytes_sent == encoded_size(message)
+        # Unknown payloads (test stubs) keep the historical 256-byte charge.
+        network.send(0, 1, "stub")
+        assert network.stats.bytes_sent == encoded_size(message) + 256
+        # Explicit sizes still win over the codec.
+        network.send(0, 1, message, size_bytes=10)
+        assert network.stats.bytes_sent == encoded_size(message) + 256 + 10
+
+    def test_stats_break_down_by_message_type(self):
+        from repro.consensus.messages import FetchRequest
+
+        sim, network, nodes = build_network()
+        network.send(0, 1, FetchRequest(block_hash="d" * 64, requester=0))
+        network.broadcast(0, "announce", include_self=False)
+        network.send(0, 99, FetchRequest(block_hash="d" * 64, requester=0))  # dropped
+        sim.run()
+        stats = network.stats.as_dict()
+        assert stats["sent_by_type"] == {"FetchRequest": 2, "str": 2}
+        assert stats["delivered_by_type"] == {"FetchRequest": 1, "str": 2}
+
+    def test_stats_merge_sums_counters(self):
+        from repro.net.network import NetworkStats
+
+        first, second = NetworkStats(), NetworkStats()
+        first.record_sent("a", 10)
+        second.record_sent("b", 20)
+        second.record_delivered("b")
+        second.messages_dropped = 3
+        first.merge(second)
+        assert first.messages_sent == 2
+        assert first.bytes_sent == 30
+        assert first.messages_dropped == 3
+        assert first.sent_by_type == {"str": 2}
+        assert first.delivered_by_type == {"str": 1}
+
 
 class TestFaultInjection:
     def test_injected_delay_applies_to_impacted_receiver(self):
