@@ -4,6 +4,7 @@ Usage (installed as a module)::
 
     python -m repro run --protocol hotstuff-1 --replicas 16 --duration 0.5
     python -m repro live --protocol hotstuff1 --n 4
+    python -m repro chaos kill-leader --protocol hotstuff-1 --duration 1.0
     python -m repro compare --replicas 16 --batch 100
     python -m repro figure fig8-scalability --jobs 4 --repeats 3 --out results.csv
     python -m repro suite fig8-scalability fig10-rollback --jobs 4
@@ -19,6 +20,12 @@ Sub-commands
     Run one experiment on the live asyncio runtime: an n-replica localhost
     TCP cluster plus a client load generator, reported through the same
     pipeline as simulations.
+``chaos``
+    Run one experiment (sim or live) under a fault plan — a named preset
+    (``kill-replica``, ``kill-leader``, ``cascade``, ``partition-heal``) or a
+    JSON :class:`~repro.faults.plan.FaultPlan` — and report recovery time,
+    operations lost to rollback and committed-prefix agreement.  ``run`` and
+    ``live`` also accept ``--faults plan.json`` directly.
 ``compare``
     Run every evaluation protocol under the same configuration and print the
     comparison table (plus an ASCII latency chart).
@@ -50,7 +57,14 @@ from repro.consensus.config import ProtocolConfig
 from repro.core.registry import EVALUATION_PROTOCOLS, PROTOCOLS
 from repro.errors import ConfigurationError
 from repro.experiments.executor import execute_scenario, execute_suite
-from repro.experiments.report import format_network_breakdown, format_series, format_suite
+from repro.experiments.report import (
+    format_chaos_report,
+    format_network_breakdown,
+    format_series,
+    format_suite,
+)
+from repro.faults.plan import PRESETS as CHAOS_PRESETS
+from repro.faults.plan import chaos_preset, load_plan
 from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.experiments.spec import SuiteSpec, expand_suite, load_suite
 from repro.experiments.scenarios import scenario_spec
@@ -70,6 +84,7 @@ FIGURES: Dict[str, Dict] = {
     "fig10-rollback": {"n": 16, "faulty_counts": (0, 2, 4)},
     "latency-breakdown": {"replica_counts": (4, 16)},
     "ablation-slotting": {"n": 8},
+    "chaos-recovery": {"n": 4, "duration": 0.8, "faults": ("kill-replica", "kill-leader")},
 }
 
 
@@ -86,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--protocol", default="hotstuff-1",
         help=f"protocol name or alias, e.g. hotstuff1 (available: {', '.join(sorted(PROTOCOLS))})",
+    )
+    run_parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON file (crash/restart/partition/pause)",
     )
 
     live_parser = subparsers.add_parser(
@@ -109,6 +128,37 @@ def build_parser() -> argparse.ArgumentParser:
                              help="closed-loop client population (default: pipeline knee)")
     live_parser.add_argument("--rate", type=float, default=None,
                              help="open-loop injection rate in txn/s (default: closed loop)")
+    live_parser.add_argument("--faults", default=None, metavar="PLAN.json",
+                             help="inject faults from a FaultPlan JSON file (crash/restart)")
+    live_parser.add_argument("--storage-dir", default=None,
+                             help="directory for file-backed replica stores (default: in-memory)")
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run one experiment under a fault plan and report recovery"
+    )
+    chaos_parser.add_argument(
+        "preset", nargs="?", default="kill-replica",
+        help=f"named fault preset (available: {', '.join(sorted(CHAOS_PRESETS))})",
+    )
+    _add_common_arguments(chaos_parser)
+    chaos_parser.add_argument(
+        "--protocol", default="hotstuff-1",
+        help=f"protocol name or alias, e.g. hotstuff1 (available: {', '.join(sorted(PROTOCOLS))})",
+    )
+    chaos_parser.add_argument("--mode", choices=("sim", "live"), default="sim",
+                              help="substrate: discrete-event simulation or localhost TCP")
+    chaos_parser.add_argument("--plan", default=None, metavar="PLAN.json",
+                              help="FaultPlan JSON file (overrides the preset)")
+    chaos_parser.add_argument("--at", type=float, default=None,
+                              help="when the first fault fires (default: 30%% of duration)")
+    chaos_parser.add_argument("--down-for", type=float, default=None,
+                              help="how long a replica stays down (default: 15%% of duration)")
+    chaos_parser.add_argument("--replica", type=int, default=1,
+                              help="static target of the kill-replica preset")
+    chaos_parser.add_argument("--storage-dir", default=None,
+                              help="directory for file-backed replica stores (default: in-memory)")
+    chaos_parser.add_argument("--emit-plan", action="store_true",
+                              help="print the resolved fault plan as JSON and exit")
 
     compare_parser = subparsers.add_parser("compare", help="compare all evaluation protocols")
     _add_common_arguments(compare_parser)
@@ -229,10 +279,15 @@ def _suite_from_args(args: argparse.Namespace) -> SuiteSpec:
 
 def command_run(args: argparse.Namespace) -> int:
     """Run a single experiment and print the metric summary."""
-    result = run_experiment(_spec_from_args(args, args.protocol))
+    spec = _spec_from_args(args, args.protocol)
+    if args.faults:
+        spec.faults = load_plan(args.faults).to_dict()
+    result = run_experiment(spec)
     rows = [result.summary.as_dict()]
     print(format_series(rows, title=f"{args.protocol} — n={args.replicas}, batch={args.batch}"))
     print(format_network_breakdown(result.network_stats))
+    if result.chaos is not None:
+        print(format_chaos_report(result.chaos))
     return 0
 
 
@@ -251,6 +306,8 @@ def command_live(args: argparse.Namespace) -> int:
         seed=args.seed,
         view_timeout=args.view_timeout,
         num_clients=args.clients,
+        faults=load_plan(args.faults).to_dict() if args.faults else None,
+        storage_dir=args.storage_dir,
     )
     target_ops = args.target_ops if args.target_ops > 0 else None
     result = run_live_experiment(spec, target_ops=target_ops, rate=args.rate)
@@ -262,12 +319,66 @@ def command_live(args: argparse.Namespace) -> int:
     )
     print(format_series([summary.as_dict()], title=f"{spec.protocol} — live, n={spec.n}"))
     print(format_network_breakdown(result.network_stats))
+    if result.chaos is not None:
+        print(format_chaos_report(result.chaos))
     if target_ops is not None and summary.committed_txns < target_ops:
         print(
             f"warning: only {summary.committed_txns} of the targeted "
             f"{target_ops} operations completed within {spec.duration}s",
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def command_chaos(args: argparse.Namespace) -> int:
+    """Run one experiment under a fault plan and report recovery.
+
+    Exit code 0 means every crashed replica restarted, recovered (committed
+    at least one new block) and the cluster's committed prefixes agree —
+    which is what the CI chaos smoke asserts.
+    """
+    if args.plan:
+        plan = load_plan(args.plan)
+    else:
+        plan = chaos_preset(
+            args.preset,
+            n=args.replicas,
+            at=args.at if args.at is not None else round(args.duration * 0.3, 6),
+            down_for=args.down_for if args.down_for is not None else round(args.duration * 0.15, 6),
+            replica=args.replica,
+        )
+    if args.emit_plan:
+        print(plan.to_json())
+        return 0
+    spec = _spec_from_args(args, args.protocol)
+    spec.mode = args.mode
+    spec.faults = plan.to_dict()
+    spec.storage_dir = args.storage_dir
+    result = run_experiment(spec)
+    chaos = result.chaos or {}
+    print(
+        f"chaos: {args.preset if not args.plan else args.plan} on n={spec.n} "
+        f"{spec.protocol} ({spec.mode}), {len(plan)} events"
+    )
+    print(format_series([result.summary.as_dict()],
+                        title=f"{spec.protocol} — chaos ({spec.mode}), n={spec.n}"))
+    print(format_chaos_report(chaos))
+    healthy = (
+        bool(chaos.get("prefix_agreement", False))
+        and chaos.get("events_fired", 0) == len(plan)
+        and chaos.get("restarts", 0) == chaos.get("crashes", 0)
+        and chaos.get("recovered", 0) == chaos.get("crashes", 0)
+    )
+    if not healthy:
+        if chaos.get("events_fired", 0) < len(plan):
+            print(
+                f"warning: only {chaos.get('events_fired', 0)} of {len(plan)} fault "
+                "events fired within the run window (check --at/--down-for vs --duration)",
+                file=sys.stderr,
+            )
+        else:
+            print("warning: cluster did not fully recover within the run window", file=sys.stderr)
         return 1
     return 0
 
@@ -349,6 +460,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": command_run,
         "live": command_live,
+        "chaos": command_chaos,
         "compare": command_compare,
         "figure": command_figure,
         "suite": command_suite,

@@ -48,6 +48,8 @@ class MetricsSummary:
     timeouts: int
     messages_sent: int
     consensus_commits: int
+    #: Orphaned fork blocks pruned from honest replicas' block trees.
+    pruned_blocks: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for reports and JSON dumps."""
@@ -66,6 +68,7 @@ class MetricsSummary:
             "timeouts": self.timeouts,
             "messages_sent": self.messages_sent,
             "consensus_commits": self.consensus_commits,
+            "pruned_blocks": self.pruned_blocks,
         }
 
 
@@ -82,6 +85,7 @@ class MetricsCollector:
         self.rolled_back_txns = 0
         self.speculative_executions = 0
         self.messages_sent = 0
+        self.pruned_blocks = 0
         self._committed_txn_ids: set = set()
 
     # ----------------------------------------------------------- client side
@@ -166,4 +170,5 @@ class MetricsCollector:
             timeouts=self.timeouts,
             messages_sent=self.messages_sent,
             consensus_commits=self.consensus_commits,
+            pruned_blocks=self.pruned_blocks,
         )

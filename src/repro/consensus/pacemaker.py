@@ -56,19 +56,32 @@ class Pacemaker:
         self._tc_formed: Set[int] = set()
         self._tc_entered: Set[int] = set()
         self._started = False
+        self.stopped = False
 
     # ------------------------------------------------------------ lifecycle
     def start(self, first_view: int = 1) -> None:
         """Begin operating; every replica calls this at simulation start."""
+        if self.stopped:
+            return
         self._started = True
         if self.config.epoch_sync_enabled and first_view % self.config.epoch_length == 0:
             self.synchronize_epoch(first_view)
         else:
             self.enter_view(first_view)
 
+    def stop(self) -> None:
+        """Stop for good: cancel the view timer and ignore all future activity.
+
+        Called when the hosting replica is halted (crashed); a stopped
+        pacemaker never re-arms, so scheduler callbacks left over from before
+        the crash cannot make a dead replica cycle through views.
+        """
+        self.stopped = True
+        self._view_timer.cancel()
+
     def enter_view(self, view: int) -> None:
         """Enter *view* (monotonic: entering an older view is a no-op)."""
-        if view <= self.current_view:
+        if self.stopped or view <= self.current_view:
             return
         self.current_view = view
         self._highest_completed = max(self._highest_completed, view - 1)
@@ -111,7 +124,7 @@ class Pacemaker:
         return self.start_time.get(view, self.sim.now) + 3.0 * self.config.delta
 
     def _on_view_timer(self, view: int) -> None:
-        if view != self.current_view:
+        if self.stopped or view != self.current_view:
             return
         self.replica.on_view_timeout(view)
 
@@ -122,6 +135,8 @@ class Pacemaker:
 
     def synchronize_epoch(self, view: int) -> None:
         """Send a Wish for *view* to the next epoch's leaders (Figure 3, lines 8-10)."""
+        if self.stopped:
+            return
         share = self.authority.create_timeout_vote(self.replica.replica_id, view)
         wish = Wish(view=view, voter=self.replica.replica_id, share=share)
         for leader in self.epoch_leaders(view):

@@ -40,6 +40,11 @@ class ChainedReplica(BaseReplica):
         self._voted_views: set = set()
 
     # ------------------------------------------------------------- lifecycle
+    def restore_vote_state(self, state) -> None:
+        """Re-arm the per-view vote guard from the recovered WAL summary."""
+        super().restore_vote_state(state)
+        self._voted_views.update(state.voted_views)
+
     def start(self, first_view: int = 1) -> None:
         """Start and bootstrap the first leader with genesis NewView messages."""
         if self.behavior.is_crashed():
@@ -71,7 +76,7 @@ class ChainedReplica(BaseReplica):
 
     def _try_propose(self, view: int, force: bool = False) -> None:
         """Propose for *view* once the Figure 4 leader conditions are met."""
-        if view in self._proposed_views:
+        if self.halted or view in self._proposed_views:
             return
         if self.current_view != view or not self.is_leader_of(view):
             return
@@ -188,6 +193,7 @@ class ChainedReplica(BaseReplica):
             )
             voted_hash = block.block_hash
             self._voted_views.add(msg.view)
+            self.note_vote(msg.view, block.slot, block.block_hash)
         if not self.behavior.withholds_new_view(self, msg.view):
             new_view = NewView(
                 view=msg.view + 1,

@@ -18,7 +18,7 @@ speculation rules apply — lives in the subclasses
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.consensus.byzantine import HonestBehavior, ReplicaBehavior
 from repro.consensus.certificates import Certificate, CertificateAuthority, CertKind
@@ -51,6 +51,7 @@ from repro.ledger.state_machine import StateMachine
 from repro.net.message import Envelope
 from repro.net.network import SimNetwork
 from repro.sim.scheduler import Simulator
+from repro.types import is_null_digest
 
 
 class BaseReplica:
@@ -85,6 +86,7 @@ class BaseReplica:
         behavior: Optional[ReplicaBehavior] = None,
         block_store: Optional[BlockStore] = None,
         client_node_ids: Sequence[int] = (CLIENT_POOL_NODE_ID,),
+        store=None,
     ) -> None:
         self.replica_id = int(replica_id)
         self.node_id = int(replica_id)
@@ -114,6 +116,16 @@ class BaseReplica:
         #: Whether this replica reports global counters (set for one replica per run).
         self.report_metrics = False
         self._pending_fetch: Dict[str, List[Propose]] = {}
+        #: Durable store (:class:`~repro.storage.store.ReplicaStore`) for WAL'd
+        #: votes / certificates / commits; ``None`` disables persistence.
+        self.store = store
+        #: Set by :meth:`halt` when the chaos engine crashes this replica.
+        self.halted = False
+        #: Highest view a vote was ever cast in (restored across restarts).
+        self.last_voted_view = 0
+        #: Optional hook ``(block, now)`` fired on every newly committed block
+        #: (the chaos engine uses it to time restart-to-first-commit).
+        self.commit_listener: Optional[Callable[[Block, float], None]] = None
 
         network.register(self)
 
@@ -123,6 +135,16 @@ class BaseReplica:
         if self.behavior.is_crashed():
             return
         self.pacemaker.start(first_view)
+
+    def halt(self) -> None:
+        """Crash this replica object: drop all traffic and stop its timers.
+
+        Used by the chaos engine; everything not in the durable store is lost
+        with this object and a restarted incarnation is rebuilt from the
+        store by :class:`~repro.storage.recovery.RecoveryManager`.
+        """
+        self.halted = True
+        self.pacemaker.stop()
 
     @property
     def current_view(self) -> int:
@@ -136,7 +158,7 @@ class BaseReplica:
     # ------------------------------------------------------------ networking
     def deliver(self, envelope: Envelope) -> None:
         """Network entry point: dispatch a message to the matching handler."""
-        if self.behavior.is_crashed():
+        if self.halted or self.behavior.is_crashed():
             return
         payload = envelope.payload
         sender = envelope.sender
@@ -164,13 +186,21 @@ class BaseReplica:
             self.handle_fetch_response(payload, sender)
 
     def send(self, target: int, payload, size_bytes: Optional[int] = None) -> None:
-        """Send *payload* to a single node (sized by the wire codec by default)."""
+        """Send *payload* to a single node (sized by the wire codec by default).
+
+        A halted (crashed) replica sends nothing: callbacks scheduled before
+        the crash may still fire, but their messages die here.
+        """
+        if self.halted:
+            return
         self.network.send(self.node_id, target, payload, size_bytes=size_bytes)
 
     def broadcast_replicas(
         self, payload, targets: Optional[Iterable[int]] = None, size_bytes: Optional[int] = None
     ) -> None:
         """Send *payload* to every replica (or the given subset), including ourselves."""
+        if self.halted:
+            return
         receivers = list(targets) if targets is not None else list(self.config.replica_ids())
         self.network.broadcast(self.node_id, payload, receivers=receivers, size_bytes=size_bytes)
 
@@ -224,6 +254,8 @@ class BaseReplica:
         self.certs_by_block.setdefault(cert.block_hash, cert)
         if cert.position > self.high_cert.position:
             self.high_cert = cert
+            if self.store is not None:
+                self.store.record_high_cert(cert)
         return True
 
     def certificate_for_block(self, block_hash: str) -> Optional[Certificate]:
@@ -245,10 +277,19 @@ class BaseReplica:
         speculatively, matching the paper's "sends a response to a client if R
         had not sent a speculative response".  ``response_delay`` charges the
         simulated execution cost before responses leave the replica.
+
+        A replica that is catching up (e.g. rejoining after a crash) may know
+        a commit target whose ancestry has gaps still being fetched; the
+        commit is then deferred — the gap fetch is (re)issued and a later
+        proposal commits the whole suffix once the chain connects.
         """
+        if not self._ancestry_connected(block):
+            return []
         outcomes = self.ledger.commit_chain(block)
         for outcome in outcomes:
             self.mempool.mark_committed(txn.txn_id for txn in outcome.block.transactions)
+            if self.store is not None:
+                self.store.record_commit(outcome.block.block_hash)
             if not outcome.was_speculated:
                 self.respond_to_clients(
                     outcome.block, outcome.results, speculative=False, delay=response_delay
@@ -256,7 +297,31 @@ class BaseReplica:
             if self.report_metrics:
                 self.metrics.record_consensus_commit(outcome.block.txn_count)
             self._requeue_forked_siblings(outcome.block)
+            self._prune_forks(outcome.block)
+            if self.commit_listener is not None:
+                self.commit_listener(outcome.block, self.sim.now)
         return outcomes
+
+    def _ancestry_connected(self, block: Block) -> bool:
+        """``True`` if *block*'s parent chain reaches a committed block.
+
+        When a parent is missing (the replica is behind), the gap block is
+        requested from its child's proposer so catch-up keeps making progress
+        even if an earlier fetch response was lost.
+        """
+        current = block
+        while not self.ledger.is_committed(current.block_hash):
+            parent = self.block_store.parent_of(current)
+            if parent is not None:
+                current = parent
+                continue
+            if current.is_genesis or is_null_digest(current.parent_hash):
+                return True  # reached the root; let the ledger rule on it
+            proposer = current.proposer
+            if 0 <= proposer < self.config.n and proposer != self.replica_id:
+                self.request_block(current.parent_hash, proposer)
+            return False
+        return True
 
     def speculate_block(self, block: Block, response_delay: float = 0.0) -> None:
         """Speculatively execute *block* and send early finality confirmations."""
@@ -282,6 +347,43 @@ class BaseReplica:
             if pending:
                 self.mempool.requeue(pending)
 
+    def _prune_forks(self, committed_block: Block) -> None:
+        """Drop fork branches superseded by *committed_block*, plus their metadata.
+
+        Orphaned siblings can never commit once a conflicting block is final;
+        without pruning they (and their certificates) accumulate for the whole
+        run.  Runs after :meth:`_requeue_forked_siblings` so abandoned
+        transactions are rescued before their blocks disappear.
+        """
+        for pruned_hash in self.block_store.prune_siblings_of(committed_block):
+            self.certs_by_block.pop(pruned_hash, None)
+            self.justify_of.pop(pruned_hash, None)
+            self._pending_fetch.pop(pruned_hash, None)
+
+    # -------------------------------------------------------------- vote WAL
+    def restore_vote_state(self, state) -> None:
+        """Restore the vote-dedup guards from a recovered WAL summary.
+
+        ``state`` is a :class:`~repro.storage.wal.WalState` (duck-typed here
+        to keep the consensus layer import-free of storage): it carries
+        ``last_voted_view``, ``voted_views``, ``voted`` (view, slot) pairs and
+        ``highest_voted_hash``.  Subclasses that keep their own per-view or
+        per-slot vote guards MUST extend this — it is what stops a restarted
+        replica from voting twice in a view it voted in before the crash.
+        """
+        self.last_voted_view = max(self.last_voted_view, int(state.last_voted_view))
+
+    def note_vote(self, view: int, slot: int, block_hash: str) -> None:
+        """Record that a vote for ``(view, slot)`` is about to be sent.
+
+        Must be called *before* the vote leaves the replica: the WAL entry is
+        what stops a restarted incarnation from voting twice in the same
+        view/slot (equivocation).
+        """
+        self.last_voted_view = max(self.last_voted_view, int(view))
+        if self.store is not None:
+            self.store.record_vote(view, slot, block_hash)
+
     # ------------------------------------------------------------------ fetch
     def handle_fetch_request(self, msg: FetchRequest, sender: int) -> None:
         """Serve a block another replica is missing."""
@@ -290,9 +392,33 @@ class BaseReplica:
             self.send(msg.requester, FetchResponse(block=block))
 
     def handle_fetch_response(self, msg: FetchResponse, sender: int) -> None:
-        """Store a fetched block and retry proposals that were waiting for it."""
-        self.block_store.add(msg.block)
-        waiting = self._pending_fetch.pop(msg.block.block_hash, [])
+        """Store a fetched block, walk its ancestry, retry parked proposals.
+
+        Insertion is idempotent: a response for a block already held (peers
+        can answer the same request twice, or several peers answer one gap)
+        neither re-inserts the block nor re-fires the parked proposals a
+        previous copy already released.
+
+        Catch-up is chained: if the fetched block's parent is also unknown,
+        the parent is requested from the same peer, so a replica that fell
+        arbitrarily far behind (e.g. rejoining after a crash) walks the
+        missing chain back to its last known block; the normal commit rule
+        then folds the whole suffix in at once.
+        """
+        block = msg.block
+        waiting = self._pending_fetch.pop(block.block_hash, [])
+        if block.block_hash in self.block_store:
+            if not waiting:
+                return
+        else:
+            self.block_store.add(block)
+            parent_hash = block.parent_hash
+            if (
+                not block.is_genesis
+                and not is_null_digest(parent_hash)
+                and parent_hash not in self.block_store
+            ):
+                self.request_block(parent_hash, sender)
         for proposal in waiting:
             self.handle_propose(proposal, sender)
 
@@ -338,3 +464,24 @@ class BaseReplica:
             f"{type(self).__name__}(id={self.replica_id}, view={self.current_view}, "
             f"high={self.high_cert.position})"
         )
+
+
+def honest_committed_chains(replicas: Sequence["BaseReplica"]) -> List[List[str]]:
+    """Committed block-hash chains of the honest replicas, in replica order.
+
+    Shared by the run-level safety check
+    (:func:`repro.experiments.runner.check_ledger_safety`) and the chaos
+    report's prefix-agreement computation, so the two can never apply
+    different notions of "same committed prefix".
+    """
+    return [
+        [block.block_hash for block in replica.ledger.committed.blocks()]
+        for replica in replicas
+        if not replica.behavior.is_byzantine
+    ]
+
+
+def chains_prefix_consistent(chains: Sequence[List[str]]) -> bool:
+    """``True`` iff every chain is a prefix of the longest one."""
+    reference = max(chains, key=len, default=[])
+    return all(chain == reference[: len(chain)] for chain in chains)

@@ -57,6 +57,11 @@ class BasicHotStuff1Replica(BaseReplica):
         return config.quorum
 
     # ------------------------------------------------------------- lifecycle
+    def restore_vote_state(self, state) -> None:
+        """Re-arm the per-view vote guard from the recovered WAL summary."""
+        super().restore_vote_state(state)
+        self._voted_views.update(state.voted_views)
+
     def start(self, first_view: int = 1) -> None:
         if self.behavior.is_crashed():
             return
@@ -106,11 +111,13 @@ class BasicHotStuff1Replica(BaseReplica):
                 continue
             if self.high_commit_cert is None or cert.position > self.high_commit_cert.position:
                 self.high_commit_cert = cert
+                if self.store is not None:
+                    self.store.record_commit_cert(cert)
             return
 
     def _try_propose(self, view: int, force: bool = False) -> None:
         """Propose once n−f NewViews arrived and P(v−1) is known (or the wait expired)."""
-        if view in self._proposed_views:
+        if self.halted or view in self._proposed_views:
             return
         if self.current_view != view or not self.is_leader_of(view):
             return
@@ -201,6 +208,7 @@ class BasicHotStuff1Replica(BaseReplica):
 
         if msg.justify.position >= self.high_cert.position and self.behavior.should_vote(self, msg):
             self._voted_views.add(msg.view)
+            self.note_vote(msg.view, block.slot, block.block_hash)
             share = self.authority.create_vote(
                 self.replica_id, CertKind.PREPARE, block.view, block.slot, block.block_hash
             )

@@ -69,6 +69,13 @@ class SlottedHotStuff1Replica(BaseReplica):
         return config.quorum
 
     # ------------------------------------------------------------- lifecycle
+    def restore_vote_state(self, state) -> None:
+        """Re-arm the per-slot vote guard and ``B_h`` from the recovered WAL."""
+        super().restore_vote_state(state)
+        self._voted_slots.update(state.voted)
+        if state.highest_voted_hash and state.highest_voted_hash in self.block_store:
+            self.highest_voted_hash = state.highest_voted_hash
+
     def start(self, first_view: int = 1) -> None:
         if self.behavior.is_crashed():
             return
@@ -122,7 +129,7 @@ class SlottedHotStuff1Replica(BaseReplica):
 
     def _try_first_slot(self, view: int, force: bool = False) -> None:
         """Figure 6, Lines 4-13: wait for one of the four conditions, then propose slot 1."""
-        if (view, 1) in self._proposed_slots:
+        if self.halted or (view, 1) in self._proposed_slots:
             return
         if self.current_view != view or not self.is_leader_of(view):
             return
@@ -371,6 +378,7 @@ class SlottedHotStuff1Replica(BaseReplica):
         not_superseded = self.high_cert.position <= justify.position
         if safe and not_superseded and self.behavior.should_vote(self, msg):
             self._voted_slots.add((msg.view, msg.slot))
+            self.note_vote(msg.view, msg.slot, block.block_hash)
             voted_block = self.block_store.maybe_get(self.highest_voted_hash)
             if voted_block is None or block.position > voted_block.position:
                 self.highest_voted_hash = block.block_hash

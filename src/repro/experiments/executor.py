@@ -33,7 +33,13 @@ METRIC_COLUMNS: Dict[str, int] = {
     "p99_latency_ms": 3,
     "committed_txns": 1,
     "rollbacks": 1,
+    "recovery_ms": 3,
+    "ops_lost": 1,
 }
+
+#: Boolean columns folded with all() over repeats: one bad repeat (e.g. a
+#: committed-prefix divergence) must surface in the aggregated row.
+BOOL_AND_COLUMNS = ("prefix_ok",)
 
 
 def execute_request(request: RunRequest) -> RunRecord:
@@ -48,7 +54,32 @@ def execute_request(request: RunRequest) -> RunRecord:
     mode = request.params.get("mode")
     if mode is not None:
         spec.mode = mode
+    # Fault plans ride the same way: {"faults": {...}} in params (or an axis,
+    # which the grid expansion sweeps like any other value) turns any point of
+    # any scenario into a chaos run.
+    faults = request.params.get("faults")
+    if faults is not None:
+        spec.faults = faults
+    storage_dir = request.params.get("storage_dir")
+    if storage_dir is not None:
+        spec.storage_dir = storage_dir
     result = run_experiment(spec)
+    # Unrounded values backing every aggregated column, so repeat means
+    # and post-processors never inherit display rounding.
+    metrics = {
+        "latency_ms": result.latency_ms,
+        "throughput": result.throughput,
+        "throughput_tps": result.throughput,
+        "avg_latency_ms": result.latency_ms,
+        "p99_latency_ms": result.summary.p99_latency * 1000.0,
+        "committed_txns": float(result.summary.committed_txns),
+        "rollbacks": float(result.summary.rollbacks),
+    }
+    if result.chaos is not None:
+        metrics["ops_lost"] = float(result.chaos.get("ops_lost_to_rollback", 0))
+        recovery = result.chaos.get("max_recovery_s")
+        if recovery is not None:
+            metrics["recovery_ms"] = recovery * 1000.0
     return RunRecord(
         index=request.index,
         group=request.group,
@@ -56,17 +87,7 @@ def execute_request(request: RunRequest) -> RunRecord:
         repeat=request.repeat,
         seed=request.seed,
         row=result.to_row(**extras),
-        # Unrounded values backing every aggregated column, so repeat means
-        # and post-processors never inherit display rounding.
-        metrics={
-            "latency_ms": result.latency_ms,
-            "throughput": result.throughput,
-            "throughput_tps": result.throughput,
-            "avg_latency_ms": result.latency_ms,
-            "p99_latency_ms": result.summary.p99_latency * 1000.0,
-            "committed_txns": float(result.summary.committed_txns),
-            "rollbacks": float(result.summary.rollbacks),
-        },
+        metrics=metrics,
     )
 
 
@@ -126,15 +147,38 @@ def aggregate_records(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
             continue
         first = members[0].row
         row: Dict[str, Any] = {}
-        for column, value in first.items():
-            if column in METRIC_COLUMNS and isinstance(value, (int, float)):
+        # Iterate the union of columns across the group: a repeat may carry a
+        # column the first one lacks (e.g. recovery_ms when repeat 0's replica
+        # never recovered) and its values must still be aggregated.
+        columns = list(first)
+        for member in members[1:]:
+            for key in member.row:
+                if key not in columns:
+                    columns.append(key)
+        for column in columns:
+            value = first.get(column)
+            if value is None and column not in first:
+                value = next(
+                    member.row[column] for member in members if column in member.row
+                )
+            if column in METRIC_COLUMNS and isinstance(value, (int, float)) and not isinstance(value, bool):
                 digits = METRIC_COLUMNS[column]
+                # A member may lack the column (e.g. recovery_ms when one
+                # repeat's replica never recovered); average what exists.
                 samples = [
-                    float(member.metrics.get(column, member.row[column]))
-                    for member in members
+                    float(sample)
+                    for sample in (
+                        member.metrics.get(column, member.row.get(column))
+                        for member in members
+                    )
+                    if isinstance(sample, (int, float))
                 ]
                 row[column] = round(fmean(samples), digits)
                 row[f"{column}_std"] = round(pstdev(samples), digits)
+            elif column in BOOL_AND_COLUMNS:
+                row[column] = all(
+                    member.row[column] for member in members if column in member.row
+                )
             else:
                 row[column] = value
         row["repeats"] = len(members)

@@ -96,6 +96,45 @@ def format_network_breakdown(network_stats: Dict, title: str = "network traffic 
     return format_series(rows, title=title)
 
 
+def format_chaos_report(chaos: Dict, title: str = "chaos & recovery") -> str:
+    """Render a run's chaos summary (``RunResult.chaos``) as tables.
+
+    One row per incident (crash → restart → first commit), followed by a
+    totals row with prefix agreement and the committed-height spread across
+    the healed cluster.
+    """
+    if not chaos:
+        return f"{title}\n(no faults injected)\n"
+    rows = []
+    for incident in chaos.get("incidents", []):
+        recovery = incident.get("recovery_s")
+        rows.append(
+            {
+                "replica": incident.get("replica"),
+                "crashed_at_s": incident.get("crashed_at"),
+                "restarted_at_s": incident.get("restarted_at", ""),
+                "first_commit_at_s": incident.get("first_commit_at", ""),
+                "recovery_ms": round(recovery * 1000.0, 3) if recovery is not None else "",
+                "ops_lost": incident.get("ops_lost", 0),
+            }
+        )
+    max_recovery = chaos.get("max_recovery_s")
+    rows.append(
+        {
+            "replica": "(total)",
+            "crashed_at_s": chaos.get("crashes", 0),
+            "restarted_at_s": chaos.get("restarts", 0),
+            "recovery_ms": round(max_recovery * 1000.0, 3) if max_recovery is not None else "",
+            "ops_lost": chaos.get("ops_lost_to_rollback", 0),
+            "prefix_ok": chaos.get("prefix_agreement"),
+            "committed_blocks": (
+                f"{chaos.get('committed_blocks_min', 0)}..{chaos.get('committed_blocks_max', 0)}"
+            ),
+        }
+    )
+    return format_series(rows, title=title)
+
+
 def format_suite(results: Dict[str, Sequence[Dict]]) -> str:
     """Render a whole suite result (``{scenario name: rows}``) as stacked tables."""
     if not results:

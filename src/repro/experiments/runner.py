@@ -13,13 +13,16 @@ from repro.consensus.costs import CostModel
 from repro.consensus.leader import RoundRobinLeaderElection
 from repro.consensus.mempool import Mempool
 from repro.consensus.metrics import MetricsCollector, MetricsSummary
-from repro.consensus.replica import BaseReplica
+from repro.consensus.replica import BaseReplica, honest_committed_chains
 from repro.core.registry import client_quorum_for, replica_class_for
 from repro.crypto.threshold import ThresholdScheme
 from repro.errors import ConfigurationError, SafetyViolationError
+from repro.faults.injector import ChaosController
+from repro.faults.plan import FaultPlan
 from repro.net.faults import FaultInjector
 from repro.net.latency import ConstantLatency, GeoLatencyModel, LatencyModel
 from repro.sim.scheduler import Simulator
+from repro.storage.store import ReplicaStore
 from repro.workloads.base import make_workload
 
 
@@ -56,6 +59,14 @@ class ExperimentSpec:
     check_safety: bool = True
     max_slots_per_view: int = 64
     knee_factor: float = 0.9
+    #: Chaos: a :class:`~repro.faults.plan.FaultPlan` as a plain dict (JSON
+    #: shape), or ``None`` for a fault-free run.  When set, every replica gets
+    #: a durable :class:`~repro.storage.store.ReplicaStore` and the plan's
+    #: crash/restart/pause/partition events fire during the run.
+    faults: Optional[Dict] = None
+    #: Directory for file-backed replica stores; ``None`` keeps stores in
+    #: memory (the chaos engine holds them across restarts either way).
+    storage_dir: Optional[str] = None
 
     def label(self) -> str:
         """Short identifier used in series tables."""
@@ -101,6 +112,10 @@ class ExperimentSpec:
             )
         if self.view_timeout <= 0:
             raise ConfigurationError(f"view_timeout must be positive, got {self.view_timeout}")
+        if self.faults is not None:
+            plan = FaultPlan.from_dict(self.faults)
+            plan.validate(self.n, mode=self.mode)
+            self.faults = plan.to_dict()  # normalize (accepts FaultPlan instances)
         return self
 
 
@@ -113,6 +128,10 @@ class RunResult:
     replicas: List[BaseReplica]
     client_pool: ClientPool
     network_stats: Dict[str, int]
+    #: Chaos summary (:meth:`repro.faults.injector.ChaosController.report`):
+    #: incidents, recovery times, ops lost, prefix agreement.  ``None`` for
+    #: fault-free runs.
+    chaos: Optional[Dict] = None
 
     @property
     def throughput(self) -> float:
@@ -138,6 +157,12 @@ class RunResult:
             "committed_txns": self.summary.committed_txns,
             "rollbacks": self.summary.rollbacks,
         }
+        if self.chaos is not None:
+            recovery = self.chaos.get("max_recovery_s")
+            if recovery is not None:
+                row["recovery_ms"] = round(recovery * 1000.0, 3)
+            row["ops_lost"] = self.chaos.get("ops_lost_to_rollback", 0)
+            row["prefix_ok"] = bool(self.chaos.get("prefix_agreement", True))
         row.update(extra)
         return row
 
@@ -184,16 +209,24 @@ class Deployment:
     costs: CostModel
     replica_class: type
     replicas: List[BaseReplica]
+    #: Configured per-replica behaviours (so a restarted replica keeps its
+    #: adversary model instead of silently turning honest).
+    behaviors: Dict[int, ReplicaBehavior] = field(default_factory=dict)
 
 
-def build_deployment(spec: ExperimentSpec, scheduler, network_for) -> Deployment:
+def build_deployment(
+    spec: ExperimentSpec, scheduler, network_for, store_for=None
+) -> Deployment:
     """Construct config, crypto, workload and replicas for one deployment.
 
     ``scheduler`` is the shared time source (a :class:`Simulator` or a
     :class:`~repro.live.runtime.WallClock`); ``network_for(replica_id)``
     returns the network endpoint each replica is built against (the one
     shared :class:`SimNetwork`, or that replica's ``AsyncTcpTransport``).
-    The first honest replica is marked as the metrics reporter.
+    ``store_for(replica_id)``, when given, supplies each replica's durable
+    :class:`~repro.storage.store.ReplicaStore` (chaos runs) — the replica is
+    then built over the store's persisted block tree.  The first honest
+    replica is marked as the metrics reporter.
     """
     config = ProtocolConfig(
         n=spec.n,
@@ -215,6 +248,7 @@ def build_deployment(spec: ExperimentSpec, scheduler, network_for) -> Deployment
     replica_class = replica_class_for(spec.protocol)
     replicas: List[BaseReplica] = []
     for replica_id in range(config.n):
+        store = store_for(replica_id) if store_for is not None else None
         replicas.append(
             replica_class(
                 replica_id,
@@ -228,6 +262,8 @@ def build_deployment(spec: ExperimentSpec, scheduler, network_for) -> Deployment
                 metrics,
                 costs=costs,
                 behavior=spec.behaviors.get(replica_id),
+                block_store=store.open_blockstore() if store is not None else None,
+                store=store,
             )
         )
     reporter = next(
@@ -244,7 +280,44 @@ def build_deployment(spec: ExperimentSpec, scheduler, network_for) -> Deployment
         costs=costs,
         replica_class=replica_class,
         replicas=replicas,
+        behaviors=dict(spec.behaviors),
     )
+
+
+def build_replica_stores(spec: ExperimentSpec) -> Dict[int, ReplicaStore]:
+    """One durable store per replica: file-backed under ``spec.storage_dir``
+    when set, in-memory otherwise (either way the store outlives crashes).
+
+    Every experiment starts from genesis, so file-backed stores left over
+    from a *previous* run are cleared — replaying an unrelated run's history
+    into fresh replicas would fork their ledgers at the first commit.
+    """
+    if spec.storage_dir:
+        stores = {
+            replica_id: ReplicaStore.at_path(spec.storage_dir, replica_id)
+            for replica_id in range(spec.n)
+        }
+        for store in stores.values():
+            store.clear()
+        return stores
+    return {replica_id: ReplicaStore.memory() for replica_id in range(spec.n)}
+
+
+def assign_chaos_reporter(deployment: Deployment, plan: FaultPlan) -> None:
+    """Re-pick the metrics reporter to dodge the replicas the plan will take down.
+
+    ``build_deployment`` marks the first honest replica; under a fault plan
+    that replica may crash and freeze the global counters, so prefer an
+    honest replica the plan never statically touches.  Dynamic ``"leader"``
+    targets cannot be predicted — the chaos adapters hand the role over at
+    crash time as a fallback.
+    """
+    avoid = plan.touched_replicas()
+    honest = [r for r in deployment.replicas if not r.behavior.is_byzantine]
+    preferred = [r for r in honest if r.replica_id not in avoid]
+    pick = (preferred or honest or deployment.replicas)[0]
+    for replica in deployment.replicas:
+        replica.report_metrics = replica is pick
 
 
 def run_experiment(spec: ExperimentSpec) -> RunResult:
@@ -282,8 +355,24 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
     from repro.net.network import SimNetwork  # local import to avoid cycles
 
     network = SimNetwork(sim, latency=latency, faults=faults)
-    deployment = build_deployment(spec, sim, lambda replica_id: network)
+    plan = FaultPlan.from_dict(spec.faults) if spec.faults else None
+    stores = build_replica_stores(spec) if plan is not None or spec.storage_dir else None
+    deployment = build_deployment(
+        spec,
+        sim,
+        lambda replica_id: network,
+        store_for=stores.__getitem__ if stores is not None else None,
+    )
     metrics = deployment.metrics
+
+    controller: Optional[ChaosController] = None
+    if plan is not None:
+        from repro.faults.sim import SimChaosAdapter  # local import: avoids cycle
+
+        assign_chaos_reporter(deployment, plan)
+        adapter = SimChaosAdapter(sim, network, deployment, stores)
+        controller = ChaosController(plan, sim, adapter)
+        controller.install()
 
     client_pool = ClientPool(
         sim=sim,
@@ -311,6 +400,7 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
         replicas=deployment.replicas,
         client_pool=client_pool,
         network_stats=network.stats.as_dict(),
+        chaos=controller.report(deployment.replicas) if controller is not None else None,
     )
 
 
@@ -341,15 +431,14 @@ def aggregate_replica_counters(
     metrics.speculative_executions = sum(
         replica.ledger.speculated_block_count for replica in honest
     )
+    metrics.pruned_blocks = sum(replica.block_store.pruned_count for replica in honest)
     metrics.messages_sent = stats.messages_sent
 
 
 def check_ledger_safety(replicas: Sequence[BaseReplica]) -> None:
     """Verify that honest replicas' committed ledgers are prefixes of each other."""
     honest = [replica for replica in replicas if not replica.behavior.is_byzantine]
-    chains = [
-        [block.block_hash for block in replica.ledger.committed.blocks()] for replica in honest
-    ]
+    chains = honest_committed_chains(replicas)
     reference = max(chains, key=len, default=[])
     for replica, chain in zip(honest, chains):
         if chain != reference[: len(chain)]:

@@ -31,6 +31,7 @@ from repro.consensus.byzantine import (
 from repro.core.registry import EVALUATION_PROTOCOLS
 from repro.errors import ConfigurationError
 from repro.experiments.executor import execute_scenario
+from repro.faults.plan import chaos_preset
 from repro.experiments.runner import ExperimentSpec, RunResult
 from repro.experiments.spec import (
     RunRecord,
@@ -204,6 +205,41 @@ def _build_rollback_attack(protocol: str, p: Dict[str, Any]) -> Tuple[Experiment
         behaviors=behaviors,
     )
     return spec, {"faulty_leaders": faulty_count}
+
+
+@point_builder("chaos")
+def _build_chaos(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    """Chaos grid point: one fault preset (or an inline plan) per run.
+
+    The ``fault`` axis value is either a preset name (``kill-replica``,
+    ``kill-leader``, ``cascade``, ``partition-heal``) or a full fault-plan
+    dict, so suites can sweep canned presets and hand-written plans alike.
+    """
+    n = p.get("n", 4)
+    duration = p.get("duration", 1.0)
+    fault = p.get("fault", "kill-replica")
+    if isinstance(fault, dict):
+        faults, label = fault, "custom"
+    else:
+        plan = chaos_preset(
+            fault,
+            n=n,
+            at=p.get("crash_at", round(duration * 0.3, 6)),
+            down_for=p.get("down_for", round(duration * 0.15, 6)),
+            replica=p.get("replica", 1),
+        )
+        faults, label = plan.to_dict(), fault
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=n,
+        batch_size=p.get("batch_size", 100),
+        duration=duration,
+        warmup=p.get("warmup", 0.1),
+        seed=p.get("seed", 1),
+        view_timeout=p.get("view_timeout", 0.030),
+        faults=faults,
+    )
+    return spec, {"fault": label}
 
 
 @point_builder("latency-breakdown")
@@ -467,6 +503,40 @@ def rollback_attack_spec(
     )
 
 
+def chaos_recovery_spec(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    faults: Sequence[str] = ("kill-replica", "kill-leader", "cascade", "partition-heal"),
+    n: int = 4,
+    batch_size: int = 100,
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    crash_at: Optional[float] = None,
+    down_for: Optional[float] = None,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Chaos: crash/restart/partition faults with recovery metrics per point."""
+    params: Dict[str, Any] = {
+        "n": n,
+        "batch_size": batch_size,
+        "duration": duration,
+        "warmup": warmup,
+    }
+    if crash_at is not None:
+        params["crash_at"] = crash_at
+    if down_for is not None:
+        params["down_for"] = down_for
+    return ScenarioSpec(
+        name="chaos-recovery",
+        kind="chaos",
+        protocols=tuple(protocols),
+        axes={"fault": list(faults)},
+        params=params,
+        repeats=repeats,
+        seed=seed,
+    )
+
+
 def latency_breakdown_spec(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     replica_counts: Sequence[int] = (4, 32),
@@ -535,6 +605,7 @@ SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "fig10-rollback": rollback_attack_spec,
     "latency-breakdown": latency_breakdown_spec,
     "ablation-slotting": slotting_ablation_spec,
+    "chaos-recovery": chaos_recovery_spec,
 }
 
 
@@ -750,6 +821,28 @@ def latency_breakdown_series(
     return execute_scenario(
         latency_breakdown_spec(
             protocols, replica_counts, batch_size, duration, warmup, seed, repeats
+        ),
+        jobs=jobs,
+    )
+
+
+def chaos_recovery_series(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    faults: Sequence[str] = ("kill-replica", "kill-leader", "cascade", "partition-heal"),
+    n: int = 4,
+    batch_size: int = 100,
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    crash_at: Optional[float] = None,
+    down_for: Optional[float] = None,
+    seed: int = 1,
+    repeats: int = 1,
+    jobs: Optional[int] = None,
+) -> List[Dict]:
+    """Recovery metrics (restart-to-first-commit, ops lost) per fault preset."""
+    return execute_scenario(
+        chaos_recovery_spec(
+            protocols, faults, n, batch_size, duration, warmup, crash_at, down_for, seed, repeats
         ),
         jobs=jobs,
     )

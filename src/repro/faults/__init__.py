@@ -1,0 +1,20 @@
+"""Chaos engine: declarative replica-level fault plans and their injectors.
+
+A :class:`~repro.faults.plan.FaultPlan` is a pure-data schedule of fault
+events — crash, restart, pause, resume, partition, heal — keyed by time, with
+the same JSON round-trip discipline as
+:class:`~repro.experiments.spec.ScenarioSpec`.  The
+:class:`~repro.faults.injector.ChaosController` drives a plan against either
+substrate through an adapter: :class:`~repro.faults.sim.SimChaosAdapter`
+drops and re-spawns replica objects on the discrete-event scheduler,
+:class:`~repro.faults.live.LiveChaosAdapter` kills and relaunches replica
+tasks on the asyncio runtime.  Both rebuild restarted replicas from their
+:class:`~repro.storage.store.ReplicaStore` via
+:class:`~repro.storage.recovery.RecoveryManager`, and the controller reports
+recovery time, operations lost to rollback and committed-prefix agreement.
+"""
+
+from repro.faults.injector import ChaosController
+from repro.faults.plan import FaultEvent, FaultPlan, load_plan
+
+__all__ = ["ChaosController", "FaultEvent", "FaultPlan", "load_plan"]

@@ -1,0 +1,308 @@
+"""Chaos controller: schedules a fault plan and measures recovery.
+
+The controller is substrate-agnostic.  It schedules one callback per
+:class:`~repro.faults.plan.FaultEvent` on whatever scheduler the deployment
+runs on (the discrete-event :class:`~repro.sim.scheduler.Simulator` or the
+live :class:`~repro.live.runtime.WallClock` — both expose ``now`` /
+``schedule_at``) and acts through a :class:`ChaosAdapter`:
+
+* :class:`~repro.faults.sim.SimChaosAdapter` — unregisters the replica from
+  the :class:`~repro.net.network.SimNetwork` and re-spawns a fresh replica
+  object from its durable store;
+* :class:`~repro.faults.live.LiveChaosAdapter` — detaches the replica task
+  from its TCP transport and relaunches it on the same endpoint.
+
+Besides driving the plan, the controller is the measurement instrument the
+report asks for: per incident it records when the replica crashed, how many
+speculated-but-uncommitted operations died with it (ops lost to rollback),
+when it restarted, and when it committed its first *new* block after the
+restart (recovery time).  :meth:`ChaosController.report` folds this into the
+``chaos`` section of a :class:`~repro.experiments.runner.RunResult`,
+including committed-prefix agreement across the healed cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.consensus.replica import chains_prefix_consistent, honest_committed_chains
+from repro.errors import ConfigurationError
+from repro.faults.plan import LEADER, FaultEvent, FaultPlan
+from repro.storage.recovery import RecoveryManager
+from repro.storage.store import ReplicaStore
+
+
+class ChaosAdapter:
+    """Substrate hooks the controller acts through."""
+
+    def crash(self, replica_id: int) -> int:
+        """Kill *replica_id*; return the speculated operations lost with it."""
+        raise NotImplementedError
+
+    def restart(self, replica_id: int):
+        """Re-spawn *replica_id* from its durable store; return the new replica."""
+        raise NotImplementedError
+
+    def pause(self, replica_id: int) -> None:
+        raise NotImplementedError
+
+    def resume(self, replica_id: int) -> None:
+        raise NotImplementedError
+
+    def partition(self, groups) -> None:
+        raise NotImplementedError
+
+    def heal(self) -> None:
+        raise NotImplementedError
+
+    def current_leader(self) -> int:
+        """Leader of the highest view any running replica is in (for ``"leader"``)."""
+        raise NotImplementedError
+
+    def is_down(self, replica_id: int) -> bool:
+        """``True`` while *replica_id* is crashed (halted / detached)."""
+        raise NotImplementedError
+
+
+class DeploymentChaosAdapter(ChaosAdapter):
+    """Crash/restart machinery shared by the simulator and live adapters.
+
+    Everything substrate-independent lives here: finding and swapping replica
+    objects, choosing a live peer for catch-up, the reporter handover, and
+    the restore → catch-up → re-enter-view restart sequence.  Subclasses
+    supply three hooks: the scheduler replicas are rebuilt against
+    (:meth:`_scheduler`), the network endpoint serving a replica id
+    (:meth:`_network_for`), and how a dead replica is detached from that
+    endpoint (:meth:`_detach`).
+    """
+
+    def __init__(self, deployment, stores: Dict[int, ReplicaStore]) -> None:
+        self.deployment = deployment
+        self.stores = stores
+        self._pruned_carry: Dict[int, int] = {}
+
+    # ----------------------------------------------------------------- hooks
+    def _scheduler(self):
+        raise NotImplementedError
+
+    def _network_for(self, replica_id: int):
+        raise NotImplementedError
+
+    def _detach(self, replica_id: int) -> None:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- plumbing
+    def _replica(self, replica_id: int):
+        for replica in self.deployment.replicas:
+            if replica.replica_id == replica_id:
+                return replica
+        raise KeyError(replica_id)
+
+    def _swap_in(self, replica) -> None:
+        replicas = self.deployment.replicas
+        for index, existing in enumerate(replicas):
+            if existing.replica_id == replica.replica_id:
+                replicas[index] = replica
+                return
+        replicas.append(replica)
+
+    def _running_honest(self) -> List:
+        return [
+            replica
+            for replica in self.deployment.replicas
+            if not replica.halted and not replica.behavior.is_byzantine
+        ]
+
+    def _live_peer(self, replica_id: int) -> Optional[int]:
+        """A running replica to ask for missing blocks (round-robin from id+1)."""
+        n = self.deployment.config.n
+        for offset in range(1, n):
+            candidate = (replica_id + offset) % n
+            try:
+                if not self._replica(candidate).halted:
+                    return candidate
+            except KeyError:
+                continue
+        return None
+
+    # --------------------------------------------------------------- actions
+    def crash(self, replica_id: int) -> int:
+        replica = self._replica(replica_id)
+        ops_lost = sum(block.txn_count for block in replica.ledger.speculated_blocks())
+        was_reporter = replica.report_metrics
+        self._pruned_carry[replica_id] = replica.block_store.pruned_count
+        replica.halt()
+        self._detach(replica_id)
+        if was_reporter:
+            # Global counters must not freeze with the dead reporter; hand the
+            # role to a surviving honest replica (counts stay approximate
+            # across the handover, which the chaos report calls out).
+            replica.report_metrics = False
+            survivors = self._running_honest()
+            if survivors:
+                survivors[0].report_metrics = True
+        return ops_lost
+
+    def restart(self, replica_id: int):
+        store = self.stores[replica_id]
+        deployment = self.deployment
+        replica = deployment.replica_class(
+            replica_id,
+            self._scheduler(),
+            self._network_for(replica_id),
+            deployment.config,
+            deployment.authority,
+            deployment.leaders,
+            deployment.workload.make_state_machine(),
+            deployment.mempool,
+            deployment.metrics,
+            costs=deployment.costs,
+            behavior=deployment.behaviors.get(replica_id),
+            block_store=store.open_blockstore(),
+            store=store,
+        )
+        manager = RecoveryManager(store)
+        state = manager.restore(replica)
+        manager.catch_up(replica, ask=self._live_peer(replica_id))
+        # Restore replays orphans from the append-only log and re-prunes
+        # them; those were already counted by the dead incarnation, so the
+        # carried count replaces (not adds to) the restore-phase prunes.
+        replica.block_store.pruned_count = self._pruned_carry.pop(replica_id, 0)
+        self._swap_in(replica)
+        replica.start(first_view=RecoveryManager.resume_view(state))
+        return replica
+
+    def is_down(self, replica_id: int) -> bool:
+        try:
+            return self._replica(replica_id).halted
+        except KeyError:
+            return True
+
+    # ---------------------------------------------------------------- leader
+    def current_leader(self) -> int:
+        """The leader of the current view — or, if that replica is already
+        down, the next upcoming leader that is actually running (killing an
+        already-dead replica would make ``"leader"`` events no-ops)."""
+        running = self._running_honest()
+        running_ids = {replica.replica_id for replica in running}
+        view = max((replica.current_view for replica in running), default=1)
+        for offset in range(self.deployment.config.n):
+            candidate = self.deployment.leaders.leader_of(view + offset)
+            if candidate in running_ids:
+                return candidate
+        return self.deployment.leaders.leader_of(view)
+
+
+class ChaosController:
+    """Schedules a :class:`FaultPlan` and records what recovery actually cost."""
+
+    def __init__(self, plan: FaultPlan, scheduler, adapter: ChaosAdapter) -> None:
+        self.plan = plan
+        self.scheduler = scheduler
+        self.adapter = adapter
+        #: Flat audit trail: one entry per fired event.
+        self.timeline: List[Dict[str, Any]] = []
+        #: One entry per crash, updated through restart and first commit.
+        self.incidents: List[Dict[str, Any]] = []
+        self._open_incidents: Dict[int, Dict[str, Any]] = {}
+        self._last_leader_crash: Optional[int] = None
+
+    # -------------------------------------------------------------- schedule
+    def install(self) -> None:
+        """Schedule every event of the plan on the deployment's scheduler."""
+        for event in self.plan.events:
+            self.scheduler.schedule_at(event.at, self._fire, event)
+
+    # ---------------------------------------------------------------- firing
+    def _fire(self, event: FaultEvent) -> None:
+        now = self.scheduler.now
+        target = self._resolve_target(event)
+        entry = {"at": round(now, 6), "action": event.action, "replica": target}
+        self.timeline.append(entry)
+        # Dynamic "leader" targets can collide with static ones at runtime
+        # (validate() cannot see who will lead); a crash of an already-down
+        # replica or a restart of a running one is recorded but not executed.
+        if event.action == "crash":
+            if self.adapter.is_down(target):
+                entry["skipped"] = "already down"
+                return
+            self._crash(target, now)
+        elif event.action == "restart":
+            if not self.adapter.is_down(target):
+                entry["skipped"] = "not down"
+                return
+            self._restart(target, now)
+        elif event.action == "pause":
+            self.adapter.pause(target)
+        elif event.action == "resume":
+            self.adapter.resume(target)
+        elif event.action == "partition":
+            self.adapter.partition(event.groups)
+        elif event.action == "heal":
+            self.adapter.heal()
+
+    def _resolve_target(self, event: FaultEvent) -> Optional[int]:
+        if event.replica != LEADER:
+            return event.replica
+        if event.action == "crash":
+            self._last_leader_crash = self.adapter.current_leader()
+            return self._last_leader_crash
+        if self._last_leader_crash is None:
+            raise ConfigurationError(
+                f"'leader' {event.action} at t={event.at} has no preceding 'leader' crash"
+            )
+        return self._last_leader_crash
+
+    def _crash(self, replica_id: int, now: float) -> None:
+        ops_lost = self.adapter.crash(replica_id)
+        incident = {
+            "replica": replica_id,
+            "crashed_at": round(now, 6),
+            "ops_lost": int(ops_lost),
+            "restarted_at": None,
+            "first_commit_at": None,
+            "recovery_s": None,
+        }
+        self.incidents.append(incident)
+        self._open_incidents[replica_id] = incident
+
+    def _restart(self, replica_id: int, now: float) -> None:
+        replica = self.adapter.restart(replica_id)
+        incident = self._open_incidents.pop(replica_id, None)
+        if incident is None:
+            return
+        incident["restarted_at"] = round(now, 6)
+
+        def first_commit(block, committed_at, incident=incident) -> None:
+            if incident["first_commit_at"] is None:
+                incident["first_commit_at"] = round(committed_at, 6)
+                incident["recovery_s"] = round(committed_at - incident["restarted_at"], 6)
+
+        replica.commit_listener = first_commit
+
+    # ---------------------------------------------------------------- report
+    def report(self, replicas: Sequence) -> Dict[str, Any]:
+        """Summarize the run's chaos: incidents, recovery times, prefix agreement."""
+        recoveries = [
+            incident["recovery_s"]
+            for incident in self.incidents
+            if incident["recovery_s"] is not None
+        ]
+        chains = honest_committed_chains(replicas)
+        agreement = chains_prefix_consistent(chains)
+        return {
+            "events_fired": len(self.timeline),
+            "timeline": list(self.timeline),
+            "incidents": [dict(incident) for incident in self.incidents],
+            "crashes": len(self.incidents),
+            "restarts": sum(
+                1 for incident in self.incidents if incident["restarted_at"] is not None
+            ),
+            "recovered": len(recoveries),
+            "ops_lost_to_rollback": sum(incident["ops_lost"] for incident in self.incidents),
+            "max_recovery_s": max(recoveries) if recoveries else None,
+            "mean_recovery_s": sum(recoveries) / len(recoveries) if recoveries else None,
+            "prefix_agreement": agreement,
+            "committed_blocks_min": min((len(chain) for chain in chains), default=0),
+            "committed_blocks_max": max((len(chain) for chain in chains), default=0),
+        }

@@ -1,0 +1,50 @@
+"""Chaos adapter for the live asyncio runtime.
+
+A live "crash" kills the replica task: the replica object is halted (its
+``loop.call_later`` timers go inert, every send is muted) and detached from
+its :class:`~repro.live.transport.AsyncTcpTransport`, so inbound frames are
+dropped exactly as if the process were gone while the listening socket's
+supervisor stayed up.  A "restart" relaunches the replica on the *same*
+endpoint: a new replica object is recovered from the surviving
+:class:`~repro.storage.store.ReplicaStore` and re-attached to the transport,
+where the cluster's long-lived connections resume delivering to it.  The
+whole crash/recover sequence is shared with the simulator adapter through
+:class:`~repro.faults.injector.DeploymentChaosAdapter`.
+
+Network-shape faults (pause / partition) need the simulated network's fault
+hooks and are rejected for live plans by
+:meth:`~repro.faults.plan.FaultPlan.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.faults.injector import DeploymentChaosAdapter
+from repro.live.transport import AsyncTcpTransport
+from repro.storage.store import ReplicaStore
+
+
+class LiveChaosAdapter(DeploymentChaosAdapter):
+    """Crash/restart replica tasks of one live localhost deployment."""
+
+    def __init__(
+        self,
+        clock,
+        transports: Dict[int, AsyncTcpTransport],
+        deployment,
+        stores: Dict[int, ReplicaStore],
+    ) -> None:
+        super().__init__(deployment, stores)
+        self.clock = clock
+        self.transports = transports
+
+    # ----------------------------------------------------------------- hooks
+    def _scheduler(self):
+        return self.clock
+
+    def _network_for(self, replica_id: int) -> AsyncTcpTransport:
+        return self.transports[replica_id]
+
+    def _detach(self, replica_id: int) -> None:
+        self.transports[replica_id].unregister(replica_id)

@@ -1,0 +1,312 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` describes *what goes wrong and when* during one
+experiment run, as plain data: a list of :class:`FaultEvent` entries keyed by
+time (simulated seconds in ``mode="sim"``, wall-clock seconds in
+``mode="live"``).  Plans round-trip through JSON exactly like
+:class:`~repro.experiments.spec.ScenarioSpec`, so a chaos campaign can live
+in a config file and sweep across the scenario engine's grid.
+
+Actions
+-------
+``crash``
+    Kill a replica: its in-memory state is lost; only its durable
+    :class:`~repro.storage.store.ReplicaStore` survives.  ``replica`` may be
+    an id or the string ``"leader"``, which resolves *at fire time* to the
+    leader of the highest view any live replica is in — the "kill the leader
+    mid-speculation" experiment.
+``restart``
+    Re-spawn a previously crashed replica from its store (WAL replay +
+    committed-prefix re-execution + fetch catch-up).  ``"leader"`` restarts
+    the replica most recently crashed by a ``"leader"`` crash.
+``pause`` / ``resume``
+    Network-isolate a replica without killing it (drop all its traffic),
+    then reconnect it.  Simulation-only.
+``partition`` / ``heal``
+    Split the replicas into two groups that cannot communicate, then heal
+    every partition.  Simulation-only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Actions a fault event may carry.
+ACTIONS = ("crash", "restart", "pause", "resume", "partition", "heal")
+
+#: Dynamic replica target resolved at fire time.
+LEADER = "leader"
+
+#: Actions the live (asyncio) injector supports; the rest need the simulated
+#: network's fault hooks.
+LIVE_ACTIONS = ("crash", "restart")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: *action* fires at time *at*."""
+
+    at: float
+    action: str
+    replica: Optional[Union[int, str]] = None
+    groups: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        event: Dict[str, Any] = {"at": self.at, "action": self.action}
+        if self.replica is not None:
+            event["replica"] = self.replica
+        if self.groups is not None:
+            event["groups"] = [list(group) for group in self.groups]
+        return event
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        try:
+            at = float(data["at"])
+            action = str(data["action"])
+        except KeyError as exc:
+            raise ConfigurationError(f"fault event needs 'at' and 'action': {data!r}") from exc
+        replica = data.get("replica")
+        if replica is not None and replica != LEADER:
+            replica = int(replica)
+        groups = data.get("groups")
+        if groups is not None:
+            groups = tuple(tuple(int(node) for node in group) for group in groups)
+        return cls(at=at, action=action, replica=replica, groups=groups)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of fault events (sorted by time on construction)."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda event: event.at)
+
+    # ----------------------------------------------------------- round trips
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Union["FaultPlan", Dict[str, Any]]) -> "FaultPlan":
+        if isinstance(data, FaultPlan):
+            return data
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"a fault plan must be a dict, got {type(data).__name__}")
+        return cls(events=[FaultEvent.from_dict(entry) for entry in data.get("events", [])])
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -------------------------------------------------------------- analysis
+    def touched_replicas(self) -> Set[int]:
+        """Static replica ids any crash/pause event targets (``"leader"`` excluded)."""
+        touched: Set[int] = set()
+        for event in self.events:
+            if event.action in ("crash", "pause") and isinstance(event.replica, int):
+                touched.add(event.replica)
+        return touched
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------ validation
+    def validate(self, n: int, mode: str = "sim") -> "FaultPlan":
+        """Check the plan against a deployment of *n* replicas in *mode*.
+
+        Raises :class:`~repro.errors.ConfigurationError` on unknown actions,
+        out-of-range replicas, malformed partitions, unsupported live
+        actions, or crash/restart/pause/resume sequences that do not pair up.
+        """
+        down: Set[Union[int, str]] = set()
+        paused: Set[Union[int, str]] = set()
+        for event in self.events:
+            if event.action not in ACTIONS:
+                raise ConfigurationError(
+                    f"unknown fault action {event.action!r}; available: {list(ACTIONS)}"
+                )
+            if mode == "live" and event.action not in LIVE_ACTIONS:
+                raise ConfigurationError(
+                    f"fault action {event.action!r} is simulation-only; live mode "
+                    f"supports {list(LIVE_ACTIONS)}"
+                )
+            if event.at < 0:
+                raise ConfigurationError(f"fault event time must be >= 0, got {event.at}")
+            if event.action in ("crash", "restart", "pause", "resume"):
+                self._validate_target(event, n)
+                target = event.replica
+                if event.action == "crash":
+                    if target in down:
+                        raise ConfigurationError(
+                            f"replica {target!r} crashed at t={event.at} while already down"
+                        )
+                    down.add(target)
+                elif event.action == "restart":
+                    if target not in down:
+                        raise ConfigurationError(
+                            f"replica {target!r} restarted at t={event.at} without a prior crash"
+                        )
+                    down.discard(target)
+                elif event.action == "pause":
+                    if target in paused or target in down:
+                        raise ConfigurationError(
+                            f"replica {target!r} paused at t={event.at} while unavailable"
+                        )
+                    paused.add(target)
+                elif event.action == "resume":
+                    if target not in paused:
+                        raise ConfigurationError(
+                            f"replica {target!r} resumed at t={event.at} without a prior pause"
+                        )
+                    paused.discard(target)
+            elif event.action == "partition":
+                self._validate_partition(event, n)
+        return self
+
+    @staticmethod
+    def _validate_target(event: FaultEvent, n: int) -> None:
+        if event.replica is None:
+            raise ConfigurationError(f"fault action {event.action!r} needs a 'replica'")
+        if event.replica == LEADER:
+            if event.action not in ("crash", "restart"):
+                raise ConfigurationError(
+                    f"the dynamic 'leader' target only supports crash/restart, "
+                    f"not {event.action!r}"
+                )
+            return
+        if not isinstance(event.replica, int) or not 0 <= event.replica < n:
+            raise ConfigurationError(
+                f"fault target {event.replica!r} is not a replica id in [0, {n}) or 'leader'"
+            )
+
+    @staticmethod
+    def _validate_partition(event: FaultEvent, n: int) -> None:
+        if not event.groups or len(event.groups) != 2:
+            raise ConfigurationError("a partition event needs 'groups': two lists of replica ids")
+        group_a, group_b = (set(group) for group in event.groups)
+        if not group_a or not group_b:
+            raise ConfigurationError("partition groups must be non-empty")
+        if group_a & group_b:
+            raise ConfigurationError(f"partition groups overlap: {sorted(group_a & group_b)}")
+        out_of_range = (group_a | group_b) - set(range(n))
+        if out_of_range:
+            raise ConfigurationError(
+                f"partition groups contain unknown replicas: {sorted(out_of_range)}"
+            )
+
+    # --------------------------------------------------------------- builders
+    @classmethod
+    def single_crash(
+        cls, replica: Union[int, str], at: float, down_for: float
+    ) -> "FaultPlan":
+        """Crash one replica at *at* and restart it ``down_for`` seconds later."""
+        return cls(
+            events=[
+                FaultEvent(at=round(at, 9), action="crash", replica=replica),
+                FaultEvent(at=round(at + down_for, 9), action="restart", replica=replica),
+            ]
+        )
+
+    @classmethod
+    def leader_crash(cls, at: float, down_for: float) -> "FaultPlan":
+        """Crash whoever leads when the event fires (mid-speculation leader kill)."""
+        return cls.single_crash(LEADER, at, down_for)
+
+    @classmethod
+    def cascade(
+        cls, replicas: Sequence[int], start: float, down_for: float, gap: float
+    ) -> "FaultPlan":
+        """Crash/restart the given replicas one after another, *gap* seconds apart."""
+        events: List[FaultEvent] = []
+        for index, replica in enumerate(replicas):
+            at = start + index * gap
+            events.append(FaultEvent(at=round(at, 9), action="crash", replica=int(replica)))
+            events.append(
+                FaultEvent(at=round(at + down_for, 9), action="restart", replica=int(replica))
+            )
+        return cls(events=events)
+
+    @classmethod
+    def partition_heal(
+        cls, group_a: Iterable[int], group_b: Iterable[int], at: float, heal_at: float
+    ) -> "FaultPlan":
+        """Partition the cluster into two groups at *at*, heal at *heal_at*."""
+        return cls(
+            events=[
+                FaultEvent(
+                    at=at,
+                    action="partition",
+                    groups=(tuple(int(node) for node in group_a), tuple(int(node) for node in group_b)),
+                ),
+                FaultEvent(at=round(heal_at, 9), action="heal"),
+            ]
+        )
+
+
+def load_plan(path: str) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid fault plan {path!r}: {exc}") from exc
+    return FaultPlan.from_dict(data)
+
+
+# ---------------------------------------------------------------------- presets
+def _preset_kill_replica(n: int, at: float, down_for: float, replica: int) -> FaultPlan:
+    return FaultPlan.single_crash(replica, at, down_for)
+
+
+def _preset_kill_leader(n: int, at: float, down_for: float, replica: int) -> FaultPlan:
+    return FaultPlan.leader_crash(at, down_for)
+
+
+def _preset_cascade(n: int, at: float, down_for: float, replica: int) -> FaultPlan:
+    # Crash f replicas one after another, each restarted before the next dies,
+    # so the cluster keeps quorum while every fault budget slot gets exercised.
+    f = max(1, (n - 1) // 3)
+    return FaultPlan.cascade(list(range(f)), start=at, down_for=down_for, gap=down_for * 1.5)
+
+
+def _preset_partition_heal(n: int, at: float, down_for: float, replica: int) -> FaultPlan:
+    f = max(1, (n - 1) // 3)
+    minority = list(range(n - f, n))
+    majority = list(range(n - f))
+    return FaultPlan.partition_heal(majority, minority, at=at, heal_at=at + down_for)
+
+
+#: Named plans the CLI (``repro chaos <preset>``) and the chaos scenario expose.
+PRESETS = {
+    "kill-replica": _preset_kill_replica,
+    "kill-leader": _preset_kill_leader,
+    "cascade": _preset_cascade,
+    "partition-heal": _preset_partition_heal,
+}
+
+
+def chaos_preset(
+    name: str, n: int, at: float, down_for: float, replica: int = 1
+) -> FaultPlan:
+    """Build a registered preset plan for an *n*-replica deployment.
+
+    ``at`` is when the first fault fires; ``down_for`` how long the affected
+    replica stays down (or the partition lasts); ``replica`` the static
+    target of ``kill-replica``.
+    """
+    try:
+        factory = PRESETS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown chaos preset {name!r}; available: {sorted(PRESETS)}"
+        ) from exc
+    return factory(n, at, down_for, replica)

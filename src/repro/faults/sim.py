@@ -1,0 +1,64 @@
+"""Chaos adapter for the discrete-event simulator.
+
+Crashing a replica drops its object from the deployment: the object is
+halted (timers stopped, all sends muted), unregistered from the
+:class:`~repro.net.network.SimNetwork`, and everything it had not persisted
+to its :class:`~repro.storage.store.ReplicaStore` is gone.  Restarting
+builds a *new* replica object — fresh state machine, fresh ledger — over the
+surviving store, lets :class:`~repro.storage.recovery.RecoveryManager`
+replay the WAL and committed prefix, primes fetch catch-up against a live
+peer, and re-enters the view loop one view past anything the dead
+incarnation ever voted in (all shared with the live adapter through
+:class:`~repro.faults.injector.DeploymentChaosAdapter`).
+
+Pauses and partitions map onto the network's existing
+:class:`~repro.net.faults.FaultInjector` rules (node drops / group splits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.faults.injector import DeploymentChaosAdapter
+from repro.net.network import SimNetwork
+from repro.sim.scheduler import Simulator
+from repro.storage.store import ReplicaStore
+
+
+class SimChaosAdapter(DeploymentChaosAdapter):
+    """Crash/restart/pause/partition against one simulated deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        deployment,
+        stores: Dict[int, ReplicaStore],
+    ) -> None:
+        super().__init__(deployment, stores)
+        self.sim = sim
+        self.network = network
+
+    # ----------------------------------------------------------------- hooks
+    def _scheduler(self) -> Simulator:
+        return self.sim
+
+    def _network_for(self, replica_id: int) -> SimNetwork:
+        return self.network
+
+    def _detach(self, replica_id: int) -> None:
+        self.network.unregister(replica_id)
+
+    # --------------------------------------------------- network-shape faults
+    def pause(self, replica_id: int) -> None:
+        self.network.faults.drop_node(replica_id)
+
+    def resume(self, replica_id: int) -> None:
+        self.network.faults.restore_node(replica_id)
+
+    def partition(self, groups: Tuple[Tuple[int, ...], Tuple[int, ...]]) -> None:
+        group_a, group_b = groups
+        self.network.faults.partition(group_a, group_b)
+
+    def heal(self) -> None:
+        self.network.faults.heal_partitions()

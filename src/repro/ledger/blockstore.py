@@ -25,6 +25,8 @@ class BlockStore:
         self.genesis = genesis or make_genesis_block()
         self._blocks: Dict[str, Block] = {self.genesis.block_hash: self.genesis}
         self._children: Dict[str, List[str]] = {self.genesis.block_hash: []}
+        #: Total number of fork blocks removed by :meth:`prune_siblings_of`.
+        self.pruned_count = 0
 
     # ---------------------------------------------------------------- access
     def add(self, block: Block) -> Block:
@@ -67,6 +69,46 @@ class BlockStore:
     def blocks(self) -> Iterable[Block]:
         """Iterate over every stored block (order unspecified)."""
         return self._blocks.values()
+
+    # --------------------------------------------------------------- pruning
+    def prune_siblings_of(self, committed_block: Block) -> List[str]:
+        """Remove every branch conflicting with *committed_block*.
+
+        Called when a block commits: its siblings (other children of its
+        parent) and their entire subtrees are now orphaned forks that can
+        never commit, so they are dropped from the tree.  Ancestors of the
+        committed chain are pruned when *they* commit, which keeps each call
+        O(pruned blocks) instead of re-walking the chain.  Returns the pruned
+        hashes so callers can drop per-block metadata of their own.
+        """
+        parent_hash = committed_block.parent_hash
+        siblings = [
+            child_hash
+            for child_hash in self._children.get(parent_hash, ())
+            if child_hash != committed_block.block_hash
+        ]
+        pruned: List[str] = []
+        for sibling_hash in siblings:
+            self._remove_subtree(sibling_hash, pruned)
+        if pruned:
+            pruned_set = set(pruned)
+            self._children[parent_hash] = [
+                child_hash
+                for child_hash in self._children.get(parent_hash, ())
+                if child_hash not in pruned_set
+            ]
+            self.pruned_count += len(pruned)
+        return pruned
+
+    def _remove_subtree(self, root_hash: str, removed: List[str]) -> None:
+        stack = [root_hash]
+        while stack:
+            block_hash = stack.pop()
+            if block_hash not in self._blocks:
+                continue
+            stack.extend(self._children.pop(block_hash, ()))
+            del self._blocks[block_hash]
+            removed.append(block_hash)
 
     # -------------------------------------------------------------- ancestry
     def parent_of(self, block: Block) -> Optional[Block]:

@@ -30,10 +30,14 @@ from repro.experiments.runner import (
     ExperimentSpec,
     RunResult,
     aggregate_replica_counters,
+    assign_chaos_reporter,
     build_deployment,
+    build_replica_stores,
     check_ledger_safety,
     default_num_clients,
 )
+from repro.faults.injector import ChaosController
+from repro.faults.plan import FaultPlan
 from repro.live.runtime import LiveCluster, LiveNode, WallClock
 from repro.live.transport import AsyncTcpTransport
 from repro.net.network import NetworkStats
@@ -154,11 +158,25 @@ async def _run_live(
     await cluster.start()
 
     try:
+        plan = FaultPlan.from_dict(spec.faults) if spec.faults else None
+        stores = build_replica_stores(spec) if plan is not None or spec.storage_dir else None
         deployment = build_deployment(
-            spec, clock, lambda replica_id: transports[replica_id]
+            spec,
+            clock,
+            lambda replica_id: transports[replica_id],
+            store_for=stores.__getitem__ if stores is not None else None,
         )
         replicas = deployment.replicas
         metrics = deployment.metrics
+
+        controller: Optional[ChaosController] = None
+        if plan is not None:
+            from repro.faults.live import LiveChaosAdapter  # local import: avoids cycle
+
+            assign_chaos_reporter(deployment, plan)
+            adapter = LiveChaosAdapter(clock, transports, deployment, stores)
+            controller = ChaosController(plan, clock, adapter)
+            controller.install()
 
         client_pool = LiveLoadGenerator(
             sim=clock,
@@ -217,4 +235,5 @@ async def _run_live(
         replicas=replicas,
         client_pool=client_pool,
         network_stats=stats.as_dict(),
+        chaos=controller.report(replicas) if controller is not None else None,
     )

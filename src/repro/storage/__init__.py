@@ -1,0 +1,37 @@
+"""Durable per-replica persistence: write-ahead log, blockstore, recovery.
+
+The storage layer gives each replica a crash-surviving record of the three
+things it must never forget (§4 safety argument):
+
+* the views/slots it has **voted** in (a recovered replica never equivocates),
+* its highest **certificates** (``prepare_qc`` / the commit certificate),
+* the **committed prefix** of its ledger.
+
+:class:`~repro.storage.store.ReplicaStore` bundles a
+:class:`~repro.storage.wal.WriteAheadLog` and a
+:class:`~repro.storage.blockstore.DurableBlockStore` over either an
+in-memory backend (simulation: the backend object *is* the durable medium
+that survives the replica object's "crash") or an append-only JSONL file
+backend (live deployments).  :class:`~repro.storage.recovery.RecoveryManager`
+replays the store into a freshly constructed replica and kicks off
+``FetchRequest`` catch-up for whatever the cluster committed while the
+replica was down.
+"""
+
+from repro.storage.backend import FileLogBackend, LogBackend, MemoryLogBackend
+from repro.storage.blockstore import DurableBlockStore
+from repro.storage.recovery import RecoveredState, RecoveryManager
+from repro.storage.store import ReplicaStore
+from repro.storage.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "DurableBlockStore",
+    "FileLogBackend",
+    "LogBackend",
+    "MemoryLogBackend",
+    "RecoveredState",
+    "RecoveryManager",
+    "ReplicaStore",
+    "WalRecord",
+    "WriteAheadLog",
+]

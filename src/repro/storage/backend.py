@@ -1,0 +1,110 @@
+"""Append-only log backends shared by the WAL and the durable blockstore.
+
+A backend is a sequence of JSON-compatible records with exactly two
+operations: *append* one record, and *replay* every record appended so far.
+Durability is the backend's whole job; interpretation of the records belongs
+to :mod:`repro.storage.wal` and :mod:`repro.storage.blockstore`.
+
+Two implementations:
+
+* :class:`MemoryLogBackend` — records kept in a Python list.  Used by the
+  simulator, where "durable" means "survives the replica *object*": the
+  chaos engine keeps the backend alive across a crash/restart and everything
+  the dead replica did not append is lost, exactly as with a real disk.
+* :class:`FileLogBackend` — one JSON document per line, appended to a real
+  file (optionally fsync'd per record).  Replay tolerates a truncated final
+  line, the torn-write artefact of a crash mid-append.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+
+class LogBackend:
+    """Interface for an append-only record log."""
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one JSON-compatible record."""
+        raise NotImplementedError
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """Return every record appended so far, in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (no-op by default)."""
+
+    def clear(self) -> None:
+        """Discard every record (used by tests and compaction)."""
+        raise NotImplementedError
+
+
+class MemoryLogBackend(LogBackend):
+    """Records kept in memory; the backend object is the durable medium."""
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, Any]] = []
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self._records.append(record)
+
+    def replay(self) -> List[Dict[str, Any]]:
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class FileLogBackend(LogBackend):
+    """One JSON document per line, appended to *path*.
+
+    ``fsync=True`` flushes and fsyncs after every append (write-ahead
+    semantics at real-disk cost); the default flushes to the OS only, which
+    is what the deployment harness uses for localhost experiments.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = str(path)
+        self.fsync = bool(fsync)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def replay(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        # A torn final line from a crash mid-append: everything
+                        # before it is intact, the partial record never counts.
+                        break
+        except FileNotFoundError:
+            pass
+        return records
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def clear(self) -> None:
+        self._handle.close()
+        self._handle = open(self.path, "w", encoding="utf-8")

@@ -1,0 +1,38 @@
+"""Durable block tree: a :class:`~repro.ledger.blockstore.BlockStore` that
+persists every inserted block to an append-only backend.
+
+The backend is the durable medium; a fresh :class:`DurableBlockStore` built
+over the same backend replays it and reconstructs the tree, which is exactly
+how a restarted replica gets its blocks back.  Pruning (see
+:meth:`BlockStore.prune_siblings_of`) only trims the in-memory tree — the
+append-only log keeps the raw history and pruned orphans are simply re-pruned
+as the committed chain replays after a restart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ledger.block import Block
+from repro.ledger.blockstore import BlockStore
+from repro.live.codec import message_from_wire, message_to_wire
+from repro.storage.backend import LogBackend
+
+
+class DurableBlockStore(BlockStore):
+    """Block tree whose inserts are mirrored to an append-only backend."""
+
+    def __init__(self, backend: LogBackend, genesis: Optional[Block] = None) -> None:
+        super().__init__(genesis)
+        self._backend = backend
+        for document in backend.replay():
+            super().add(message_from_wire(document))
+
+    def add(self, block: Block) -> Block:
+        """Insert *block*, persisting it on first sight (duplicates are no-ops)."""
+        if block.block_hash in self._blocks:
+            return self._blocks[block.block_hash]
+        stored = super().add(block)
+        if not block.is_genesis:
+            self._backend.append(message_to_wire(block))
+        return stored

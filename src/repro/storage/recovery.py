@@ -1,0 +1,111 @@
+"""Recovery: rebuild a replica from its durable store after a crash.
+
+:class:`RecoveryManager` takes a *freshly constructed* replica (new state
+machine, new ledger, block store already replayed from the same
+:class:`~repro.storage.store.ReplicaStore`) and restores everything the WAL
+remembers:
+
+* the voted views/slots and the last voted view, so the recovered replica
+  can never vote twice in a view it voted in before the crash
+  (no equivocation — the safety half of recovery);
+* the highest prepare / commit certificates (``prepare_qc`` / ``locked_qc``),
+  so its vote rule resumes from where it stopped;
+* the committed prefix, re-executed block by block through the replica's own
+  ledger so the state machine ends up byte-identical to the pre-crash state.
+
+Whatever the cluster committed *while the replica was down* is not in the
+store; :meth:`catch_up` primes the existing ``FetchRequest`` /
+``FetchResponse`` path (extended with chained ancestor fetching in
+:meth:`~repro.consensus.replica.BaseReplica.handle_fetch_response`) so the
+missing suffix streams in, after which the normal commit rule folds it into
+the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.store import ReplicaStore
+from repro.storage.wal import WalState
+
+#: Re-exported summary type (what :meth:`RecoveryManager.restore` returns).
+RecoveredState = WalState
+
+
+class RecoveryManager:
+    """Replays a :class:`ReplicaStore` into a freshly built replica."""
+
+    def __init__(self, store: ReplicaStore) -> None:
+        self.store = store
+
+    # ---------------------------------------------------------------- restore
+    def restore(self, replica) -> RecoveredState:
+        """Restore certificates, vote history and the committed prefix.
+
+        The replica must have been constructed against
+        ``store.open_blockstore()`` so every persisted block is already in its
+        tree.  Appends are suspended for the duration: re-committing the
+        prefix must not re-log the records being read.
+        """
+        state = self.store.load_state()
+        with self.store.suspended():
+            if state.high_cert is not None:
+                replica.record_certificate(state.high_cert)
+            if state.commit_cert is not None and hasattr(replica, "high_commit_cert"):
+                current = replica.high_commit_cert
+                if current is None or state.commit_cert.position > current.position:
+                    replica.high_commit_cert = state.commit_cert
+            # Each protocol re-arms its own vote-dedup guards (the explicit
+            # BaseReplica hook, extended by chained/basic/slotted variants).
+            replica.restore_vote_state(state)
+            self._recommit_prefix(replica, state)
+        return state
+
+    def _recommit_prefix(self, replica, state: RecoveredState) -> None:
+        """Re-execute the WAL'd committed prefix through the replica's ledger.
+
+        The append-only block log also resurrects fork blocks that were
+        pruned before the crash; pruning each committed block's siblings as
+        the prefix replays drops them again, so a restarted replica's tree
+        holds the same orphan-free shape the dead incarnation had.
+        """
+        for block_hash in state.committed_hashes:
+            block = replica.block_store.maybe_get(block_hash)
+            if block is None:
+                # Torn persist: the block log lost the tail the WAL refers to.
+                # Everything from here on re-enters through consensus catch-up.
+                break
+            replica.ledger.commit(block)
+            replica.mempool.mark_committed(txn.txn_id for txn in block.transactions)
+            replica.block_store.prune_siblings_of(block)
+
+    # --------------------------------------------------------------- catch up
+    def catch_up(self, replica, ask: Optional[int] = None) -> None:
+        """Request certified-but-missing blocks from a peer.
+
+        The highest known certificate may point at a block the store never
+        saw (certificates are WAL'd independently of block arrival).  Asking
+        one live peer for it starts the chained ancestor fetch; the committed
+        suffix the cluster built while this replica was down follows through
+        the normal proposal → commit-rule path.
+        """
+        cert = replica.high_cert
+        if cert.is_genesis or cert.block_hash in replica.block_store:
+            return
+        if ask is None:
+            ask = (replica.replica_id + 1) % replica.config.n
+        replica.request_block(cert.block_hash, ask)
+
+    # ------------------------------------------------------------ view choice
+    @staticmethod
+    def resume_view(state: RecoveredState) -> int:
+        """First view the recovered replica should enter (always fresh ground).
+
+        One past everything it ever voted in or saw certified, so re-entering
+        the view loop can never contradict a pre-crash action.
+        """
+        highest = state.last_voted_view
+        if state.high_cert is not None:
+            highest = max(highest, state.high_cert.view)
+        return highest + 1

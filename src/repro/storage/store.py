@@ -1,0 +1,97 @@
+"""Per-replica durable store: one WAL plus one block log.
+
+A :class:`ReplicaStore` owns the two backends a replica persists through and
+survives the replica object itself — in simulation the chaos engine holds the
+store across a crash/restart, in a live deployment the store points at files
+on disk.  ``open_blockstore()`` hands every incarnation of the replica a
+fresh :class:`~repro.storage.blockstore.DurableBlockStore` rebuilt from the
+persisted log, and :attr:`wal` carries the consensus decisions.
+
+``suspended()`` turns all appends into no-ops while recovery replays history
+*through* the replica's normal code paths (re-committing the prefix must not
+re-log the commits it is reading).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.consensus.certificates import Certificate
+from repro.storage.backend import FileLogBackend, LogBackend, MemoryLogBackend
+from repro.storage.blockstore import DurableBlockStore
+from repro.storage.wal import WalState, WriteAheadLog
+
+
+class ReplicaStore:
+    """Durable state of one replica (WAL + block log) over a pair of backends."""
+
+    def __init__(self, wal_backend: LogBackend, block_backend: LogBackend) -> None:
+        self.wal = WriteAheadLog(wal_backend)
+        self._block_backend = block_backend
+        self._suspended = False
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def memory(cls) -> "ReplicaStore":
+        """In-memory store for simulated deployments (survives the replica object)."""
+        return cls(MemoryLogBackend(), MemoryLogBackend())
+
+    @classmethod
+    def at_path(cls, directory: str, replica_id: int, fsync: bool = False) -> "ReplicaStore":
+        """File-backed store under ``directory/replica-<id>/`` for live deployments."""
+        base = os.path.join(str(directory), f"replica-{int(replica_id)}")
+        return cls(
+            FileLogBackend(os.path.join(base, "wal.jsonl"), fsync=fsync),
+            FileLogBackend(os.path.join(base, "blocks.jsonl"), fsync=fsync),
+        )
+
+    # -------------------------------------------------------------- lifecycle
+    def open_blockstore(self) -> DurableBlockStore:
+        """Build a block tree over the block log (replays everything persisted)."""
+        return DurableBlockStore(self._block_backend)
+
+    def load_state(self) -> WalState:
+        """Reduce the WAL into the latest-state summary recovery restores."""
+        return self.wal.reduce()
+
+    def close(self) -> None:
+        """Close both backends (no-op for memory backends)."""
+        self.wal.backend.close()
+        self._block_backend.close()
+
+    def clear(self) -> None:
+        """Wipe all persisted state (tests only)."""
+        self.wal.backend.clear()
+        self._block_backend.clear()
+
+    # ---------------------------------------------------------------- appends
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Silence appends while recovery replays history through live code paths."""
+        self._suspended = True
+        try:
+            yield
+        finally:
+            self._suspended = False
+
+    def record_vote(self, view: int, slot: int, block_hash: str) -> None:
+        """WAL a vote decision (must be called before the vote is sent)."""
+        if not self._suspended:
+            self.wal.append_vote(view, slot, block_hash)
+
+    def record_high_cert(self, cert: Certificate) -> None:
+        """WAL an advance of the highest prepare certificate."""
+        if not self._suspended:
+            self.wal.append_high_cert(cert)
+
+    def record_commit_cert(self, cert: Certificate) -> None:
+        """WAL an advance of the highest commit certificate."""
+        if not self._suspended:
+            self.wal.append_commit_cert(cert)
+
+    def record_commit(self, block_hash: str) -> None:
+        """WAL a block joining the committed ledger."""
+        if not self._suspended:
+            self.wal.append_commit(block_hash)

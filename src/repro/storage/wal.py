@@ -1,0 +1,145 @@
+"""Write-ahead log of consensus decisions.
+
+The WAL records, in append order, the decisions a replica must remember
+across a crash:
+
+* ``vote`` — the replica created a vote share for ``(view, slot)`` over a
+  block.  Written *before* the vote leaves the replica, so a recovered
+  replica can never be tricked into voting twice in the same view/slot
+  (equivocation), the safety-critical half of recovery.
+* ``high_cert`` — the highest prepare certificate advanced (the paper's
+  ``P(v_lp)``; HotStuff's ``prepare_qc`` and, for the two-chain protocols,
+  the effective lock).
+* ``commit_cert`` — the highest *commit* certificate advanced (basic
+  HotStuff-1's ``C(v_lc)`` / a classic ``locked_qc``).
+* ``commit`` — a block hash was appended to the committed ledger.
+
+Certificates are serialized through the live wire codec
+(:func:`repro.live.codec.message_to_wire`), so the WAL shares one
+serialization source of truth with the network.  :meth:`WriteAheadLog.reduce`
+folds the record stream into the latest-state summary recovery needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.consensus.certificates import Certificate
+from repro.live.codec import message_from_wire, message_to_wire
+from repro.storage.backend import LogBackend
+
+#: Record kinds understood by :meth:`WriteAheadLog.reduce`.
+KIND_VOTE = "vote"
+KIND_HIGH_CERT = "high_cert"
+KIND_COMMIT_CERT = "commit_cert"
+KIND_COMMIT = "commit"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL entry."""
+
+    kind: str
+    view: int = 0
+    slot: int = 0
+    block_hash: str = ""
+    cert: Optional[Certificate] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == KIND_VOTE:
+            record.update(view=self.view, slot=self.slot, block_hash=self.block_hash)
+        elif self.kind in (KIND_HIGH_CERT, KIND_COMMIT_CERT):
+            record["cert"] = message_to_wire(self.cert)
+        elif self.kind == KIND_COMMIT:
+            record["block_hash"] = self.block_hash
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "WalRecord":
+        kind = record.get("kind", "")
+        if kind == KIND_VOTE:
+            return cls(
+                kind=kind,
+                view=int(record["view"]),
+                slot=int(record["slot"]),
+                block_hash=str(record["block_hash"]),
+            )
+        if kind in (KIND_HIGH_CERT, KIND_COMMIT_CERT):
+            return cls(kind=kind, cert=message_from_wire(record["cert"]))
+        if kind == KIND_COMMIT:
+            return cls(kind=kind, block_hash=str(record["block_hash"]))
+        return cls(kind=kind)
+
+
+@dataclass
+class WalState:
+    """Latest-state summary of a WAL (the input to recovery)."""
+
+    last_voted_view: int = 0
+    voted: Set[Tuple[int, int]] = field(default_factory=set)
+    highest_voted_hash: str = ""
+    high_cert: Optional[Certificate] = None
+    commit_cert: Optional[Certificate] = None
+    committed_hashes: List[str] = field(default_factory=list)
+
+    @property
+    def voted_views(self) -> Set[int]:
+        """The views a vote was ever cast in (any slot)."""
+        return {view for view, _slot in self.voted}
+
+
+class WriteAheadLog:
+    """Typed facade over an append-only :class:`~repro.storage.backend.LogBackend`."""
+
+    def __init__(self, backend: LogBackend) -> None:
+        self.backend = backend
+
+    # -------------------------------------------------------------- appends
+    def append_vote(self, view: int, slot: int, block_hash: str) -> None:
+        """Record a vote for ``(view, slot)`` over *block_hash* (call before sending)."""
+        self.backend.append(
+            WalRecord(kind=KIND_VOTE, view=view, slot=slot, block_hash=block_hash).to_dict()
+        )
+
+    def append_high_cert(self, cert: Certificate) -> None:
+        """Record that the highest prepare certificate advanced to *cert*."""
+        self.backend.append(WalRecord(kind=KIND_HIGH_CERT, cert=cert).to_dict())
+
+    def append_commit_cert(self, cert: Certificate) -> None:
+        """Record that the highest commit certificate advanced to *cert*."""
+        self.backend.append(WalRecord(kind=KIND_COMMIT_CERT, cert=cert).to_dict())
+
+    def append_commit(self, block_hash: str) -> None:
+        """Record that *block_hash* joined the committed ledger."""
+        self.backend.append(WalRecord(kind=KIND_COMMIT, block_hash=block_hash).to_dict())
+
+    # --------------------------------------------------------------- replay
+    def records(self) -> List[WalRecord]:
+        """Decode every appended record, in order (unknown kinds are kept, inert)."""
+        return [WalRecord.from_dict(record) for record in self.backend.replay()]
+
+    def reduce(self) -> WalState:
+        """Fold the record stream into the latest state recovery restores."""
+        state = WalState()
+        highest_voted: Tuple[int, int] = (0, 0)
+        committed_seen: Set[str] = set()
+        for record in self.records():
+            if record.kind == KIND_VOTE:
+                state.voted.add((record.view, record.slot))
+                state.last_voted_view = max(state.last_voted_view, record.view)
+                if (record.view, record.slot) >= highest_voted:
+                    highest_voted = (record.view, record.slot)
+                    state.highest_voted_hash = record.block_hash
+            elif record.kind == KIND_HIGH_CERT:
+                if state.high_cert is None or record.cert.position > state.high_cert.position:
+                    state.high_cert = record.cert
+            elif record.kind == KIND_COMMIT_CERT:
+                if state.commit_cert is None or record.cert.position > state.commit_cert.position:
+                    state.commit_cert = record.cert
+            elif record.kind == KIND_COMMIT:
+                if record.block_hash not in committed_seen:
+                    committed_seen.add(record.block_hash)
+                    state.committed_hashes.append(record.block_hash)
+        return state

@@ -140,6 +140,7 @@ class TestCli:
             "fig10-rollback",
             "latency-breakdown",
             "ablation-slotting",
+            "chaos-recovery",
         }
         assert set(FIGURES) == expected
 

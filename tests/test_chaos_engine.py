@@ -1,0 +1,375 @@
+"""Chaos engine: fault plans, crash/restart recovery in sim and live mode,
+scenario-engine integration and the ``repro chaos`` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments.executor import execute_scenario
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.spec import ScenarioSpec
+from repro.faults.plan import PRESETS, FaultEvent, FaultPlan, chaos_preset, load_plan
+from repro.live.deploy import run_live_experiment
+
+
+def committed_chains(replicas):
+    return [
+        [block.block_hash for block in replica.ledger.committed.blocks()]
+        for replica in replicas
+    ]
+
+
+def assert_identical_prefixes(replicas):
+    chains = committed_chains(replicas)
+    reference = max(chains, key=len)
+    assert len(reference) > 0
+    for chain in chains:
+        assert chain == reference[: len(chain)]
+    return chains
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(at=0.2, action="crash", replica=1),
+                FaultEvent(at=0.5, action="restart", replica=1),
+                FaultEvent(at=0.3, action="partition", groups=((0, 1), (2, 3))),
+                FaultEvent(at=0.6, action="heal"),
+            ]
+        )
+        rebuilt = FaultPlan.from_json(plan.to_json())
+        assert rebuilt == plan
+        # events are kept sorted by time
+        assert [event.at for event in rebuilt.events] == [0.2, 0.3, 0.5, 0.6]
+
+    def test_load_plan_from_file(self, tmp_path):
+        path = os.path.join(tmp_path, "plan.json")
+        with open(path, "w") as handle:
+            handle.write(FaultPlan.single_crash(2, 0.1, 0.2).to_json())
+        plan = load_plan(path)
+        assert [event.action for event in plan.events] == ["crash", "restart"]
+        assert plan.events[0].replica == 2
+
+    def test_validate_accepts_well_formed_plans(self):
+        FaultPlan.single_crash(1, 0.1, 0.1).validate(4)
+        FaultPlan.leader_crash(0.1, 0.1).validate(4)
+        FaultPlan.cascade([0, 1], 0.1, 0.05, 0.2).validate(4)
+        FaultPlan.partition_heal([0, 1, 2], [3], 0.1, 0.3).validate(4)
+
+    @pytest.mark.parametrize(
+        "events, message",
+        [
+            ([FaultEvent(at=0.1, action="explode", replica=0)], "unknown fault action"),
+            ([FaultEvent(at=0.1, action="crash", replica=9)], "not a replica id"),
+            ([FaultEvent(at=0.1, action="restart", replica=0)], "without a prior crash"),
+            (
+                [
+                    FaultEvent(at=0.1, action="crash", replica=0),
+                    FaultEvent(at=0.2, action="crash", replica=0),
+                ],
+                "already down",
+            ),
+            ([FaultEvent(at=0.1, action="resume", replica=0)], "without a prior pause"),
+            (
+                [FaultEvent(at=0.1, action="partition", groups=((0, 1), (1, 2)))],
+                "overlap",
+            ),
+            ([FaultEvent(at=-0.1, action="crash", replica=0)], "must be >= 0"),
+        ],
+    )
+    def test_validate_rejects_malformed_plans(self, events, message):
+        with pytest.raises(ConfigurationError, match=message):
+            FaultPlan(events=events).validate(4)
+
+    def test_leader_target_limited_to_crash_restart(self):
+        plan = FaultPlan(events=[FaultEvent(at=0.1, action="pause", replica="leader")])
+        with pytest.raises(ConfigurationError, match="only supports crash/restart"):
+            plan.validate(4)
+
+    def test_live_mode_rejects_network_shape_faults(self):
+        plan = FaultPlan.partition_heal([0, 1, 2], [3], 0.1, 0.3)
+        with pytest.raises(ConfigurationError, match="simulation-only"):
+            plan.validate(4, mode="live")
+        FaultPlan.single_crash(1, 0.1, 0.1).validate(4, mode="live")
+
+    def test_presets_cover_the_catalogue(self):
+        assert set(PRESETS) == {"kill-replica", "kill-leader", "cascade", "partition-heal"}
+        for name in PRESETS:
+            plan = chaos_preset(name, n=7, at=0.2, down_for=0.1)
+            plan.validate(7)
+            assert len(plan) >= 1
+        with pytest.raises(ConfigurationError, match="unknown chaos preset"):
+            chaos_preset("meteor-strike", n=4, at=0.1, down_for=0.1)
+
+    def test_spec_validation_normalizes_and_checks_faults(self):
+        spec = ExperimentSpec(
+            protocol="hotstuff-1",
+            n=4,
+            faults=FaultPlan.single_crash(1, 0.1, 0.1),  # instance, not dict
+        )
+        spec.validate()
+        assert isinstance(spec.faults, dict)
+        bad = ExperimentSpec(
+            protocol="hotstuff-1", n=4,
+            faults={"events": [{"at": 0.1, "action": "crash", "replica": 99}]},
+        )
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+
+class TestSimChaos:
+    BASE = dict(protocol="hotstuff-1", n=4, batch_size=10, duration=0.6, warmup=0.1)
+
+    def _run(self, plan, **overrides):
+        params = dict(self.BASE)
+        params.update(overrides)
+        return run_experiment(ExperimentSpec(faults=plan.to_dict(), **params))
+
+    def test_killed_replica_rejoins_and_prefixes_agree(self):
+        result = self._run(FaultPlan.single_crash(1, at=0.15, down_for=0.1))
+        chains = assert_identical_prefixes(result.replicas)
+        chaos = result.chaos
+        assert chaos["crashes"] == chaos["restarts"] == chaos["recovered"] == 1
+        assert chaos["prefix_agreement"] is True
+        incident = chaos["incidents"][0]
+        assert incident["replica"] == 1
+        assert incident["recovery_s"] > 0
+        # the rejoined replica caught the cluster's committed prefix back up
+        assert len(chains[1]) > 0
+        assert max(len(c) for c in chains) - len(chains[1]) <= 5
+
+    def test_leader_kill_mid_speculation_recovers(self):
+        result = self._run(FaultPlan.leader_crash(at=0.2, down_for=0.1))
+        assert_identical_prefixes(result.replicas)
+        chaos = result.chaos
+        assert chaos["recovered"] == 1
+        # HotStuff-1 speculates, so the killed leader had speculated-but-
+        # uncommitted operations in flight; they are counted as lost.
+        assert chaos["ops_lost_to_rollback"] > 0
+        assert result.summary.speculative_executions > 0
+
+    @pytest.mark.parametrize(
+        "protocol", ["hotstuff", "hotstuff-2", "hotstuff-1-slotting", "hotstuff-1-basic"]
+    )
+    def test_every_protocol_survives_a_crash(self, protocol):
+        result = self._run(
+            FaultPlan.single_crash(2, at=0.15, down_for=0.1), protocol=protocol
+        )
+        assert_identical_prefixes(result.replicas)
+        assert result.chaos["recovered"] == 1
+        assert result.chaos["prefix_agreement"] is True
+
+    def test_cascade_restarts_every_victim(self):
+        result = self._run(
+            FaultPlan.cascade([0, 1], start=0.12, down_for=0.06, gap=0.15),
+            duration=0.8,
+        )
+        assert_identical_prefixes(result.replicas)
+        assert result.chaos["crashes"] == 2
+        assert result.chaos["recovered"] == 2
+
+    def test_partition_heals_and_cluster_reconverges(self):
+        result = self._run(
+            FaultPlan.partition_heal([0, 1, 2], [3], at=0.15, heal_at=0.35),
+            duration=0.8,
+        )
+        chains = assert_identical_prefixes(result.replicas)
+        # the minority side caught back up after the heal
+        assert max(len(c) for c in chains) - min(len(c) for c in chains) <= 5
+
+    def test_restarted_replica_keeps_its_configured_behavior(self):
+        from repro.consensus.byzantine import TailForkingBehavior
+
+        behavior = TailForkingBehavior()
+        result = run_experiment(
+            ExperimentSpec(
+                faults=FaultPlan.single_crash(2, at=0.15, down_for=0.1).to_dict(),
+                behaviors={2: behavior},
+                **self.BASE,
+            )
+        )
+        restarted = next(r for r in result.replicas if r.replica_id == 2)
+        assert restarted.behavior is behavior  # adversary model survives restart
+        assert restarted.behavior.is_byzantine
+
+    def test_restarted_replica_is_a_fresh_object_with_recovered_ledger(self):
+        result = self._run(FaultPlan.single_crash(1, at=0.15, down_for=0.1))
+        restarted = next(r for r in result.replicas if r.replica_id == 1)
+        assert restarted.halted is False
+        assert restarted.store is not None
+        assert len(restarted.ledger.committed.blocks()) > 0
+
+    def test_chaos_columns_flow_into_report_rows(self):
+        result = self._run(FaultPlan.single_crash(1, at=0.15, down_for=0.1))
+        row = result.to_row()
+        assert row["prefix_ok"] is True
+        assert row["ops_lost"] >= 0
+        assert row["recovery_ms"] > 0
+
+    def test_storage_dir_is_safe_to_reuse_across_runs(self, tmp_path):
+        """A second run against the same storage_dir must start from genesis,
+        not replay the first run's history into fresh replicas."""
+        plan = FaultPlan.single_crash(1, at=0.12, down_for=0.08)
+        for _ in range(2):
+            result = run_experiment(
+                ExperimentSpec(
+                    faults=plan.to_dict(), storage_dir=str(tmp_path), **self.BASE
+                )
+            )
+            assert result.chaos["prefix_agreement"] is True
+            assert result.chaos["recovered"] == 1
+
+    def test_fault_free_runs_have_no_chaos_section(self):
+        result = run_experiment(ExperimentSpec(**self.BASE))
+        assert result.chaos is None
+        assert "recovery_ms" not in result.to_row()
+
+
+class TestChaosScenarioEngine:
+    def test_chaos_kind_expands_and_runs(self):
+        scenario = ScenarioSpec(
+            name="chaos-smoke",
+            kind="chaos",
+            protocols=("hotstuff-1",),
+            axes={"fault": ["kill-replica", "kill-leader"]},
+            params={"n": 4, "batch_size": 10, "duration": 0.5, "warmup": 0.1},
+        )
+        rows = execute_scenario(scenario)
+        assert [row["fault"] for row in rows] == ["kill-replica", "kill-leader"]
+        for row in rows:
+            assert row["prefix_ok"] is True
+            assert row["recovery_ms"] > 0
+
+    def test_inline_plan_dict_as_axis_value(self):
+        plan = FaultPlan.single_crash(2, at=0.12, down_for=0.08).to_dict()
+        scenario = ScenarioSpec(
+            name="chaos-inline",
+            kind="chaos",
+            protocols=("hotstuff-1",),
+            axes={"fault": [plan]},
+            params={"n": 4, "batch_size": 10, "duration": 0.5, "warmup": 0.1},
+        )
+        rows = execute_scenario(scenario)
+        assert rows[0]["fault"] == "custom"
+        assert rows[0]["prefix_ok"] is True
+
+    def test_faults_param_rides_any_scenario_kind(self):
+        scenario = ScenarioSpec(
+            name="scalability-chaos",
+            kind="scalability",
+            protocols=("hotstuff-1",),
+            axes={"n": [4]},
+            params={
+                "batch_size": 10,
+                "duration": 0.5,
+                "warmup": 0.1,
+                "faults": FaultPlan.single_crash(1, 0.15, 0.1).to_dict(),
+            },
+        )
+        rows = execute_scenario(scenario)
+        assert rows[0]["prefix_ok"] is True
+        assert rows[0]["recovery_ms"] > 0
+
+
+class TestRepeatAggregation:
+    def test_metric_column_missing_from_first_repeat_still_aggregates(self):
+        from repro.experiments.executor import aggregate_records
+        from repro.experiments.spec import RunRecord
+
+        def record(index, row, metrics):
+            return RunRecord(
+                index=index, group=0, scenario="s", repeat=index, seed=index,
+                row=row, metrics=metrics,
+            )
+
+        base = {"protocol": "hotstuff-1", "throughput_tps": 100.0}
+        records = [
+            record(0, dict(base), {"throughput_tps": 100.0}),  # never recovered
+            record(1, {**base, "recovery_ms": 12.0}, {"throughput_tps": 100.0, "recovery_ms": 12.0}),
+            record(2, {**base, "recovery_ms": 18.0}, {"throughput_tps": 100.0, "recovery_ms": 18.0}),
+        ]
+        [row] = aggregate_records(records)
+        assert row["recovery_ms"] == 15.0  # mean of the repeats that measured it
+        assert row["recovery_ms_std"] == 3.0
+        assert row["repeats"] == 3
+
+    def test_prefix_ok_folds_with_all_over_repeats(self):
+        from repro.experiments.executor import aggregate_records
+        from repro.experiments.spec import RunRecord
+
+        def record(index, prefix_ok):
+            return RunRecord(
+                index=index, group=0, scenario="s", repeat=index, seed=index,
+                row={"protocol": "hotstuff-1", "prefix_ok": prefix_ok}, metrics={},
+            )
+
+        [row] = aggregate_records([record(0, True), record(1, False), record(2, True)])
+        assert row["prefix_ok"] is False  # one divergent repeat must surface
+
+
+class TestLiveChaos:
+    def test_live_crash_restart_reaches_identical_prefixes(self):
+        plan = FaultPlan.single_crash(1, at=0.5, down_for=0.4)
+        spec = ExperimentSpec(
+            protocol="hotstuff-1", mode="live", n=4, batch_size=10,
+            duration=12.0, warmup=0.2, view_timeout=0.05, seed=11,
+            faults=plan.to_dict(),
+        )
+        # Sized so the run is still in flight when the crash fires at 0.5s and
+        # keeps going past the restart at 0.9s (~800 tps on localhost).
+        result = run_live_experiment(spec, target_ops=1200)
+        assert_identical_prefixes(result.replicas)
+        chaos = result.chaos
+        assert chaos["crashes"] == chaos["restarts"] == chaos["recovered"] == 1
+        assert chaos["prefix_agreement"] is True
+        assert chaos["incidents"][0]["recovery_s"] > 0
+
+
+class TestChaosCli:
+    def test_emit_plan_prints_json(self, capsys):
+        exit_code = main(
+            ["chaos", "kill-leader", "--replicas", "4", "--duration", "1.0", "--emit-plan"]
+        )
+        assert exit_code == 0
+        plan = FaultPlan.from_json(capsys.readouterr().out)
+        assert [event.action for event in plan.events] == ["crash", "restart"]
+        assert plan.events[0].replica == "leader"
+
+    def test_chaos_subcommand_runs_and_reports_recovery(self, capsys):
+        exit_code = main(
+            [
+                "chaos", "kill-replica",
+                "--replicas", "4", "--batch", "10",
+                "--duration", "0.5", "--warmup", "0.1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chaos & recovery" in output
+        assert "recovery_ms" in output
+
+    def test_run_subcommand_accepts_faults_file(self, tmp_path, capsys):
+        path = os.path.join(tmp_path, "plan.json")
+        with open(path, "w") as handle:
+            handle.write(FaultPlan.single_crash(1, 0.12, 0.08).to_json())
+        exit_code = main(
+            [
+                "run", "--protocol", "hotstuff-1", "--replicas", "4",
+                "--batch", "10", "--duration", "0.5", "--warmup", "0.1",
+                "--faults", path,
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chaos & recovery" in output
+
+    def test_unknown_preset_is_a_configuration_error(self, capsys):
+        exit_code = main(["chaos", "black-swan", "--replicas", "4"])
+        assert exit_code == 2
+        assert "unknown chaos preset" in capsys.readouterr().err
