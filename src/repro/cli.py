@@ -5,6 +5,7 @@ Usage (installed as a module)::
     python -m repro run --protocol hotstuff-1 --replicas 16 --duration 0.5
     python -m repro live --protocol hotstuff1 --n 4
     python -m repro chaos kill-leader --protocol hotstuff-1 --duration 1.0
+    python -m repro fuzz --protocol hotstuff-1 --seeds 10 --crashes 2
     python -m repro compare --replicas 16 --batch 100
     python -m repro figure fig8-scalability --jobs 4 --repeats 3 --out results.csv
     python -m repro suite fig8-scalability fig10-rollback --jobs 4
@@ -22,10 +23,17 @@ Sub-commands
     pipeline as simulations.
 ``chaos``
     Run one experiment (sim or live) under a fault plan — a named preset
-    (``kill-replica``, ``kill-leader``, ``cascade``, ``partition-heal``) or a
-    JSON :class:`~repro.faults.plan.FaultPlan` — and report recovery time,
-    operations lost to rollback and committed-prefix agreement.  ``run`` and
-    ``live`` also accept ``--faults plan.json`` directly.
+    (``kill-replica``, ``kill-leader``, ``cascade``, ``partition-heal``,
+    ``blackout``) or a JSON :class:`~repro.faults.plan.FaultPlan` — and
+    report recovery time, operations lost to rollback and committed-prefix
+    agreement.  ``run`` and ``live`` also accept ``--faults plan.json``
+    directly.
+``fuzz``
+    Crash-point fuzzing: sweep seed-generated
+    :class:`~repro.faults.crashpoints.CrashPointPlan` plans that crash
+    replicas at protocol-relative hooks (before/after the vote WAL append,
+    torn tail, mid-certificate-formation) and fail unless every seed keeps
+    committed-prefix agreement and the never-vote-twice WAL invariant.
 ``compare``
     Run every evaluation protocol under the same configuration and print the
     comparison table (plus an ASCII latency chart).
@@ -63,11 +71,12 @@ from repro.experiments.report import (
     format_series,
     format_suite,
 )
+from repro.faults.crashpoints import CRASH_HOOKS
 from repro.faults.plan import PRESETS as CHAOS_PRESETS
 from repro.faults.plan import chaos_preset, load_plan
 from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.experiments.spec import SuiteSpec, expand_suite, load_suite
-from repro.experiments.scenarios import scenario_spec
+from repro.experiments.scenarios import chaos_fuzz_spec, scenario_spec
 
 #: Figure name -> scaled-down default overrides applied by the CLI so every
 #: figure regenerates in seconds on a laptop.  The full-scale defaults live in
@@ -84,7 +93,12 @@ FIGURES: Dict[str, Dict] = {
     "fig10-rollback": {"n": 16, "faulty_counts": (0, 2, 4)},
     "latency-breakdown": {"replica_counts": (4, 16)},
     "ablation-slotting": {"n": 8},
-    "chaos-recovery": {"n": 4, "duration": 0.8, "faults": ("kill-replica", "kill-leader")},
+    "chaos-recovery": {
+        "n": 4,
+        "duration": 0.8,
+        "faults": ("kill-replica", "kill-leader", "blackout"),
+    },
+    "chaos-fuzz": {"n": 4, "duration": 0.6, "seeds": (1, 2, 3)},
 }
 
 
@@ -159,6 +173,27 @@ def build_parser() -> argparse.ArgumentParser:
                               help="directory for file-backed replica stores (default: in-memory)")
     chaos_parser.add_argument("--emit-plan", action="store_true",
                               help="print the resolved fault plan as JSON and exit")
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="crash-point fuzzing: seed-swept protocol-relative crashes"
+    )
+    _add_common_arguments(fuzz_parser)
+    fuzz_parser.add_argument(
+        "--protocol", default="hotstuff-1",
+        help=f"protocol name or alias, e.g. hotstuff1 (available: {', '.join(sorted(PROTOCOLS))})",
+    )
+    fuzz_parser.add_argument("--seeds", type=int, default=5,
+                             help="number of fuzz seeds to sweep (seed, seed+1, ...)")
+    fuzz_parser.add_argument("--crashes", type=int, default=2,
+                             help="crash points per seed-generated plan")
+    fuzz_parser.add_argument("--down-for", type=float, default=None,
+                             help="nominal downtime per crash (default: 15%% of duration)")
+    fuzz_parser.add_argument(
+        "--hooks", default=None,
+        help=f"comma-separated crash hooks (default: all of {', '.join(CRASH_HOOKS)})",
+    )
+    fuzz_parser.add_argument("--jobs", type=int, default=None,
+                             help="worker processes for independent seeds (default: serial)")
 
     compare_parser = subparsers.add_parser("compare", help="compare all evaluation protocols")
     _add_common_arguments(compare_parser)
@@ -369,6 +404,8 @@ def command_chaos(args: argparse.Namespace) -> int:
         and chaos.get("events_fired", 0) == len(plan)
         and chaos.get("restarts", 0) == chaos.get("crashes", 0)
         and chaos.get("recovered", 0) == chaos.get("crashes", 0)
+        and chaos.get("skipped_events", 0) == 0
+        and not chaos.get("wal_vote_violations")
     )
     if not healthy:
         if chaos.get("events_fired", 0) < len(plan):
@@ -377,8 +414,87 @@ def command_chaos(args: argparse.Namespace) -> int:
                 "events fired within the run window (check --at/--down-for vs --duration)",
                 file=sys.stderr,
             )
+        elif chaos.get("skipped_events", 0):
+            print(
+                f"warning: {chaos['skipped_events']} fault event(s) were skipped at "
+                "runtime (target collisions); the plan did less than it declared",
+                file=sys.stderr,
+            )
+        elif chaos.get("wal_vote_violations"):
+            print(
+                f"error: WAL vote-dedup violations: {chaos['wal_vote_violations']}",
+                file=sys.stderr,
+            )
         else:
             print("warning: cluster did not fully recover within the run window", file=sys.stderr)
+        return 1
+    return 0
+
+
+def command_fuzz(args: argparse.Namespace) -> int:
+    """Sweep seed-generated crash-point plans and verify the recovery invariants.
+
+    Exit code 0 means, for every seed: all planned crash points fired,
+    every crashed replica recovered to a new commit, committed-prefix
+    agreement and the never-vote-twice WAL invariant held, and no event was
+    skipped.
+    """
+    if args.hooks:
+        hooks = tuple(h.strip() for h in args.hooks.split(",") if h.strip())
+        unknown = [h for h in hooks if h not in CRASH_HOOKS]
+        if not hooks or unknown:
+            raise ConfigurationError(
+                f"unknown crash hook(s) {unknown or [args.hooks]}; "
+                f"available: {list(CRASH_HOOKS)}"
+            )
+    else:
+        hooks = CRASH_HOOKS
+    scenario = chaos_fuzz_spec(
+        protocols=(args.protocol,),
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        n=args.replicas,
+        batch_size=args.batch,
+        duration=args.duration,
+        warmup=args.warmup,
+        crashes=args.crashes,
+        down_for=args.down_for,
+        hooks=hooks,
+    )
+    rows = execute_scenario(scenario, jobs=args.jobs)
+    print(
+        f"chaos-fuzz: {args.seeds} seed(s) x {args.crashes} crash point(s) on "
+        f"n={args.replicas} {args.protocol}, hooks: {', '.join(hooks)}"
+    )
+    print(format_series(rows, title=f"{args.protocol} — crash-point fuzz, n={args.replicas}"))
+    def problems(row: Dict) -> List[str]:
+        out = []
+        if not row.get("prefix_ok", False):
+            out.append("prefix disagreement")
+        if not row.get("wal_ok", False):
+            out.append("WAL vote-dedup violation")
+        if row.get("events_skipped", 0):
+            out.append(f"{row['events_skipped']} skipped event(s)")
+        if row.get("crashes", 0) != row.get("planned_crashes", 0):
+            out.append(
+                f"only {row.get('crashes', 0)} of {row.get('planned_crashes', 0)} "
+                "crash points fired (raise --duration or lower occurrences)"
+            )
+        if row.get("recovered", 0) != row.get("crashes", 0):
+            out.append(
+                f"{row.get('crashes', 0) - row.get('recovered', 0)} crashed "
+                "replica(s) never committed again"
+            )
+        return out
+
+    failures = {row["fuzz_seed"]: problems(row) for row in rows if problems(row)}
+    if failures:
+        for seed, reasons in sorted(failures.items()):
+            print(f"error: fuzz seed {seed}: {'; '.join(reasons)}", file=sys.stderr)
+        print(
+            f"error: {len(failures)} of {len(rows)} fuzz seed(s) failed "
+            "(rerun with --seed <seed> --seeds 1 to reproduce one)",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -461,6 +577,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": command_run,
         "live": command_live,
         "chaos": command_chaos,
+        "fuzz": command_fuzz,
         "compare": command_compare,
         "figure": command_figure,
         "suite": command_suite,

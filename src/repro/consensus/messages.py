@@ -134,19 +134,50 @@ class Reject:
 
 @dataclass(frozen=True)
 class Wish:
-    """Pacemaker: a replica wishes to enter *view* (start of an epoch)."""
+    """Pacemaker: a replica wishes to enter *view* (start of an epoch).
+
+    ``current_view`` and ``high_cert`` are view-synchronisation evidence: the
+    sender's current view and highest known certificate, which receivers fold
+    into their per-sender view table (see
+    :meth:`~repro.consensus.pacemaker.Pacemaker.note_peer_view`).
+    """
 
     view: int
     voter: int
     share: SignatureShare
+    current_view: int = 0
+    high_cert: Optional[Certificate] = None
 
 
 @dataclass(frozen=True)
 class TimeoutCertificateMsg:
-    """Pacemaker: broadcast / relay of the timeout certificate ``TC_v``."""
+    """Pacemaker: broadcast / relay of the timeout certificate ``TC_v``.
+
+    ``sender_view`` / ``high_cert`` carry the broadcasting (or relaying)
+    replica's own view evidence, like every other pacemaker message.
+    """
 
     view: int
     cert: Certificate
+    sender_view: int = 0
+    high_cert: Optional[Certificate] = None
+
+
+@dataclass(frozen=True)
+class ViewSync:
+    """Pacemaker: view-synchronisation beacon.
+
+    Broadcast whenever a view timer expires and periodically while a replica
+    is parked at an epoch boundary waiting for a timeout certificate.  A
+    replica that collects ``f + 1`` distinct senders reporting views above its
+    own jumps to the ``(f + 1)``-th highest reported view (at least one honest
+    replica reached it), which is what lets a recovered replica catch up to
+    survivors circling at high views after ``> f`` simultaneous crashes.
+    """
+
+    view: int
+    voter: int
+    high_cert: Optional[Certificate] = None
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.consensus.certificates import CertKind
 from repro.consensus.messages import NewView, Propose
-from repro.consensus.replica import BaseReplica
+from repro.consensus.replica import HOOK_MID_CERT, BaseReplica
 from repro.errors import InvalidCertificateError
 from repro.ledger.block import Block
 
@@ -84,6 +84,8 @@ class ChainedReplica(BaseReplica):
         if len(bucket) < self.config.quorum:
             return
         formed = self._try_form_previous_certificate(bucket)
+        if self.halted:
+            return  # a crash-point probe fired mid-certificate-formation
         if not formed and not force and len(bucket) < self.config.n:
             return
         self._propose(view)
@@ -107,6 +109,7 @@ class ChainedReplica(BaseReplica):
             except InvalidCertificateError:
                 continue
             self.record_certificate(cert)
+            self.fault_point(HOOK_MID_CERT)
             return True
         return False
 

@@ -40,6 +40,7 @@ from repro.consensus.messages import (
     Reject,
     ResponseEntry,
     TimeoutCertificateMsg,
+    ViewSync,
     Wish,
 )
 from repro.consensus.metrics import MetricsCollector
@@ -52,6 +53,14 @@ from repro.net.message import Envelope
 from repro.net.network import SimNetwork
 from repro.sim.scheduler import Simulator
 from repro.types import is_null_digest
+
+#: Crash-point hooks instrumented in the consensus layer.  The fuzzing
+#: injector (:mod:`repro.faults.crashpoints`) installs a probe that may halt
+#: the replica when one of these fires; they are defined here so the
+#: consensus layer stays import-free of the faults package.
+HOOK_BEFORE_VOTE_WAL = "before-vote-wal"
+HOOK_AFTER_VOTE_WAL = "after-vote-wal"
+HOOK_MID_CERT = "mid-cert-formation"
 
 
 class BaseReplica:
@@ -126,6 +135,9 @@ class BaseReplica:
         #: Optional hook ``(block, now)`` fired on every newly committed block
         #: (the chaos engine uses it to time restart-to-first-commit).
         self.commit_listener: Optional[Callable[[Block, float], None]] = None
+        #: Optional crash-point probe ``(replica, hook)`` installed by the
+        #: fuzzing injector; it may halt the replica mid-handler.
+        self.crash_probe: Optional[Callable[["BaseReplica", str], None]] = None
 
         network.register(self)
 
@@ -157,7 +169,13 @@ class BaseReplica:
 
     # ------------------------------------------------------------ networking
     def deliver(self, envelope: Envelope) -> None:
-        """Network entry point: dispatch a message to the matching handler."""
+        """Network entry point: dispatch a message to the matching handler.
+
+        View-bearing messages first feed the pacemaker's per-sender view
+        table (keyed by the network-attributed sender, so evidence cannot be
+        forged by message fields); ``f + 1`` distinct ahead-of-us reports make
+        the pacemaker jump forward before the message itself is handled.
+        """
         if self.halted or self.behavior.is_crashed():
             return
         payload = envelope.payload
@@ -165,10 +183,15 @@ class BaseReplica:
         if isinstance(payload, Propose):
             self.handle_propose(payload, sender)
         elif isinstance(payload, NewView):
+            # A NewView for view v means the sender completed v - 1 (it may
+            # still be parked before v waiting for an epoch TC).
+            self.pacemaker.note_peer_view(sender, payload.view - 1)
             self.handle_new_view(payload, sender)
         elif isinstance(payload, NewSlot):
+            self.pacemaker.note_peer_view(sender, payload.view)
             self.handle_new_slot(payload, sender)
         elif isinstance(payload, ProposeVote):
+            self.pacemaker.note_peer_view(sender, payload.view)
             self.handle_propose_vote(payload, sender)
         elif isinstance(payload, Prepare):
             self.handle_prepare(payload, sender)
@@ -177,13 +200,39 @@ class BaseReplica:
         elif isinstance(payload, ClientRequest):
             self.handle_client_request(payload, sender)
         elif isinstance(payload, Wish):
+            self.pacemaker.note_peer_view(
+                sender, max(payload.current_view, payload.view - 1)
+            )
+            if payload.high_cert is not None:
+                self.record_certificate(payload.high_cert)
             self.pacemaker.handle_wish(payload)
         elif isinstance(payload, TimeoutCertificateMsg):
+            self.pacemaker.note_peer_view(sender, payload.sender_view)
+            if payload.high_cert is not None:
+                self.record_certificate(payload.high_cert)
             self.pacemaker.handle_timeout_certificate(payload)
+        elif isinstance(payload, ViewSync):
+            self.pacemaker.note_peer_view(sender, payload.view)
+            self.handle_view_sync(payload, sender)
         elif isinstance(payload, FetchRequest):
             self.handle_fetch_request(payload, sender)
         elif isinstance(payload, FetchResponse):
             self.handle_fetch_response(payload, sender)
+
+    def handle_view_sync(self, msg: ViewSync, sender: int) -> None:
+        """Absorb a view-sync beacon: track its certificate, catch up, reply.
+
+        The certificate lets a recovering replica learn how far the cluster
+        got while it was down; if the certified block is unknown the chained
+        fetch path is primed from the beacon's sender.
+        """
+        if msg.high_cert is not None and self.record_certificate(msg.high_cert):
+            if (
+                not msg.high_cert.is_genesis
+                and msg.high_cert.block_hash not in self.block_store
+            ):
+                self.request_block(msg.high_cert.block_hash, sender)
+        self.pacemaker.handle_view_sync(msg, sender)
 
     def send(self, target: int, payload, size_bytes: Optional[int] = None) -> None:
         """Send *payload* to a single node (sized by the wire codec by default).
@@ -378,11 +427,23 @@ class BaseReplica:
 
         Must be called *before* the vote leaves the replica: the WAL entry is
         what stops a restarted incarnation from voting twice in the same
-        view/slot (equivocation).
+        view/slot (equivocation).  The crash-point probes bracket the append —
+        a fuzzer can kill the replica with the decision made but not
+        persisted, or persisted but never sent (the send is muted once the
+        replica is halted).
         """
+        self.fault_point(HOOK_BEFORE_VOTE_WAL)
+        if self.halted:
+            return
         self.last_voted_view = max(self.last_voted_view, int(view))
         if self.store is not None:
             self.store.record_vote(view, slot, block_hash)
+            self.fault_point(HOOK_AFTER_VOTE_WAL)
+
+    def fault_point(self, hook: str) -> None:
+        """Fire the crash-point probe for *hook*, if one is installed."""
+        if self.crash_probe is not None and not self.halted:
+            self.crash_probe(self, hook)
 
     # ------------------------------------------------------------------ fetch
     def handle_fetch_request(self, msg: FetchRequest, sender: int) -> None:
@@ -430,7 +491,15 @@ class BaseReplica:
 
     # ----------------------------------------------------- protocol interface
     def on_enter_view(self, view: int) -> None:
-        """Pacemaker callback: the replica entered *view*."""
+        """Pacemaker callback: the replica entered *view*.
+
+        The entered view is WAL'd so a restarted incarnation resumes past it
+        even if it never voted there — a replica that cycled to a high view
+        on timeouts must not rejoin at the last view it voted in, which may
+        be arbitrarily far behind the surviving cluster.
+        """
+        if self.store is not None:
+            self.store.record_entered_view(view)
         if self.report_metrics:
             self.metrics.record_view_change()
 

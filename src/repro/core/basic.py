@@ -24,7 +24,7 @@ from typing import Dict, Optional
 
 from repro.consensus.certificates import Certificate, CertKind
 from repro.consensus.messages import NewView, Prepare, Propose, ProposeVote
-from repro.consensus.replica import BaseReplica
+from repro.consensus.replica import HOOK_MID_CERT, BaseReplica
 from repro.core.speculation import SpeculationGuard
 from repro.errors import InvalidCertificateError
 from repro.ledger.block import Block
@@ -169,6 +169,7 @@ class BasicHotStuff1Replica(BaseReplica):
             return
         self._prepared_views.add(msg.view)
         self.record_certificate(cert)
+        self.fault_point(HOOK_MID_CERT)
         cost = self.costs.certificate_formation_cost(self.config.quorum)
         self.sim.schedule(cost, self.broadcast_replicas, Prepare(view=msg.view, cert=cert))
 

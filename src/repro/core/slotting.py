@@ -29,7 +29,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.consensus.certificates import Certificate, CertKind
 from repro.consensus.messages import NewSlot, NewView, Propose, Reject
-from repro.consensus.replica import BaseReplica
+from repro.consensus.replica import HOOK_MID_CERT, BaseReplica
 from repro.core.speculation import SpeculationGuard
 from repro.errors import InvalidCertificateError
 from repro.ledger.block import Block
@@ -183,6 +183,7 @@ class SlottedHotStuff1Replica(BaseReplica):
             except InvalidCertificateError:
                 continue
             self.record_certificate(cert)
+            self.fault_point(HOOK_MID_CERT)
             return cert
         return None
 
@@ -275,6 +276,7 @@ class SlottedHotStuff1Replica(BaseReplica):
                 continue
             self._formed_slot_certs.add(key)
             self.record_certificate(cert)
+            self.fault_point(HOOK_MID_CERT)
             if msg.slot + 1 <= self.config.max_slots_per_view:
                 self._broadcast_slot_proposal(
                     msg.view, msg.slot + 1, cert, cert.block_hash, NULL_DIGEST
@@ -285,6 +287,8 @@ class SlottedHotStuff1Replica(BaseReplica):
         self, view: int, slot: int, justify: Certificate, parent_hash: str, carry_hash: str
     ) -> None:
         """Assemble and broadcast the block for slot ``(slot, view)``."""
+        if self.halted:
+            return  # a crash-point probe fired mid-certificate-formation
         if (view, slot) in self._proposed_slots or self.current_view != view:
             return
         if self.pacemaker.has_completed(view):

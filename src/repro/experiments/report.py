@@ -111,6 +111,7 @@ def format_chaos_report(chaos: Dict, title: str = "chaos & recovery") -> str:
         rows.append(
             {
                 "replica": incident.get("replica"),
+                "hook": incident.get("hook", ""),
                 "crashed_at_s": incident.get("crashed_at"),
                 "restarted_at_s": incident.get("restarted_at", ""),
                 "first_commit_at_s": incident.get("first_commit_at", ""),
@@ -132,7 +133,23 @@ def format_chaos_report(chaos: Dict, title: str = "chaos & recovery") -> str:
             ),
         }
     )
-    return format_series(rows, title=title)
+    # Crash-point incidents carry a hook; plain time-scheduled runs do not —
+    # drop the empty column so existing reports render unchanged.
+    if all(row.get("hook", "") == "" for row in rows):
+        for row in rows:
+            row.pop("hook", None)
+    text = format_series(rows, title=title)
+    problems = []
+    if chaos.get("skipped_events"):
+        problems.append(
+            f"skipped events: {chaos['skipped_events']} "
+            f"({', '.join(str(e) for e in chaos.get('skipped', []))})"
+        )
+    if chaos.get("wal_vote_violations"):
+        problems.append(f"WAL vote-dedup violations: {chaos['wal_vote_violations']}")
+    if problems:
+        text += "".join(f"!! {problem}\n" for problem in problems)
+    return text
 
 
 def format_suite(results: Dict[str, Sequence[Dict]]) -> str:

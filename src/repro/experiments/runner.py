@@ -17,6 +17,7 @@ from repro.consensus.replica import BaseReplica, honest_committed_chains
 from repro.core.registry import client_quorum_for, replica_class_for
 from repro.crypto.threshold import ThresholdScheme
 from repro.errors import ConfigurationError, SafetyViolationError
+from repro.faults.crashpoints import CrashPointInjector, CrashPointPlan
 from repro.faults.injector import ChaosController
 from repro.faults.plan import FaultPlan
 from repro.net.faults import FaultInjector
@@ -64,6 +65,10 @@ class ExperimentSpec:
     #: a durable :class:`~repro.storage.store.ReplicaStore` and the plan's
     #: crash/restart/pause/partition events fire during the run.
     faults: Optional[Dict] = None
+    #: Crash-point fuzzing: a :class:`~repro.faults.crashpoints.CrashPointPlan`
+    #: as a plain dict, crashing replicas at protocol-relative hooks instead
+    #: of fixed times.  Composable with ``faults``.
+    crash_points: Optional[Dict] = None
     #: Directory for file-backed replica stores; ``None`` keeps stores in
     #: memory (the chaos engine holds them across restarts either way).
     storage_dir: Optional[str] = None
@@ -116,6 +121,10 @@ class ExperimentSpec:
             plan = FaultPlan.from_dict(self.faults)
             plan.validate(self.n, mode=self.mode)
             self.faults = plan.to_dict()  # normalize (accepts FaultPlan instances)
+        if self.crash_points is not None:
+            crash_plan = CrashPointPlan.from_dict(self.crash_points)
+            crash_plan.validate(self.n, mode=self.mode)
+            self.crash_points = crash_plan.to_dict()
         return self
 
 
@@ -163,6 +172,10 @@ class RunResult:
                 row["recovery_ms"] = round(recovery * 1000.0, 3)
             row["ops_lost"] = self.chaos.get("ops_lost_to_rollback", 0)
             row["prefix_ok"] = bool(self.chaos.get("prefix_agreement", True))
+            row["wal_ok"] = not self.chaos.get("wal_vote_violations")
+            row["events_skipped"] = self.chaos.get("skipped_events", 0)
+            row["crashes"] = self.chaos.get("crashes", 0)
+            row["recovered"] = self.chaos.get("recovered", 0)
         row.update(extra)
         return row
 
@@ -303,16 +316,16 @@ def build_replica_stores(spec: ExperimentSpec) -> Dict[int, ReplicaStore]:
     return {replica_id: ReplicaStore.memory() for replica_id in range(spec.n)}
 
 
-def assign_chaos_reporter(deployment: Deployment, plan: FaultPlan) -> None:
-    """Re-pick the metrics reporter to dodge the replicas the plan will take down.
+def assign_chaos_reporter(deployment: Deployment, avoid: Sequence[int]) -> None:
+    """Re-pick the metrics reporter to dodge the replicas a plan will take down.
 
     ``build_deployment`` marks the first honest replica; under a fault plan
     that replica may crash and freeze the global counters, so prefer an
-    honest replica the plan never statically touches.  Dynamic ``"leader"``
-    targets cannot be predicted — the chaos adapters hand the role over at
-    crash time as a fallback.
+    honest replica no plan (time-scheduled or crash-point) statically
+    touches.  Dynamic ``"leader"`` targets cannot be predicted — the chaos
+    adapters hand the role over at crash time as a fallback.
     """
-    avoid = plan.touched_replicas()
+    avoid = set(avoid)
     honest = [r for r in deployment.replicas if not r.behavior.is_byzantine]
     preferred = [r for r in honest if r.replica_id not in avoid]
     pick = (preferred or honest or deployment.replicas)[0]
@@ -356,7 +369,11 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
 
     network = SimNetwork(sim, latency=latency, faults=faults)
     plan = FaultPlan.from_dict(spec.faults) if spec.faults else None
-    stores = build_replica_stores(spec) if plan is not None or spec.storage_dir else None
+    crash_plan = (
+        CrashPointPlan.from_dict(spec.crash_points) if spec.crash_points else None
+    )
+    chaotic = plan is not None or crash_plan is not None
+    stores = build_replica_stores(spec) if chaotic or spec.storage_dir else None
     deployment = build_deployment(
         spec,
         sim,
@@ -366,13 +383,19 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
     metrics = deployment.metrics
 
     controller: Optional[ChaosController] = None
-    if plan is not None:
+    if chaotic:
         from repro.faults.sim import SimChaosAdapter  # local import: avoids cycle
 
-        assign_chaos_reporter(deployment, plan)
+        avoid = set(plan.touched_replicas()) if plan is not None else set()
+        if crash_plan is not None:
+            avoid |= crash_plan.touched_replicas()
+        assign_chaos_reporter(deployment, avoid)
         adapter = SimChaosAdapter(sim, network, deployment, stores)
-        controller = ChaosController(plan, sim, adapter)
+        controller = ChaosController(plan or FaultPlan(), sim, adapter)
         controller.install()
+        if crash_plan is not None:
+            injector = CrashPointInjector(crash_plan, sim, controller)
+            injector.attach(deployment.replicas)
 
     client_pool = ClientPool(
         sim=sim,

@@ -31,6 +31,7 @@ from repro.consensus.byzantine import (
 from repro.core.registry import EVALUATION_PROTOCOLS
 from repro.errors import ConfigurationError
 from repro.experiments.executor import execute_scenario
+from repro.faults.crashpoints import CRASH_HOOKS, CrashPointPlan
 from repro.faults.plan import chaos_preset
 from repro.experiments.runner import ExperimentSpec, RunResult
 from repro.experiments.spec import (
@@ -240,6 +241,40 @@ def _build_chaos(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict
         faults=faults,
     )
     return spec, {"fault": label}
+
+
+@point_builder("chaos-fuzz")
+def _build_chaos_fuzz(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    """Crash-point fuzz grid point: one seed-generated plan per run.
+
+    The ``fuzz_seed`` axis value seeds
+    :meth:`~repro.faults.crashpoints.CrashPointPlan.randomized`, so a suite
+    sweeps many random crash placements while any single failing seed can be
+    replayed bit-for-bit.
+    """
+    n = p.get("n", 4)
+    duration = p.get("duration", 1.0)
+    fuzz_seed = int(p.get("fuzz_seed", p.get("seed", 1)))
+    plan = CrashPointPlan.randomized(
+        n=n,
+        seed=fuzz_seed,
+        crashes=p.get("crashes", 2),
+        down_for=p.get("down_for", round(duration * 0.15, 6)),
+        hooks=tuple(p.get("hooks", CRASH_HOOKS)),
+        max_occurrence=p.get("max_occurrence", 40),
+    )
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=n,
+        mode=p.get("mode", "sim"),
+        batch_size=p.get("batch_size", 10),
+        duration=duration,
+        warmup=p.get("warmup", 0.1),
+        seed=p.get("seed", 1),
+        view_timeout=p.get("view_timeout", 0.030),
+        crash_points=plan.to_dict(),
+    )
+    return spec, {"fuzz_seed": fuzz_seed, "planned_crashes": len(plan)}
 
 
 @point_builder("latency-breakdown")
@@ -505,7 +540,13 @@ def rollback_attack_spec(
 
 def chaos_recovery_spec(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
-    faults: Sequence[str] = ("kill-replica", "kill-leader", "cascade", "partition-heal"),
+    faults: Sequence[str] = (
+        "kill-replica",
+        "kill-leader",
+        "cascade",
+        "partition-heal",
+        "blackout",
+    ),
     n: int = 4,
     batch_size: int = 100,
     duration: float = 1.0,
@@ -531,6 +572,41 @@ def chaos_recovery_spec(
         kind="chaos",
         protocols=tuple(protocols),
         axes={"fault": list(faults)},
+        params=params,
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def chaos_fuzz_spec(
+    protocols: Sequence[str] = ("hotstuff-1",),
+    seeds: Sequence[int] = tuple(range(1, 6)),
+    n: int = 4,
+    batch_size: int = 10,
+    duration: float = 1.0,
+    warmup: float = 0.1,
+    crashes: int = 2,
+    down_for: Optional[float] = None,
+    hooks: Sequence[str] = CRASH_HOOKS,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Crash-point fuzz sweep: one randomized plan per ``fuzz_seed`` axis value."""
+    params: Dict[str, Any] = {
+        "n": n,
+        "batch_size": batch_size,
+        "duration": duration,
+        "warmup": warmup,
+        "crashes": crashes,
+        "hooks": list(hooks),
+    }
+    if down_for is not None:
+        params["down_for"] = down_for
+    return ScenarioSpec(
+        name="chaos-fuzz",
+        kind="chaos-fuzz",
+        protocols=tuple(protocols),
+        axes={"fuzz_seed": list(seeds)},
         params=params,
         repeats=repeats,
         seed=seed,
@@ -606,6 +682,7 @@ SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "latency-breakdown": latency_breakdown_spec,
     "ablation-slotting": slotting_ablation_spec,
     "chaos-recovery": chaos_recovery_spec,
+    "chaos-fuzz": chaos_fuzz_spec,
 }
 
 

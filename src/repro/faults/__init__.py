@@ -14,7 +14,24 @@ tasks on the asyncio runtime.  Both rebuild restarted replicas from their
 recovery time, operations lost to rollback and committed-prefix agreement.
 """
 
+from repro.faults.crashpoints import (
+    CrashPoint,
+    CrashPointInjector,
+    CrashPointPlan,
+    load_crash_plan,
+    wal_vote_violations,
+)
 from repro.faults.injector import ChaosController
 from repro.faults.plan import FaultEvent, FaultPlan, load_plan
 
-__all__ = ["ChaosController", "FaultEvent", "FaultPlan", "load_plan"]
+__all__ = [
+    "ChaosController",
+    "CrashPoint",
+    "CrashPointInjector",
+    "CrashPointPlan",
+    "FaultEvent",
+    "FaultPlan",
+    "load_crash_plan",
+    "load_plan",
+    "wal_vote_violations",
+]

@@ -1,0 +1,335 @@
+"""Crash-point fuzzing: crash replicas at protocol-relative points.
+
+The time-keyed :class:`~repro.faults.plan.FaultPlan` can only crash a replica
+at "0.3 seconds in"; the interesting recovery bugs live *between* two steps
+of the protocol — after a vote is decided but before it is persisted, after
+the WAL append but before the vote leaves the replica, in the middle of
+certificate formation.  A :class:`CrashPointPlan` targets exactly those
+spots: the consensus layer fires named hooks
+(:data:`~repro.consensus.replica.HOOK_BEFORE_VOTE_WAL` and friends) and the
+:class:`CrashPointInjector` halts the replica when a hook's *n*-th firing
+matches a planned crash point, then schedules the usual store-backed restart
+through the :class:`~repro.faults.injector.ChaosController`.
+
+Hooks
+-----
+``before-vote-wal``
+    The vote decision is made but nothing is persisted and nothing was sent.
+    A recovered replica must be free to vote in that view again.
+``after-vote-wal``
+    The vote is durable but never left the replica ("between WAL append and
+    send").  A recovered replica must *not* vote differently in that view.
+``torn-vote-wal``
+    Fires at the same spot as ``after-vote-wal`` but the tail of the WAL is
+    torn first (crash mid-append): after replay the vote record is gone, so
+    recovery must behave exactly as for ``before-vote-wal``.
+``mid-cert-formation``
+    A leader has aggregated a quorum into a certificate but dies before
+    proposing on top of it.
+
+Plans round-trip through JSON and are seed-generated
+(:meth:`CrashPointPlan.randomized`), so the scenario engine can sweep seeds
+(``kind="chaos-fuzz"``) and the ``repro fuzz`` CLI can replay any failing
+seed exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.consensus.replica import (
+    HOOK_AFTER_VOTE_WAL,
+    HOOK_BEFORE_VOTE_WAL,
+    HOOK_MID_CERT,
+)
+from repro.errors import ConfigurationError
+
+#: The torn-write variant of ``after-vote-wal`` (tears the WAL tail first).
+HOOK_TORN_VOTE_WAL = "torn-vote-wal"
+
+#: Every hook a crash point may name.
+CRASH_HOOKS = (
+    HOOK_BEFORE_VOTE_WAL,
+    HOOK_AFTER_VOTE_WAL,
+    HOOK_TORN_VOTE_WAL,
+    HOOK_MID_CERT,
+)
+
+#: Instrumented site each hook listens on (torn shares the after-append site).
+_HOOK_SITES = {
+    HOOK_BEFORE_VOTE_WAL: HOOK_BEFORE_VOTE_WAL,
+    HOOK_AFTER_VOTE_WAL: HOOK_AFTER_VOTE_WAL,
+    HOOK_TORN_VOTE_WAL: HOOK_AFTER_VOTE_WAL,
+    HOOK_MID_CERT: HOOK_MID_CERT,
+}
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One planned crash: kill *replica* at the *occurrence*-th firing of *hook*."""
+
+    replica: int
+    hook: str
+    occurrence: int
+    down_for: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "replica": self.replica,
+            "hook": self.hook,
+            "occurrence": self.occurrence,
+            "down_for": self.down_for,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CrashPoint":
+        try:
+            return cls(
+                replica=int(data["replica"]),
+                hook=str(data["hook"]),
+                occurrence=int(data["occurrence"]),
+                down_for=float(data["down_for"]),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"crash point needs 'replica', 'hook', 'occurrence' and 'down_for': {data!r}"
+            ) from exc
+
+    @property
+    def site(self) -> str:
+        """The instrumented hook site this point listens on."""
+        return _HOOK_SITES.get(self.hook, self.hook)
+
+
+@dataclass
+class CrashPointPlan:
+    """A set of protocol-relative crash points (JSON round-trippable)."""
+
+    points: List[CrashPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.points = sorted(
+            self.points, key=lambda point: (point.replica, point.site, point.occurrence)
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    # ----------------------------------------------------------- round trips
+    def to_dict(self) -> Dict[str, Any]:
+        return {"points": [point.to_dict() for point in self.points]}
+
+    @classmethod
+    def from_dict(cls, data: Union["CrashPointPlan", Dict[str, Any]]) -> "CrashPointPlan":
+        if isinstance(data, CrashPointPlan):
+            return data
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"a crash-point plan must be a dict, got {type(data).__name__}"
+            )
+        return cls(points=[CrashPoint.from_dict(entry) for entry in data.get("points", [])])
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CrashPointPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -------------------------------------------------------------- analysis
+    def touched_replicas(self) -> Set[int]:
+        """Replica ids any crash point targets."""
+        return {point.replica for point in self.points}
+
+    # ------------------------------------------------------------ validation
+    def validate(self, n: int, mode: str = "sim") -> "CrashPointPlan":
+        """Check the plan against a deployment of *n* replicas.
+
+        Crash points work on both substrates (the hooks live in the shared
+        consensus code), so ``mode`` only participates in error messages.
+        """
+        seen: Set[Tuple[int, str, int]] = set()
+        for point in self.points:
+            if point.hook not in CRASH_HOOKS:
+                raise ConfigurationError(
+                    f"unknown crash hook {point.hook!r}; available: {list(CRASH_HOOKS)}"
+                )
+            if not 0 <= point.replica < n:
+                raise ConfigurationError(
+                    f"crash-point target {point.replica!r} is not a replica id in [0, {n})"
+                )
+            if point.occurrence < 1:
+                raise ConfigurationError(
+                    f"crash-point occurrence must be >= 1, got {point.occurrence}"
+                )
+            if point.down_for <= 0:
+                raise ConfigurationError(
+                    f"crash-point down_for must be positive, got {point.down_for}"
+                )
+            key = (point.replica, point.site, point.occurrence)
+            if key in seen:
+                raise ConfigurationError(
+                    f"duplicate crash point for replica {point.replica} at "
+                    f"{point.site!r} occurrence {point.occurrence}"
+                )
+            seen.add(key)
+        return self
+
+    # --------------------------------------------------------------- builders
+    @classmethod
+    def randomized(
+        cls,
+        n: int,
+        seed: int,
+        crashes: int = 2,
+        down_for: float = 0.1,
+        hooks: Sequence[str] = CRASH_HOOKS,
+        max_occurrence: int = 40,
+    ) -> "CrashPointPlan":
+        """Generate a deterministic pseudo-random plan for an *n*-replica cluster.
+
+        ``crashes`` points are drawn with distinct ``(replica, site,
+        occurrence)`` keys; the same ``seed`` always yields the same plan, so
+        a failing fuzz seed reproduces exactly.  Points may land on different
+        replicas at nearby occurrences, which is how fuzz runs exercise
+        ``> f`` simultaneous-down windows without scheduling them explicitly.
+        """
+        if crashes < 1:
+            raise ConfigurationError(f"crashes must be >= 1, got {crashes}")
+        if not hooks:
+            raise ConfigurationError("at least one hook is required")
+        for hook in hooks:
+            if hook not in CRASH_HOOKS:
+                raise ConfigurationError(
+                    f"unknown crash hook {hook!r}; available: {list(CRASH_HOOKS)}"
+                )
+        rng = random.Random(seed)
+        points: List[CrashPoint] = []
+        used: Set[Tuple[int, str, int]] = set()
+        attempts = 0
+        while len(points) < crashes and attempts < crashes * 50:
+            attempts += 1
+            point = CrashPoint(
+                replica=rng.randrange(n),
+                hook=rng.choice(list(hooks)),
+                occurrence=rng.randint(1, max_occurrence),
+                down_for=round(down_for * rng.uniform(0.5, 1.5), 6),
+            )
+            key = (point.replica, point.site, point.occurrence)
+            if key in used:
+                continue
+            used.add(key)
+            points.append(point)
+        return cls(points=points).validate(n)
+
+
+def load_crash_plan(path: str) -> CrashPointPlan:
+    """Load a :class:`CrashPointPlan` from a JSON file."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid crash-point plan {path!r}: {exc}") from exc
+    return CrashPointPlan.from_dict(data)
+
+
+class CrashPointInjector:
+    """Arms crash-point probes on replicas and fires planned crashes.
+
+    The injector keeps one firing counter per ``(replica, site)`` that spans
+    replica incarnations: occurrence 7 means "the 7th time this replica's
+    lineage reaches the hook", whether or not it crashed and recovered in
+    between.  Crashes and restarts run through the
+    :class:`~repro.faults.injector.ChaosController`, so fuzz incidents land
+    in the same timeline / recovery metrics as time-scheduled faults.
+    """
+
+    def __init__(self, plan: CrashPointPlan, scheduler, controller) -> None:
+        self.plan = plan
+        self.scheduler = scheduler
+        self.controller = controller
+        self._counts: Dict[Tuple[int, str], int] = {}
+        self._pending: Dict[Tuple[int, str], List[CrashPoint]] = {}
+        for point in plan.points:
+            self._pending.setdefault((point.replica, point.site), []).append(point)
+        #: Points that actually fired (a run can end before late occurrences).
+        self.fired: List[CrashPoint] = []
+        # Any restart path (a composed time-scheduled FaultPlan as much as
+        # our own) produces a fresh replica object; re-arm the probe on it
+        # so later crash points on that replica still fire.
+        controller.restart_listeners.append(self._on_restarted)
+
+    # -------------------------------------------------------------- plumbing
+    def attach(self, replicas) -> None:
+        """Install the probe on every replica the plan targets."""
+        targeted = self.plan.touched_replicas()
+        for replica in replicas:
+            if replica.replica_id in targeted:
+                replica.crash_probe = self._probe
+
+    def pending_points(self) -> List[CrashPoint]:
+        """Planned points that have not fired yet."""
+        return [point for bucket in self._pending.values() for point in bucket]
+
+    # ---------------------------------------------------------------- firing
+    def _probe(self, replica, site: str) -> None:
+        key = (replica.replica_id, site)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        bucket = self._pending.get(key)
+        if not bucket:
+            return
+        for point in bucket:
+            if point.occurrence == count:
+                bucket.remove(point)
+                self._fire(replica, point)
+                return
+
+    def _fire(self, replica, point: CrashPoint) -> None:
+        if point.hook == HOOK_TORN_VOTE_WAL and replica.store is not None:
+            # Crash mid-append: the record that was just written loses its
+            # tail, so replay must behave as if the append never happened.
+            replica.store.tear_wal_tail()
+        self.fired.append(point)
+        self.controller.trigger_crash(replica.replica_id, hook=point.hook)
+        self.scheduler.schedule(point.down_for, self.controller.trigger_restart, point.replica)
+
+    def _on_restarted(self, replica) -> None:
+        if any(point.replica == replica.replica_id for point in self.pending_points()):
+            replica.crash_probe = self._probe
+
+
+def wal_vote_violations(stores: Dict[int, Any]) -> List[Dict[str, Any]]:
+    """Scan every replica's WAL for never-vote-twice violations.
+
+    The invariant: after any sequence of crashes, restarts and torn appends,
+    each ``(view, slot)`` appears in a replica's replayed WAL at most once.
+    A second record for the same pair means a restarted incarnation re-voted
+    where its predecessor already had — the equivocation the WAL-before-send
+    discipline exists to prevent.  Returns one dict per violation (empty when
+    the invariant holds).
+    """
+    from repro.storage.wal import KIND_VOTE
+
+    violations: List[Dict[str, Any]] = []
+    for replica_id, store in sorted(stores.items()):
+        seen: Dict[Tuple[int, int], str] = {}
+        for record in store.wal.records():
+            if record.kind != KIND_VOTE:
+                continue
+            key = (record.view, record.slot)
+            if key in seen:
+                violations.append(
+                    {
+                        "replica": replica_id,
+                        "view": record.view,
+                        "slot": record.slot,
+                        "hashes": sorted({seen[key], record.block_hash}),
+                    }
+                )
+            else:
+                seen[key] = record.block_hash
+    return violations

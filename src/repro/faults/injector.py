@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.consensus.replica import chains_prefix_consistent, honest_committed_chains
 from repro.errors import ConfigurationError
+from repro.faults.crashpoints import wal_vote_violations
 from repro.faults.plan import LEADER, FaultEvent, FaultPlan
 from repro.storage.recovery import RecoveryManager
 from repro.storage.store import ReplicaStore
@@ -204,6 +205,10 @@ class ChaosController:
         self.timeline: List[Dict[str, Any]] = []
         #: One entry per crash, updated through restart and first commit.
         self.incidents: List[Dict[str, Any]] = []
+        #: Called with every restarted replica object, whichever path
+        #: (time-scheduled event or crash-point injector) restarted it — the
+        #: injector uses this to re-arm its probes on new incarnations.
+        self.restart_listeners: List[Any] = []
         self._open_incidents: Dict[int, Dict[str, Any]] = {}
         self._last_leader_crash: Optional[int] = None
 
@@ -215,31 +220,61 @@ class ChaosController:
 
     # ---------------------------------------------------------------- firing
     def _fire(self, event: FaultEvent) -> None:
-        now = self.scheduler.now
         target = self._resolve_target(event)
-        entry = {"at": round(now, 6), "action": event.action, "replica": target}
-        self.timeline.append(entry)
         # Dynamic "leader" targets can collide with static ones at runtime
         # (validate() cannot see who will lead); a crash of an already-down
-        # replica or a restart of a running one is recorded but not executed.
+        # replica or a restart of a running one is recorded as a skipped
+        # event, which the report surfaces as an error.
         if event.action == "crash":
-            if self.adapter.is_down(target):
-                entry["skipped"] = "already down"
-                return
-            self._crash(target, now)
+            self.trigger_crash(target)
         elif event.action == "restart":
-            if not self.adapter.is_down(target):
-                entry["skipped"] = "not down"
-                return
-            self._restart(target, now)
+            self.trigger_restart(target)
         elif event.action == "pause":
+            self._record(event.action, target)
             self.adapter.pause(target)
         elif event.action == "resume":
+            self._record(event.action, target)
             self.adapter.resume(target)
         elif event.action == "partition":
+            self._record(event.action, target)
             self.adapter.partition(event.groups)
         elif event.action == "heal":
+            self._record(event.action, target)
             self.adapter.heal()
+
+    def _record(self, action: str, target, hook: Optional[str] = None) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "at": round(self.scheduler.now, 6),
+            "action": action,
+            "replica": target,
+        }
+        if hook is not None:
+            entry["hook"] = hook
+        self.timeline.append(entry)
+        return entry
+
+    # ------------------------------------------------------ triggered faults
+    def trigger_crash(self, replica_id: int, hook: Optional[str] = None) -> bool:
+        """Crash *replica_id* now (time-scheduled events and crash-point probes).
+
+        Returns ``True`` if the crash executed, ``False`` if it was skipped
+        because the replica is already down (skips are surfaced by
+        :meth:`report`).
+        """
+        entry = self._record("crash", replica_id, hook=hook)
+        if self.adapter.is_down(replica_id):
+            entry["skipped"] = "already down"
+            return False
+        self._crash(replica_id, self.scheduler.now, hook=hook)
+        return True
+
+    def trigger_restart(self, replica_id: int):
+        """Restart *replica_id* now; returns the new replica or ``None`` on a skip."""
+        entry = self._record("restart", replica_id)
+        if not self.adapter.is_down(replica_id):
+            entry["skipped"] = "not down"
+            return None
+        return self._restart(replica_id, self.scheduler.now)
 
     def _resolve_target(self, event: FaultEvent) -> Optional[int]:
         if event.replica != LEADER:
@@ -253,7 +288,7 @@ class ChaosController:
             )
         return self._last_leader_crash
 
-    def _crash(self, replica_id: int, now: float) -> None:
+    def _crash(self, replica_id: int, now: float, hook: Optional[str] = None) -> None:
         ops_lost = self.adapter.crash(replica_id)
         incident = {
             "replica": replica_id,
@@ -263,14 +298,18 @@ class ChaosController:
             "first_commit_at": None,
             "recovery_s": None,
         }
+        if hook is not None:
+            incident["hook"] = hook
         self.incidents.append(incident)
         self._open_incidents[replica_id] = incident
 
-    def _restart(self, replica_id: int, now: float) -> None:
+    def _restart(self, replica_id: int, now: float):
         replica = self.adapter.restart(replica_id)
+        for listener in self.restart_listeners:
+            listener(replica)
         incident = self._open_incidents.pop(replica_id, None)
         if incident is None:
-            return
+            return replica
         incident["restarted_at"] = round(now, 6)
 
         def first_commit(block, committed_at, incident=incident) -> None:
@@ -279,10 +318,17 @@ class ChaosController:
                 incident["recovery_s"] = round(committed_at - incident["restarted_at"], 6)
 
         replica.commit_listener = first_commit
+        return replica
 
     # ---------------------------------------------------------------- report
     def report(self, replicas: Sequence) -> Dict[str, Any]:
-        """Summarize the run's chaos: incidents, recovery times, prefix agreement."""
+        """Summarize the run's chaos: incidents, recovery times, prefix agreement.
+
+        Skipped events (runtime target collisions) and WAL vote-dedup
+        violations are part of the report — a plan that silently did less
+        than it said, or a replica that re-voted a WAL'd view, must fail the
+        run instead of reading as healthy.
+        """
         recoveries = [
             incident["recovery_s"]
             for incident in self.incidents
@@ -290,6 +336,9 @@ class ChaosController:
         ]
         chains = honest_committed_chains(replicas)
         agreement = chains_prefix_consistent(chains)
+        skipped = [dict(entry) for entry in self.timeline if "skipped" in entry]
+        stores = getattr(self.adapter, "stores", None)
+        wal_violations = wal_vote_violations(stores) if stores else []
         return {
             "events_fired": len(self.timeline),
             "timeline": list(self.timeline),
@@ -305,4 +354,7 @@ class ChaosController:
             "prefix_agreement": agreement,
             "committed_blocks_min": min((len(chain) for chain in chains), default=0),
             "committed_blocks_max": max((len(chain) for chain in chains), default=0),
+            "skipped_events": len(skipped),
+            "skipped": skipped,
+            "wal_vote_violations": wal_violations,
         }

@@ -285,12 +285,30 @@ def _preset_partition_heal(n: int, at: float, down_for: float, replica: int) -> 
     return FaultPlan.partition_heal(majority, minority, at=at, heal_at=at + down_for)
 
 
+def _preset_blackout(n: int, at: float, down_for: float, replica: int) -> FaultPlan:
+    # Crash f + 1 replicas simultaneously — more than the fault budget, so
+    # consensus necessarily halts — then restart them all at once.  The
+    # cluster must re-synchronise views (f+1 jump evidence + Wish retries)
+    # and resume committing; this is the regression scenario for the
+    # ">f simultaneous crashes" liveness stall.
+    f = max(1, (n - 1) // 3)
+    victims = list(range(f + 1))
+    events = [
+        FaultEvent(at=round(at, 9), action="crash", replica=victim) for victim in victims
+    ] + [
+        FaultEvent(at=round(at + down_for, 9), action="restart", replica=victim)
+        for victim in victims
+    ]
+    return FaultPlan(events=events)
+
+
 #: Named plans the CLI (``repro chaos <preset>``) and the chaos scenario expose.
 PRESETS = {
     "kill-replica": _preset_kill_replica,
     "kill-leader": _preset_kill_leader,
     "cascade": _preset_cascade,
     "partition-heal": _preset_partition_heal,
+    "blackout": _preset_blackout,
 }
 
 

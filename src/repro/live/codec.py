@@ -44,6 +44,7 @@ from repro.consensus.messages import (
     Reject,
     ResponseEntry,
     TimeoutCertificateMsg,
+    ViewSync,
     Wish,
 )
 from repro.crypto.threshold import SignatureShare, ThresholdSignature
@@ -51,8 +52,15 @@ from repro.errors import NetworkError
 from repro.ledger.block import Block
 from repro.ledger.transaction import Transaction
 
-#: Wire protocol version, bumped on incompatible format changes.
-WIRE_VERSION = 1
+#: Wire protocol version, bumped on incompatible format changes.  Version 2
+#: added the view-synchronisation fields (``ViewSync``; ``current_view`` /
+#: ``sender_view`` / ``high_cert`` on the pacemaker messages); version-1
+#: documents still decode — new fields fall back to their dataclass defaults.
+WIRE_VERSION = 2
+
+#: Versions :func:`decode_envelope_body` accepts (new fields are optional, so
+#: one release of version skew decodes cleanly).
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 
 #: Hard upper bound on one frame; guards readers against corrupt length words.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -118,7 +126,9 @@ def _dec(value: Any) -> Any:
         rebuild = _REBUILDERS.get(tag)
         if rebuild is None:
             raise CodecError(f"unknown wire tag {tag!r}")
-        fields = {name: _dec(value[name]) for name in _FIELDS[tag]}
+        # Tolerate version skew: fields absent from an older peer's document
+        # fall back to the dataclass defaults of the registered type.
+        fields = {name: _dec(value[name]) for name in _FIELDS[tag] if name in value}
         return rebuild(fields)
     return value
 
@@ -199,8 +209,11 @@ _register(
 )
 _register(NewSlot, "new_slot", ("view", "slot", "voter", "high_cert", "share", "voted_block_hash"))
 _register(Reject, "reject", ("view", "slot", "voter", "high_cert"))
-_register(Wish, "wish", ("view", "voter", "share"))
-_register(TimeoutCertificateMsg, "timeout_cert", ("view", "cert"))
+_register(Wish, "wish", ("view", "voter", "share", "current_view", "high_cert"))
+_register(
+    TimeoutCertificateMsg, "timeout_cert", ("view", "cert", "sender_view", "high_cert")
+)
+_register(ViewSync, "view_sync", ("view", "voter", "high_cert"))
 _register(FetchRequest, "fetch_request", ("block_hash", "requester"))
 _register(FetchResponse, "fetch_response", ("block",))
 
@@ -217,6 +230,7 @@ MESSAGE_TYPES = (
     Reject,
     Wish,
     TimeoutCertificateMsg,
+    ViewSync,
     FetchRequest,
     FetchResponse,
 )
@@ -284,6 +298,9 @@ _SHAPE_KEYS: Dict[Type, Callable[[Any], Tuple]] = {
     Propose: lambda m: _batch_weight(m.block.transactions) + (m.commit_cert is None,),
     FetchResponse: lambda m: _batch_weight(m.block.transactions),
     NewView: lambda m: (m.share is None, m.commit_share is None),
+    Wish: lambda m: (m.high_cert is None,),
+    TimeoutCertificateMsg: lambda m: (m.high_cert is None,),
+    ViewSync: lambda m: (m.high_cert is None,),
 }
 _size_cache: Dict[Tuple, int] = {}
 
@@ -333,7 +350,7 @@ def decode_envelope_body(body: bytes) -> Tuple[int, int, float, Any]:
     """Decode a frame body into ``(sender, receiver, sent_at, payload)``."""
     try:
         document = json.loads(body.decode("utf-8"))
-        if document.get("v") != WIRE_VERSION:
+        if document.get("v") not in SUPPORTED_WIRE_VERSIONS:
             raise CodecError(f"unsupported wire version {document.get('v')!r}")
         return (
             int(document["s"]),

@@ -36,6 +36,7 @@ from repro.experiments.runner import (
     check_ledger_safety,
     default_num_clients,
 )
+from repro.faults.crashpoints import CrashPointInjector, CrashPointPlan
 from repro.faults.injector import ChaosController
 from repro.faults.plan import FaultPlan
 from repro.live.runtime import LiveCluster, LiveNode, WallClock
@@ -159,7 +160,11 @@ async def _run_live(
 
     try:
         plan = FaultPlan.from_dict(spec.faults) if spec.faults else None
-        stores = build_replica_stores(spec) if plan is not None or spec.storage_dir else None
+        crash_plan = (
+            CrashPointPlan.from_dict(spec.crash_points) if spec.crash_points else None
+        )
+        chaotic = plan is not None or crash_plan is not None
+        stores = build_replica_stores(spec) if chaotic or spec.storage_dir else None
         deployment = build_deployment(
             spec,
             clock,
@@ -170,13 +175,19 @@ async def _run_live(
         metrics = deployment.metrics
 
         controller: Optional[ChaosController] = None
-        if plan is not None:
+        if chaotic:
             from repro.faults.live import LiveChaosAdapter  # local import: avoids cycle
 
-            assign_chaos_reporter(deployment, plan)
+            avoid = set(plan.touched_replicas()) if plan is not None else set()
+            if crash_plan is not None:
+                avoid |= crash_plan.touched_replicas()
+            assign_chaos_reporter(deployment, avoid)
             adapter = LiveChaosAdapter(clock, transports, deployment, stores)
-            controller = ChaosController(plan, clock, adapter)
+            controller = ChaosController(plan or FaultPlan(), clock, adapter)
             controller.install()
+            if crash_plan is not None:
+                injector = CrashPointInjector(crash_plan, clock, controller)
+                injector.attach(replicas)
 
         client_pool = LiveLoadGenerator(
             sim=clock,

@@ -41,6 +41,15 @@ class LogBackend:
         """Discard every record (used by tests and compaction)."""
         raise NotImplementedError
 
+    def tear_tail(self) -> None:
+        """Corrupt the last appended record as a crash mid-append would.
+
+        After a tear, :meth:`replay` must not yield the final record (for the
+        file backend the torn line is still physically present, truncated
+        mid-document).  Used by the crash-point fuzzer.
+        """
+        raise NotImplementedError
+
 
 class MemoryLogBackend(LogBackend):
     """Records kept in memory; the backend object is the durable medium."""
@@ -56,6 +65,12 @@ class MemoryLogBackend(LogBackend):
 
     def clear(self) -> None:
         self._records.clear()
+
+    def tear_tail(self) -> None:
+        # In memory a torn record has no readable remnant: replay of a torn
+        # tail yields nothing, so dropping the record is the exact equivalent.
+        if self._records:
+            self._records.pop()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -76,9 +91,26 @@ class FileLogBackend(LogBackend):
         if directory:
             os.makedirs(directory, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
+        # A previous incarnation may have died mid-append, leaving a torn
+        # final line without a newline; the next append must start a fresh
+        # line or the two records would merge into one unreadable line.
+        self._dirty_tail = self._tail_is_torn()
+
+    def _tail_is_torn(self) -> bool:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with open(self.path, "rb") as handle:
+            handle.seek(size - 1)
+            return handle.read(1) != b"\n"
 
     def append(self, record: Dict[str, Any]) -> None:
-        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        prefix = "\n" if self._dirty_tail else ""
+        self._dirty_tail = False
+        self._handle.write(prefix + json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
@@ -94,9 +126,11 @@ class FileLogBackend(LogBackend):
                     try:
                         records.append(json.loads(line))
                     except json.JSONDecodeError:
-                        # A torn final line from a crash mid-append: everything
-                        # before it is intact, the partial record never counts.
-                        break
+                        # A torn line from a crash mid-append: the partial
+                        # record never counts, but records appended after the
+                        # repair (appends terminate a torn tail with a fresh
+                        # newline) are intact and must still replay.
+                        continue
         except FileNotFoundError:
             pass
         return records
@@ -108,3 +142,18 @@ class FileLogBackend(LogBackend):
     def clear(self) -> None:
         self._handle.close()
         self._handle = open(self.path, "w", encoding="utf-8")
+        self._dirty_tail = False
+
+    def tear_tail(self) -> None:
+        self._handle.flush()
+        size = os.path.getsize(self.path)
+        if size == 0:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.seek(max(0, size - 2))
+            tail = handle.read()
+            # Drop the final newline plus a byte of the document, leaving a
+            # truncated JSON line exactly as a crash mid-write would.
+            cut = 2 if tail.endswith(b"\n") else 1
+            handle.truncate(max(0, size - cut))
+        self._dirty_tail = True

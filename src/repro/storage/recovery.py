@@ -59,6 +59,10 @@ class RecoveryManager:
             # Each protocol re-arms its own vote-dedup guards (the explicit
             # BaseReplica hook, extended by chained/basic/slotted variants).
             replica.restore_vote_state(state)
+            # Prime the pacemaker's per-sender view table with the pre-crash
+            # snapshot (views are monotonic, so old evidence is still valid);
+            # the jump itself happens when the replica starts.
+            replica.pacemaker.restore_view_table(state.peer_views)
             self._recommit_prefix(replica, state)
         return state
 
@@ -102,10 +106,13 @@ class RecoveryManager:
     def resume_view(state: RecoveredState) -> int:
         """First view the recovered replica should enter (always fresh ground).
 
-        One past everything it ever voted in or saw certified, so re-entering
-        the view loop can never contradict a pre-crash action.
+        One past everything it ever voted in, saw certified, or *entered*, so
+        re-entering the view loop can never contradict a pre-crash action.
+        Entered views matter when the cluster was circling on timeouts: a
+        replica can reach a high view without ever voting there, and rejoining
+        at its last *voted* view would strand it far behind the survivors.
         """
-        highest = state.last_voted_view
+        highest = max(state.last_voted_view, state.entered_view)
         if state.high_cert is not None:
             highest = max(highest, state.high_cert.view)
         return highest + 1

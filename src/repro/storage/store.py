@@ -95,3 +95,24 @@ class ReplicaStore:
         """WAL a block joining the committed ledger."""
         if not self._suspended:
             self.wal.append_commit(block_hash)
+
+    def record_entered_view(self, view: int) -> None:
+        """WAL a pacemaker view entry (restart resumes past every entered view)."""
+        if not self._suspended:
+            self.wal.append_entered_view(view)
+
+    def record_peer_views(self, peer_views) -> None:
+        """WAL a snapshot of the pacemaker's per-sender view table."""
+        if not self._suspended:
+            self.wal.append_peer_views(dict(peer_views))
+
+    # ----------------------------------------------------------------- faults
+    def tear_wal_tail(self) -> None:
+        """Destroy the tail of the last WAL record (crash mid-append).
+
+        Used by the crash-point fuzzer to model a torn write: after replay the
+        last record must be gone, exactly as
+        :meth:`~repro.storage.backend.FileLogBackend.replay` treats a
+        truncated final line.
+        """
+        self.wal.backend.tear_tail()

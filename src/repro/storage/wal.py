@@ -34,6 +34,8 @@ KIND_VOTE = "vote"
 KIND_HIGH_CERT = "high_cert"
 KIND_COMMIT_CERT = "commit_cert"
 KIND_COMMIT = "commit"
+KIND_ENTERED_VIEW = "entered_view"
+KIND_PEER_VIEWS = "peer_views"
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,7 @@ class WalRecord:
     slot: int = 0
     block_hash: str = ""
     cert: Optional[Certificate] = None
+    peer_views: Optional[Dict[int, int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {"kind": self.kind}
@@ -54,6 +57,11 @@ class WalRecord:
             record["cert"] = message_to_wire(self.cert)
         elif self.kind == KIND_COMMIT:
             record["block_hash"] = self.block_hash
+        elif self.kind == KIND_ENTERED_VIEW:
+            record["view"] = self.view
+        elif self.kind == KIND_PEER_VIEWS:
+            # JSON object keys are strings; decode restores the int ids.
+            record["views"] = {str(sender): view for sender, view in (self.peer_views or {}).items()}
         return record
 
     @classmethod
@@ -70,6 +78,16 @@ class WalRecord:
             return cls(kind=kind, cert=message_from_wire(record["cert"]))
         if kind == KIND_COMMIT:
             return cls(kind=kind, block_hash=str(record["block_hash"]))
+        if kind == KIND_ENTERED_VIEW:
+            return cls(kind=kind, view=int(record["view"]))
+        if kind == KIND_PEER_VIEWS:
+            return cls(
+                kind=kind,
+                peer_views={
+                    int(sender): int(view)
+                    for sender, view in record.get("views", {}).items()
+                },
+            )
         return cls(kind=kind)
 
 
@@ -83,6 +101,10 @@ class WalState:
     high_cert: Optional[Certificate] = None
     commit_cert: Optional[Certificate] = None
     committed_hashes: List[str] = field(default_factory=list)
+    #: Highest view the replica ever entered (>= anything it voted in).
+    entered_view: int = 0
+    #: Last persisted per-sender view table snapshot (folded max per sender).
+    peer_views: Dict[int, int] = field(default_factory=dict)
 
     @property
     def voted_views(self) -> Set[int]:
@@ -115,6 +137,16 @@ class WriteAheadLog:
         """Record that *block_hash* joined the committed ledger."""
         self.backend.append(WalRecord(kind=KIND_COMMIT, block_hash=block_hash).to_dict())
 
+    def append_entered_view(self, view: int) -> None:
+        """Record that the pacemaker entered *view*."""
+        self.backend.append(WalRecord(kind=KIND_ENTERED_VIEW, view=view).to_dict())
+
+    def append_peer_views(self, peer_views: Dict[int, int]) -> None:
+        """Record a snapshot of the pacemaker's per-sender view table."""
+        self.backend.append(
+            WalRecord(kind=KIND_PEER_VIEWS, peer_views=dict(peer_views)).to_dict()
+        )
+
     # --------------------------------------------------------------- replay
     def records(self) -> List[WalRecord]:
         """Decode every appended record, in order (unknown kinds are kept, inert)."""
@@ -142,4 +174,9 @@ class WriteAheadLog:
                 if record.block_hash not in committed_seen:
                     committed_seen.add(record.block_hash)
                     state.committed_hashes.append(record.block_hash)
+            elif record.kind == KIND_ENTERED_VIEW:
+                state.entered_view = max(state.entered_view, record.view)
+            elif record.kind == KIND_PEER_VIEWS:
+                for sender, view in (record.peer_views or {}).items():
+                    state.peer_views[sender] = max(state.peer_views.get(sender, 0), view)
         return state

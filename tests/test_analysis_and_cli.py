@@ -141,6 +141,7 @@ class TestCli:
             "latency-breakdown",
             "ablation-slotting",
             "chaos-recovery",
+            "chaos-fuzz",
         }
         assert set(FIGURES) == expected
 

@@ -99,7 +99,13 @@ class TestFaultPlan:
         FaultPlan.single_crash(1, 0.1, 0.1).validate(4, mode="live")
 
     def test_presets_cover_the_catalogue(self):
-        assert set(PRESETS) == {"kill-replica", "kill-leader", "cascade", "partition-heal"}
+        assert set(PRESETS) == {
+            "kill-replica",
+            "kill-leader",
+            "cascade",
+            "partition-heal",
+            "blackout",
+        }
         for name in PRESETS:
             plan = chaos_preset(name, n=7, at=0.2, down_for=0.1)
             plan.validate(7)
@@ -229,6 +235,70 @@ class TestSimChaos:
         result = run_experiment(ExperimentSpec(**self.BASE))
         assert result.chaos is None
         assert "recovery_ms" not in result.to_row()
+
+    def test_blackout_preset_takes_down_more_than_f_and_recovers(self):
+        """The regression scenario for the view-resync stall: f + 1 of n = 4
+        replicas crash simultaneously, and after the restarts the whole
+        cluster must re-synchronise views and commit new operations."""
+        plan = chaos_preset("blackout", n=4, at=0.15, down_for=0.2)
+        assert len(plan.touched_replicas()) == 2  # f + 1 > f for n = 4
+        crash_times = [e.at for e in plan.events if e.action == "crash"]
+        assert len(set(crash_times)) == 1  # simultaneous, not cascaded
+        plan.validate(4)  # > f simultaneous down is a first-class plan
+        result = self._run(plan, duration=1.2)
+        chaos = result.chaos
+        assert chaos["crashes"] == chaos["restarts"] == chaos["recovered"] == 2
+        assert chaos["prefix_agreement"] is True
+        assert chaos["skipped_events"] == 0
+        assert chaos["wal_vote_violations"] == []
+        assert_identical_prefixes(result.replicas)
+
+    def test_chaos_row_surfaces_wal_ok_and_skip_columns(self):
+        result = self._run(chaos_preset("blackout", n=4, at=0.15, down_for=0.15), duration=1.0)
+        row = result.to_row()
+        assert row["wal_ok"] is True
+        assert row["events_skipped"] == 0
+
+
+class TestSkippedEventSurfacing:
+    """Runtime target collisions must be reported as errors, not dropped."""
+
+    class _Adapter:
+        def __init__(self):
+            self.down = set()
+
+        def crash(self, replica_id):
+            self.down.add(replica_id)
+            return 0
+
+        def restart(self, replica_id):
+            self.down.discard(replica_id)
+            return None
+
+        def is_down(self, replica_id):
+            return replica_id in self.down
+
+    def _controller(self):
+        from repro.faults.injector import ChaosController
+        from repro.sim.scheduler import Simulator
+
+        return ChaosController(FaultPlan(), Simulator(), self._Adapter())
+
+    def test_double_crash_is_recorded_as_skipped(self):
+        controller = self._controller()
+        assert controller.trigger_crash(1) is True
+        assert controller.trigger_crash(1) is False  # already down -> skipped
+        report = controller.report([])
+        assert report["crashes"] == 1
+        assert report["skipped_events"] == 1
+        assert report["skipped"][0]["skipped"] == "already down"
+
+    def test_restart_of_running_replica_is_recorded_as_skipped(self):
+        controller = self._controller()
+        assert controller.trigger_restart(2) is None  # never crashed -> skipped
+        report = controller.report([])
+        assert report["skipped_events"] == 1
+        assert report["skipped"][0]["skipped"] == "not down"
 
 
 class TestChaosScenarioEngine:

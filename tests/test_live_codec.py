@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.consensus.certificates import CertKind, Certificate
@@ -18,6 +20,7 @@ from repro.consensus.messages import (
     Reject,
     ResponseEntry,
     TimeoutCertificateMsg,
+    ViewSync,
     Wish,
 )
 from repro.crypto.threshold import ThresholdScheme
@@ -81,7 +84,11 @@ def _all_messages():
         NewSlot(view=5, slot=3, voter=0, high_cert=cert, share=shares[2], voted_block_hash=block.block_hash),
         Reject(view=5, slot=3, voter=2, high_cert=cert),
         Wish(view=6, voter=3, share=shares[0]),
+        Wish(view=6, voter=3, share=shares[0], current_view=5, high_cert=cert),
         TimeoutCertificateMsg(view=6, cert=cert),
+        TimeoutCertificateMsg(view=6, cert=cert, sender_view=5, high_cert=cert),
+        ViewSync(view=7, voter=2, high_cert=cert),
+        ViewSync(view=7, voter=2),  # beacon before any certificate is known
         FetchRequest(block_hash=block.block_hash, requester=1),
         FetchResponse(block=block),
     ]
@@ -131,9 +138,51 @@ class TestEnvelopeFrames:
 
     def test_wire_version_mismatch_rejected(self):
         frame = codec.encode_envelope_frame(0, 1, _all_messages()[0], 0.0)
-        body = frame[4:].replace(b'{"v":1,', b'{"v":99,')
+        marker = b'{"v":%d,' % codec.WIRE_VERSION
+        body = frame[4:].replace(marker, b'{"v":99,')
+        assert body != frame[4:]  # the marker must have been found and replaced
         with pytest.raises(codec.CodecError):
             codec.decode_envelope_body(body)
+
+
+class TestVersionSkew:
+    """Version-1 peers predate the view-synchronisation fields; their
+    documents (and frames) must still decode, with the new fields falling
+    back to the dataclass defaults."""
+
+    def test_v1_wish_document_decodes_with_default_evidence_fields(self):
+        shares, _, _, _ = _fixture_objects()
+        wish = Wish(view=6, voter=3, share=shares[0], current_view=5)
+        document = codec.message_to_wire(wish)
+        del document["current_view"]
+        del document["high_cert"]
+        decoded = codec.message_from_wire(document)
+        assert decoded == Wish(view=6, voter=3, share=shares[0])
+
+    def test_v1_timeout_cert_document_decodes_with_default_evidence_fields(self):
+        _, _, cert, _ = _fixture_objects()
+        message = TimeoutCertificateMsg(view=6, cert=cert, sender_view=5, high_cert=cert)
+        document = codec.message_to_wire(message)
+        del document["sender_view"]
+        del document["high_cert"]
+        decoded = codec.message_from_wire(document)
+        assert decoded == TimeoutCertificateMsg(view=6, cert=cert)
+
+    def test_v1_frames_are_still_accepted(self):
+        shares, _, _, _ = _fixture_objects()
+        document = codec.message_to_wire(Wish(view=6, voter=3, share=shares[0]))
+        del document["current_view"]
+        del document["high_cert"]
+        body = json.dumps(
+            {"v": 1, "s": 0, "r": 1, "a": 0.5, "m": document}, separators=(",", ":")
+        ).encode("utf-8")
+        sender, receiver, sent_at, payload = codec.decode_envelope_body(body)
+        assert (sender, receiver, sent_at) == (0, 1, 0.5)
+        assert payload == Wish(view=6, voter=3, share=shares[0])
+
+    def test_current_version_is_2_and_v1_remains_supported(self):
+        assert codec.WIRE_VERSION == 2
+        assert set(codec.SUPPORTED_WIRE_VERSIONS) == {1, 2}
 
 
 class TestEncodedSize:

@@ -205,6 +205,41 @@ class TestLiveClusterSmoke:
         assert result.network_stats["bytes_sent"] > 0
 
 
+class TestLiveViewResync:
+    def test_live_blackout_crash_rejoin_catches_up_views_over_sockets(self):
+        """> f simultaneous crashes over real TCP: both victims must rejoin,
+        catch up to the survivors' views through the ViewSync/Wish-retry
+        machinery, and commit new operations."""
+        from repro.faults.plan import FaultPlan, FaultEvent
+
+        plan = FaultPlan(
+            events=[
+                FaultEvent(at=0.5, action="crash", replica=0),
+                FaultEvent(at=0.5, action="crash", replica=1),
+                FaultEvent(at=1.3, action="restart", replica=0),
+                FaultEvent(at=1.3, action="restart", replica=1),
+            ]
+        )
+        spec = ExperimentSpec(
+            protocol="hotstuff-1", mode="live", n=4, batch_size=10,
+            duration=15.0, warmup=0.2, view_timeout=0.05, seed=17,
+            faults=plan.to_dict(),
+        )
+        # target_ops keeps the run going well past the restart at 1.3s
+        # (~800 tps on localhost) without waiting out the full duration cap.
+        result = run_live_experiment(spec, target_ops=1800)
+        chaos = result.chaos
+        assert chaos["crashes"] == chaos["restarts"] == 2
+        assert chaos["recovered"] == 2, chaos["incidents"]
+        assert chaos["prefix_agreement"] is True
+        assert chaos["skipped_events"] == 0
+        assert chaos["wal_vote_violations"] == []
+        # The rejoined replicas re-synchronised views with the survivors.
+        views = sorted(replica.current_view for replica in result.replicas)
+        assert views[0] > 0
+        assert views[-1] - views[0] <= 8, views
+
+
 class TestLiveCli:
     def test_live_subcommand_runs_cluster_and_reports(self, capsys):
         from repro.cli import main

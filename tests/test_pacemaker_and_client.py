@@ -76,6 +76,106 @@ class TestPacemaker:
         assert leaders[0] == harness.replica.leaders.leader_of(14)
 
 
+class TestViewSynchronizer:
+    """PBFT-style f+1 view-evidence amplification in the pacemaker."""
+
+    def _started(self, n=4, replica_id=0):
+        harness = ReplicaHarness(HotStuff2Replica, replica_id=replica_id, n=n)
+        harness.replica.pacemaker.start(1)
+        return harness, harness.replica.pacemaker
+
+    def test_f_reports_are_not_enough_to_jump(self):
+        harness, pacemaker = self._started()  # n=4 -> f=1, need 2 distinct senders
+        pacemaker.note_peer_view(1, 40)
+        assert pacemaker.current_view == 1
+        assert pacemaker.view_table == {1: 40}
+
+    def test_f_plus_one_reports_jump_to_the_f_plus_first_highest(self):
+        harness, pacemaker = self._started()
+        pacemaker.note_peer_view(1, 40)
+        pacemaker.note_peer_view(2, 37)
+        # two distinct senders >= f+1; the 2nd-highest report (37) is backed
+        # by at least one honest replica, the maximum (40) is not.
+        assert pacemaker.current_view == 37
+        assert pacemaker.jumps == 1
+
+    def test_reports_are_monotonic_per_sender(self):
+        harness, pacemaker = self._started()
+        pacemaker.note_peer_view(1, 40)
+        pacemaker.note_peer_view(1, 12)  # stale report must not regress
+        assert pacemaker.view_table[1] == 40
+
+    def test_own_and_out_of_range_senders_are_ignored(self):
+        harness, pacemaker = self._started()
+        pacemaker.note_peer_view(0, 40)   # ourselves
+        pacemaker.note_peer_view(99, 40)  # not a replica id
+        pacemaker.note_peer_view(-1, 40)  # client pool
+        assert pacemaker.view_table == {}
+        assert pacemaker.current_view == 1
+
+    def test_restored_view_table_applies_at_start(self):
+        harness = ReplicaHarness(HotStuff2Replica, replica_id=0, n=4)
+        pacemaker = harness.replica.pacemaker
+        pacemaker.restore_view_table({1: 21, 2: 19, 0: 99})
+        assert pacemaker.view_table == {1: 21, 2: 19}  # own id dropped
+        assert pacemaker.current_view == 0  # priming alone never jumps
+        pacemaker.start(1)
+        assert pacemaker.current_view == 19
+
+    def test_view_sync_reply_helps_a_lagging_sender(self):
+        from repro.consensus.messages import ViewSync
+
+        harness, pacemaker = self._started(replica_id=2)
+        pacemaker.enter_view(30)
+        sent = []
+        harness.replica.send = lambda target, payload, **kw: sent.append((target, payload))
+        pacemaker.handle_view_sync(ViewSync(view=3, voter=1), sender=1)
+        assert len(sent) == 1
+        target, reply = sent[0]
+        assert target == 1
+        assert isinstance(reply, ViewSync)
+        assert reply.view == 30
+
+    def test_wish_is_retransmitted_while_parked_at_a_boundary(self):
+        from repro.consensus.messages import Wish
+
+        harness = ReplicaHarness(HotStuff2Replica, replica_id=0, n=4)
+        wishes = []
+        harness.replica.send = lambda target, payload, **kw: (
+            wishes.append((target, payload)) if isinstance(payload, Wish) else None
+        )
+        # View 2 is an epoch boundary for n=4 (epoch length 2): the pacemaker
+        # parks awaiting a TC and must re-send its Wish every view_timeout.
+        harness.replica.pacemaker.synchronize_epoch(2)
+        harness.run(duration=harness.config.view_timeout * 3.5)
+        assert len(wishes) >= 3 * 2  # >= 3 rounds x f+1 epoch leaders
+        assert all(payload.view == 2 for _, payload in wishes)
+
+    def test_entering_the_wished_view_stops_the_retransmission(self):
+        from repro.consensus.messages import Wish
+
+        harness = ReplicaHarness(HotStuff2Replica, replica_id=0, n=4)
+        pacemaker = harness.replica.pacemaker
+        pacemaker.synchronize_epoch(2)
+        pacemaker.enter_view(2)
+        wishes = []
+        harness.replica.send = lambda target, payload, **kw: (
+            wishes.append(payload) if isinstance(payload, Wish) else None
+        )
+        harness.run(duration=harness.config.view_timeout * 3.5)
+        # Normal timer progress may wish for *later* boundaries (view 4), but
+        # the satisfied wish for view 2 must not be retransmitted.
+        assert all(wish.view != 2 for wish in wishes)
+
+    def test_wish_carries_current_view_and_high_cert_evidence(self):
+        harness, pacemaker = self._started(replica_id=0)
+        sent = []
+        harness.replica.send = lambda target, payload, **kw: sent.append(payload)
+        pacemaker.synchronize_epoch(2)
+        assert sent and all(msg.current_view == pacemaker.current_view for msg in sent)
+        assert all(msg.high_cert is not None for msg in sent)
+
+
 def build_client_pool(required_quorum, num_clients=2, n=4):
     sim = Simulator(seed=5)
     config = ProtocolConfig(n=n, batch_size=10)

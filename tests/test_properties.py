@@ -1,7 +1,11 @@
-"""Property-based tests (hypothesis) for core data structures and invariants."""
+"""Property-based tests (hypothesis + seed sweeps) for core data structures
+and protocol-level invariants."""
 
 from __future__ import annotations
 
+import random
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.consensus.mempool import Mempool
@@ -189,6 +193,71 @@ def test_zipf_always_in_range(items, theta, seed):
     rng = SeededRng(seed)
     for _ in range(50):
         assert 0 <= gen.next(rng) < items
+
+
+# --------------------------------------------------------------------------
+# Liveness after > f simultaneous crashes (the ROADMAP view-resync stall)
+# --------------------------------------------------------------------------
+#: Sim-seconds within which every restarted replica must commit a new block.
+RECOVERY_BOUND_S = 0.5
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_liveness_regained_after_f_then_f_plus_one_simultaneous_crashes(seed):
+    """Crash exactly f, then f + 1 of n = 4 replicas simultaneously; every
+    honest replica must commit new operations within a bounded number of
+    simulated seconds after all restarts.
+
+    Every third seed makes the epoch leader at fire time one of the f + 1
+    simultaneous victims (with epoch length f + 1 = 2, half of all views are
+    epoch boundaries, so leaders die at boundaries across the sweep).  This
+    is the regression test for the documented stall where survivors circled
+    at high views while recovered replicas rejoined at low ones and the
+    Wish/TC quorum never re-formed.
+    """
+    from repro.experiments.runner import ExperimentSpec, run_experiment
+    from repro.faults.plan import FaultEvent, FaultPlan
+
+    n = 4
+    rng = random.Random(seed)
+    single = rng.randrange(n)
+    first = rng.randrange(n)
+    partner = "leader" if seed % 3 == 0 else (first + 1 + rng.randrange(n - 1)) % n
+    events = [
+        # Phase 1: exactly f = 1 down.
+        FaultEvent(at=0.10, action="crash", replica=single),
+        FaultEvent(at=0.18, action="restart", replica=single),
+        # Phase 2: f + 1 = 2 down simultaneously (static victim first so a
+        # dynamic "leader" pick can never collide with it).
+        FaultEvent(at=0.30, action="crash", replica=first),
+        FaultEvent(at=0.3001, action="crash", replica=partner),
+        FaultEvent(at=0.45, action="restart", replica=first),
+        FaultEvent(at=0.4501, action="restart", replica=partner),
+    ]
+    spec = ExperimentSpec(
+        protocol="hotstuff-1",
+        n=n,
+        batch_size=10,
+        duration=1.0,
+        warmup=0.05,
+        seed=seed,
+        faults=FaultPlan(events=events).to_dict(),
+    )
+    result = run_experiment(spec)
+    chaos = result.chaos
+    assert chaos["crashes"] == 3
+    assert chaos["restarts"] == 3
+    assert chaos["skipped_events"] == 0, chaos["skipped"]
+    assert chaos["wal_vote_violations"] == []
+    # Liveness: every crashed replica committed a *new* block after its
+    # restart, within the bound.
+    assert chaos["recovered"] == 3, chaos["incidents"]
+    assert chaos["max_recovery_s"] is not None
+    assert chaos["max_recovery_s"] <= RECOVERY_BOUND_S, chaos["incidents"]
+    # Safety held throughout, and the whole cluster (survivors included)
+    # kept committing well past the crash window.
+    assert chaos["prefix_agreement"] is True
+    assert chaos["committed_blocks_min"] > 100
 
 
 # --------------------------------------------------------------------------

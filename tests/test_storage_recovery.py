@@ -114,6 +114,37 @@ class TestWriteAheadLog:
         store.record_vote(2, 1, "cafe")
         assert [record.view for record in store.wal.records()] == [2]
 
+    def test_entered_view_and_peer_views_round_trip_and_reduce(self):
+        wal = WriteAheadLog(MemoryLogBackend())
+        wal.append_entered_view(5)
+        wal.append_entered_view(9)
+        wal.append_entered_view(7)  # out-of-order replay still folds to max
+        wal.append_peer_views({1: 12, 2: 9})
+        wal.append_peer_views({2: 15, 3: 4})
+        state = wal.reduce()
+        assert state.entered_view == 9
+        assert state.peer_views == {1: 12, 2: 15, 3: 4}
+
+    def test_peer_view_keys_survive_json_file_round_trip(self, tmp_path):
+        store = ReplicaStore.at_path(tmp_path, 0)
+        store.record_entered_view(21)
+        store.record_peer_views({1: 20, 3: 22})
+        store.close()
+        reopened = ReplicaStore.at_path(tmp_path, 0)
+        state = reopened.load_state()
+        assert state.entered_view == 21
+        assert state.peer_views == {1: 20, 3: 22}  # int keys, not strings
+        reopened.close()
+
+    def test_resume_view_is_past_entered_views_not_just_voted_ones(self):
+        from repro.storage.recovery import RecoveryManager
+
+        wal = WriteAheadLog(MemoryLogBackend())
+        wal.append_vote(3, 1, "a" * 64)
+        wal.append_entered_view(41)  # circled to view 41 on timeouts, no votes
+        state = wal.reduce()
+        assert RecoveryManager.resume_view(state) == 42
+
 
 class TestDurableBlockStore:
     def test_blocks_persist_across_incarnations(self):
