@@ -1,0 +1,142 @@
+"""Restart latency vs. history length, with and without checkpointing.
+
+Builds a long-lived replica's durable store (WAL + block log, optionally
+compacted by a :class:`~repro.checkpoint.manager.CheckpointManager`), then
+measures how long :class:`~repro.storage.recovery.RecoveryManager` takes to
+rebuild a fresh replica from it.  Without snapshots the cost grows with
+history (every block re-executed); with snapshots it is O(state + suffix).
+The per-point latencies and their ratio land in the pytest-benchmark JSON
+(``extra_info``) so the trajectory tracks the win as the code evolves.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.consensus.certificates import CertKind
+from repro.consensus.metrics import MetricsCollector
+from repro.core.streamlined import HotStuff1Replica
+from repro.experiments.report import format_series
+from repro.checkpoint.manager import CheckpointManager
+from repro.ledger.block import Block
+from repro.ledger.kvstore import KVStateMachine
+from repro.ledger.transaction import Transaction
+from repro.storage import RecoveryManager, ReplicaStore
+from tests.helpers import ReplicaHarness
+
+from benchmarks.conftest import pick, run_series_once
+
+#: Transactions per committed block in the synthetic history.
+TXNS_PER_BLOCK = 5
+
+
+def _fresh_replica(harness, store, replica_id=1):
+    return HotStuff1Replica(
+        replica_id,
+        harness.sim,
+        harness.network,
+        harness.config,
+        harness.authority,
+        harness.leaders,
+        KVStateMachine(),
+        harness.mempool,
+        MetricsCollector(),
+        block_store=store.open_blockstore(),
+        store=store,
+    )
+
+
+def _populate(harness, store, history_blocks, checkpoint_interval):
+    """Drive *history_blocks* commits through a replica wired to *store*."""
+    replica = _fresh_replica(harness, store)
+    if checkpoint_interval is not None:
+        replica.checkpointer = CheckpointManager(replica, checkpoint_interval)
+    parent = replica.block_store.genesis
+    for index in range(history_blocks):
+        view = index + 1
+        txns = tuple(
+            Transaction.create(
+                client_id=1,
+                operation="ycsb_write",
+                payload={"key": f"user{(index * 7 + i) % 1000}", "value": f"v{index}-{i}"},
+                txn_id=index * TXNS_PER_BLOCK + i,
+            )
+            for i in range(TXNS_PER_BLOCK)
+        )
+        block = Block.build(
+            view=view, slot=1, parent_hash=parent.block_hash, proposer=view % 4,
+            transactions=txns,
+        )
+        replica.block_store.add(block)
+        replica.note_vote(view, 1, block.block_hash)
+        # the quorum certificate that committed the block — checkpoints are
+        # anchored in it, exactly as in a real run
+        replica.record_certificate(harness.certificate(CertKind.PREPARE, block))
+        replica.commit_up_to(block)
+        parent = block
+    return replica
+
+
+def _measure_restart(harness, store):
+    """Wall-clock seconds to rebuild and restore a replica from *store*."""
+    harness.network.unregister(1)  # the populated incarnation "crashes"
+    start = time.perf_counter()
+    replica = _fresh_replica(harness, store)
+    RecoveryManager(store).restore(replica)
+    elapsed = time.perf_counter() - start
+    return elapsed, replica
+
+
+def snapshot_restart_series(history_lengths=(200, 600), checkpoint_interval=20):
+    """One row per (history length × with/without snapshots)."""
+    rows = []
+    for history in history_lengths:
+        for interval in (None, checkpoint_interval):
+            harness = ReplicaHarness(HotStuff1Replica, replica_id=0)
+            store = ReplicaStore.memory()
+            populated = _populate(harness, store, history, interval)
+            restart_s, restored = _measure_restart(harness, store)
+            assert len(restored.ledger.committed) == history, "restore lost commits"
+            assert (
+                restored.ledger.state_digest() == populated.ledger.state_digest()
+            ), "restored state diverged"
+            rows.append(
+                {
+                    "history_blocks": history,
+                    "checkpointing": "off" if interval is None else f"every {interval}",
+                    "restart_ms": round(restart_s * 1000.0, 3),
+                    "wal_records": len(store.wal.backend.replay()),
+                    "snapshot_height": (
+                        store.latest_snapshot().height if store.latest_snapshot() else 0
+                    ),
+                }
+            )
+    return rows
+
+
+def test_snapshot_restart(benchmark):
+    """Checkpointed restart beats full-history replay and its WAL stays
+    bounded; the latencies land in the bench JSON trajectory."""
+    rows = run_series_once(
+        benchmark,
+        snapshot_restart_series,
+        title="Checkpointing — restart latency vs. history length",
+        history_lengths=pick((200, 600), (500, 2000)),
+    )
+    by_key = {(row["history_blocks"], row["checkpointing"] != "off"): row for row in rows}
+    for history in {row["history_blocks"] for row in rows}:
+        plain = by_key[(history, False)]
+        snapped = by_key[(history, True)]
+        # the snapshot-restored replica replays only the suffix
+        assert snapped["wal_records"] < plain["wal_records"]
+        assert snapped["snapshot_height"] > 0
+        benchmark.extra_info[f"restart_ms[history={history},snapshots=off]"] = plain["restart_ms"]
+        benchmark.extra_info[f"restart_ms[history={history},snapshots=on]"] = snapped["restart_ms"]
+    longest = max(row["history_blocks"] for row in rows)
+    ratio = (
+        by_key[(longest, False)]["restart_ms"]
+        / max(by_key[(longest, True)]["restart_ms"], 1e-6)
+    )
+    benchmark.extra_info["restart_speedup_at_longest_history"] = round(ratio, 2)
+    # restart cost must not grow with history once checkpointing is on
+    assert by_key[(longest, True)]["restart_ms"] < by_key[(longest, False)]["restart_ms"] * 1.5

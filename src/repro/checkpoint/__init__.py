@@ -1,0 +1,28 @@
+"""Checkpointing: state-machine snapshots, log compaction, state transfer.
+
+HotStuff-1's speculation model makes the committed prefix the only durable
+truth; this package turns that prefix into a transferable artifact.  A
+:class:`~repro.checkpoint.snapshot.Snapshot` seals the committed state machine
+at a checkpoint height with the covering commit certificate and a state
+digest; the :class:`~repro.checkpoint.manager.CheckpointManager` takes one
+every ``checkpoint_interval`` commits and truncates the WAL and block log
+below it, so a long-lived replica's restart cost is O(state), not O(history).
+The ``SnapshotRequest`` / ``SnapshotResponse`` wire messages let a far-behind
+rejoiner fetch a digest-checked snapshot instead of re-fetching the committed
+suffix block by block.
+"""
+
+from repro.checkpoint.manager import (
+    HOOK_MID_SNAPSHOT,
+    HOOK_POST_COMPACTION,
+    CheckpointManager,
+)
+from repro.checkpoint.snapshot import Snapshot, verify_snapshot
+
+__all__ = [
+    "CheckpointManager",
+    "HOOK_MID_SNAPSHOT",
+    "HOOK_POST_COMPACTION",
+    "Snapshot",
+    "verify_snapshot",
+]

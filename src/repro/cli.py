@@ -48,6 +48,10 @@ Sub-commands
     Expand a suite into its flat run list (scenario × point × protocol ×
     repeat, with seeds) without executing anything; the dry-run view of what
     ``suite`` would do.
+``snapshot``
+    Inspect the durable checkpoint snapshots under a ``--storage-dir``: per
+    replica, the latest snapshot's height/view/digest and the (compacted) WAL
+    and block-log record counts.
 ``predict``
     Print the closed-form performance-model predictions for all protocols.
 """
@@ -99,6 +103,7 @@ FIGURES: Dict[str, Dict] = {
         "faults": ("kill-replica", "kill-leader", "blackout"),
     },
     "chaos-fuzz": {"n": 4, "duration": 0.6, "seeds": (1, 2, 3)},
+    "snapshot-recovery": {"n": 4, "duration": 1.0, "faults": ("kill-replica", "blackout")},
 }
 
 
@@ -146,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="inject faults from a FaultPlan JSON file (crash/restart)")
     live_parser.add_argument("--storage-dir", default=None,
                              help="directory for file-backed replica stores (default: in-memory)")
+    live_parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="COMMITS",
+        help="snapshot the state machine and truncate the logs every N commits "
+             "(default: checkpointing off)",
+    )
 
     chaos_parser = subparsers.add_parser(
         "chaos", help="run one experiment under a fault plan and report recovery"
@@ -232,6 +242,17 @@ def build_parser() -> argparse.ArgumentParser:
     grid_parser.add_argument("--repeats", type=int, default=None)
     grid_parser.add_argument("--seed", type=int, default=None)
 
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="inspect the durable snapshots of a storage directory"
+    )
+    snapshot_parser.add_argument(
+        "storage_dir", help="directory previously passed as --storage-dir / storage_dir"
+    )
+    snapshot_parser.add_argument(
+        "--replica", type=int, default=None,
+        help="inspect one replica id (default: every replica-* subdirectory)",
+    )
+
     predict_parser = subparsers.add_parser("predict", help="closed-form performance predictions")
     predict_parser.add_argument("--replicas", type=int, default=32)
     predict_parser.add_argument("--batch", type=int, default=100)
@@ -247,6 +268,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=float, default=0.1)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--view-timeout", type=float, default=0.03)
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="COMMITS",
+        help="snapshot the state machine and truncate the logs every N commits "
+             "(default: checkpointing off)",
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -267,6 +293,7 @@ def _spec_from_args(args: argparse.Namespace, protocol: str) -> ExperimentSpec:
         warmup=args.warmup,
         seed=args.seed,
         view_timeout=args.view_timeout,
+        checkpoint_interval=getattr(args, "checkpoint_interval", None),
     )
 
 
@@ -343,6 +370,7 @@ def command_live(args: argparse.Namespace) -> int:
         num_clients=args.clients,
         faults=load_plan(args.faults).to_dict() if args.faults else None,
         storage_dir=args.storage_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
     target_ops = args.target_ops if args.target_ops > 0 else None
     result = run_live_experiment(spec, target_ops=target_ops, rate=args.rate)
@@ -403,7 +431,8 @@ def command_chaos(args: argparse.Namespace) -> int:
         bool(chaos.get("prefix_agreement", False))
         and chaos.get("events_fired", 0) == len(plan)
         and chaos.get("restarts", 0) == chaos.get("crashes", 0)
-        and chaos.get("recovered", 0) == chaos.get("crashes", 0)
+        and chaos.get("recovered", 0) + chaos.get("superseded", 0)
+        == chaos.get("crashes", 0)
         and chaos.get("skipped_events", 0) == 0
         and not chaos.get("wal_vote_violations")
     )
@@ -459,6 +488,7 @@ def command_fuzz(args: argparse.Namespace) -> int:
         crashes=args.crashes,
         down_for=args.down_for,
         hooks=hooks,
+        checkpoint_interval=args.checkpoint_interval,
     )
     rows = execute_scenario(scenario, jobs=args.jobs)
     print(
@@ -479,11 +509,13 @@ def command_fuzz(args: argparse.Namespace) -> int:
                 f"only {row.get('crashes', 0)} of {row.get('planned_crashes', 0)} "
                 "crash points fired (raise --duration or lower occurrences)"
             )
-        if row.get("recovered", 0) != row.get("crashes", 0):
-            out.append(
-                f"{row.get('crashes', 0) - row.get('recovered', 0)} crashed "
-                "replica(s) never committed again"
-            )
+        # Incidents cut short by a follow-up crash of the same replica can
+        # never record a recovery; they count as superseded, not failed.
+        unrecovered = (
+            row.get("crashes", 0) - row.get("recovered", 0) - row.get("superseded", 0)
+        )
+        if unrecovered > 0:
+            out.append(f"{unrecovered} crashed replica(s) never committed again")
         return out
 
     failures = {row["fuzz_seed"]: problems(row) for row in rows if problems(row)}
@@ -557,6 +589,77 @@ def command_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_jsonl(path: str) -> List[Dict]:
+    """Read a JSONL log without opening it for append (torn tails skipped)."""
+    import json
+
+    records: List[Dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except FileNotFoundError:
+        pass
+    return records
+
+
+def command_snapshot(args: argparse.Namespace) -> int:
+    """Inspect the durable snapshots (and log sizes) under a storage directory.
+
+    Read-only: the logs are parsed directly instead of opening a
+    :class:`~repro.storage.store.ReplicaStore` (which would create files).
+    """
+    import os
+
+    from repro.checkpoint.snapshot import Snapshot
+
+    base = args.storage_dir
+    if not os.path.isdir(base):
+        raise ConfigurationError(f"storage directory {base!r} does not exist")
+    if args.replica is not None:
+        names = [f"replica-{args.replica}"]
+    else:
+        names = sorted(
+            name for name in os.listdir(base)
+            if name.startswith("replica-") and os.path.isdir(os.path.join(base, name))
+        )
+    if not names:
+        raise ConfigurationError(f"no replica-* directories under {base!r}")
+    rows: List[Dict] = []
+    for name in names:
+        directory = os.path.join(base, name)
+        snapshot = None
+        for record in _read_jsonl(os.path.join(directory, "snapshots.jsonl")):
+            try:
+                snapshot = Snapshot.from_dict(record)
+            except (KeyError, TypeError, ValueError):
+                continue
+        row: Dict = {
+            "replica": name.split("-", 1)[1],
+            "wal_records": len(_read_jsonl(os.path.join(directory, "wal.jsonl"))),
+            "block_records": len(_read_jsonl(os.path.join(directory, "blocks.jsonl"))),
+        }
+        if snapshot is None:
+            row.update(snapshot_height="-", snapshot_view="-", state_digest="-")
+        else:
+            row.update(
+                snapshot_height=snapshot.height,
+                snapshot_view=snapshot.view,
+                block_hash=snapshot.block_hash[:12],
+                state_digest=snapshot.state_digest[:12],
+                cert_ok=snapshot.cert.block_hash == snapshot.block_hash,
+            )
+        rows.append(row)
+    print(format_series(rows, title=f"snapshots under {base}"))
+    return 0
+
+
 def command_predict(args: argparse.Namespace) -> int:
     """Print analytic predictions for every protocol."""
     config = ProtocolConfig(n=args.replicas, batch_size=args.batch)
@@ -582,6 +685,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": command_figure,
         "suite": command_suite,
         "grid": command_grid,
+        "snapshot": command_snapshot,
         "predict": command_predict,
     }
     try:

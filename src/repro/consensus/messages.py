@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.checkpoint.snapshot import Snapshot
 from repro.consensus.certificates import Certificate
 from repro.crypto.threshold import SignatureShare
 from repro.ledger.block import Block
@@ -193,3 +194,29 @@ class FetchResponse:
     """Recovery: a block returned in response to a :class:`FetchRequest`."""
 
     block: Block
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """State transfer: ask a peer for its newest checkpoint snapshot.
+
+    ``have_height`` is the requester's current committed height; a responder
+    whose snapshot does not exceed it answers with an empty response so the
+    requester falls back to block-by-block fetch without waiting.
+    """
+
+    requester: int
+    have_height: int = 0
+
+
+@dataclass(frozen=True)
+class SnapshotResponse:
+    """State transfer: a checkpoint snapshot (or the lack of one).
+
+    ``snapshot`` is a :class:`~repro.checkpoint.snapshot.Snapshot`, or
+    ``None`` when the responder has nothing newer than the requester — the
+    signal to fall back to the ``FetchRequest`` path.
+    """
+
+    responder: int
+    snapshot: Optional[Snapshot] = None

@@ -75,6 +75,9 @@ class Pacemaker:
         self._scheduled_start: Dict[int, float] = {}
         self._view_timer = Timer(sim, self._on_view_timer)
         self._wish_shares: Dict[int, Dict[int, SignatureShare]] = {}
+        #: Our own timeout-vote share per wished view: retransmission ticks
+        #: reuse it instead of redoing the threshold-signing work.
+        self._sent_wish_shares: Dict[int, SignatureShare] = {}
         self._tc_formed: Set[int] = set()
         self._tc_entered: Set[int] = set()
         self._started = False
@@ -121,14 +124,31 @@ class Pacemaker:
         if self._pending_wish is not None and view >= self._pending_wish:
             self._pending_wish = None
             self._sync_timer.cancel()
-        for stale in [v for v in self._wish_shares if v <= view]:
-            del self._wish_shares[stale]
+        self._prune_below(view)
         now = self.sim.now
         self.start_time[view] = now
         deadline = self._scheduled_start.get(view + 1, now + self.config.view_timeout)
         deadline = max(deadline, now + self.config.view_timeout * 0.25)
         self._view_timer.start_at(deadline, view)
         self.replica.on_enter_view(view)
+
+    def _prune_below(self, view: int) -> None:
+        """Drop per-view synchronisation state that *view*'s entry obsoletes.
+
+        Wish aggregation buckets, our own cached Wish shares, the TC
+        formed/entered sets and the per-sender view table all key on views;
+        entries at or below the current view can never matter again (views
+        are monotonic, jumps only target higher views), so without pruning
+        they grow for the lifetime of the replica.  Stale reports that
+        re-arrive later re-insert harmless ``<= current_view`` entries.
+        """
+        for table in (self._wish_shares, self._sent_wish_shares):
+            for stale in [v for v in table if v <= view]:
+                del table[stale]
+        self._tc_formed = {v for v in self._tc_formed if v > view}
+        self._tc_entered = {v for v in self._tc_entered if v > view}
+        for sender in [s for s, reported in self.view_table.items() if reported <= view]:
+            del self.view_table[sender]
 
     def has_completed(self, view: int) -> bool:
         """``True`` once the replica has exited *view* (voting in it is disabled)."""
@@ -278,7 +298,13 @@ class Pacemaker:
         self._sync_timer.start(self.config.view_timeout)
 
     def _send_wish(self, view: int) -> None:
-        share = self.authority.create_timeout_vote(self.replica.replica_id, view)
+        # The share for a wished view is immutable; cache it so retransmission
+        # ticks (every view_timeout while parked) skip the threshold-signing
+        # work, which matters at large n.
+        share = self._sent_wish_shares.get(view)
+        if share is None:
+            share = self.authority.create_timeout_vote(self.replica.replica_id, view)
+            self._sent_wish_shares[view] = share
         wish = Wish(
             view=view,
             voter=self.replica.replica_id,

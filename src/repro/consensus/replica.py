@@ -39,6 +39,8 @@ from repro.consensus.messages import (
     ProposeVote,
     Reject,
     ResponseEntry,
+    SnapshotRequest,
+    SnapshotResponse,
     TimeoutCertificateMsg,
     ViewSync,
     Wish,
@@ -138,6 +140,12 @@ class BaseReplica:
         #: Optional crash-point probe ``(replica, hook)`` installed by the
         #: fuzzing injector; it may halt the replica mid-handler.
         self.crash_probe: Optional[Callable[["BaseReplica", str], None]] = None
+        #: Optional :class:`~repro.checkpoint.manager.CheckpointManager`
+        #: taking periodic snapshots; ``None`` disables checkpointing.
+        self.checkpointer = None
+        #: State-transfer outcomes (diagnostics and report columns).
+        self.snapshots_installed = 0
+        self.snapshots_rejected = 0
 
         network.register(self)
 
@@ -218,6 +226,10 @@ class BaseReplica:
             self.handle_fetch_request(payload, sender)
         elif isinstance(payload, FetchResponse):
             self.handle_fetch_response(payload, sender)
+        elif isinstance(payload, SnapshotRequest):
+            self.handle_snapshot_request(payload, sender)
+        elif isinstance(payload, SnapshotResponse):
+            self.handle_snapshot_response(payload, sender)
 
     def handle_view_sync(self, msg: ViewSync, sender: int) -> None:
         """Absorb a view-sync beacon: track its certificate, catch up, reply.
@@ -349,6 +361,8 @@ class BaseReplica:
             self._prune_forks(outcome.block)
             if self.commit_listener is not None:
                 self.commit_listener(outcome.block, self.sim.now)
+        if outcomes and self.checkpointer is not None:
+            self.checkpointer.maybe_checkpoint()
         return outcomes
 
     def _ancestry_connected(self, block: Block) -> bool:
@@ -360,6 +374,10 @@ class BaseReplica:
         """
         current = block
         while not self.ledger.is_committed(current.block_hash):
+            if self.ledger.is_committed(current.parent_hash):
+                # The parent is committed by hash — possibly a checkpointed
+                # position whose block object is no longer materialised.
+                return True
             parent = self.block_store.parent_of(current)
             if parent is not None:
                 current = parent
@@ -447,10 +465,25 @@ class BaseReplica:
 
     # ------------------------------------------------------------------ fetch
     def handle_fetch_request(self, msg: FetchRequest, sender: int) -> None:
-        """Serve a block another replica is missing."""
+        """Serve a block another replica is missing.
+
+        A block that left our tree through checkpoint compaction can no
+        longer be served — but the snapshot that covers it can.  Answering
+        with the snapshot instead of silence is what keeps a rejoiner's
+        chained ancestor walk alive when peers compact faster than the walk
+        progresses: the requester installs the newer checkpoint and resumes
+        fetching above it.
+        """
         block = self.block_store.maybe_get(msg.block_hash)
         if block is not None:
             self.send(msg.requester, FetchResponse(block=block))
+            return
+        snapshot = self.store.latest_snapshot() if self.store is not None else None
+        if snapshot is not None and msg.block_hash in snapshot.covered():
+            self.send(
+                msg.requester,
+                SnapshotResponse(responder=self.replica_id, snapshot=snapshot),
+            )
 
     def handle_fetch_response(self, msg: FetchResponse, sender: int) -> None:
         """Store a fetched block, walk its ancestry, retry parked proposals.
@@ -488,6 +521,75 @@ class BaseReplica:
         if waiting_proposal is not None:
             self._pending_fetch.setdefault(block_hash, []).append(waiting_proposal)
         self.send(ask, FetchRequest(block_hash=block_hash, requester=self.replica_id))
+
+    # --------------------------------------------------------- state transfer
+    def request_snapshot(self, ask: int) -> None:
+        """Ask replica *ask* for a checkpoint newer than our committed height."""
+        self.send(
+            ask,
+            SnapshotRequest(
+                requester=self.replica_id, have_height=len(self.ledger.committed)
+            ),
+        )
+
+    def handle_snapshot_request(self, msg: SnapshotRequest, sender: int) -> None:
+        """Serve our newest durable snapshot — or an empty response.
+
+        An empty response (no snapshot, or nothing beyond the requester's own
+        height) tells the requester to fall back to block-by-block fetch
+        immediately instead of waiting on a timer.
+        """
+        snapshot = self.store.latest_snapshot() if self.store is not None else None
+        if snapshot is not None and snapshot.height <= msg.have_height:
+            snapshot = None
+        self.send(msg.requester, SnapshotResponse(responder=self.replica_id, snapshot=snapshot))
+
+    def handle_snapshot_response(self, msg: SnapshotResponse, sender: int) -> None:
+        """Verify a transferred snapshot and adopt it, or fall back to fetch.
+
+        Adoption requires every check a receiver can make without trusting
+        the sender: a valid threshold certificate over exactly the checkpoint
+        block, a hash chain ending at that block, a state payload that
+        re-digests to the sealed digest, and our own committed prefix being a
+        prefix of the snapshot's chain.  Any failure keeps the replica on the
+        existing ``FetchRequest`` catch-up path — slower, but independently
+        verified block by block.
+        """
+        from repro.checkpoint.snapshot import verify_snapshot
+
+        snapshot = msg.snapshot
+        reason = verify_snapshot(snapshot, self.authority)
+        if reason is None and snapshot.height <= len(self.ledger.committed):
+            reason = "not ahead of our committed height"
+        if reason is None:
+            mine = self.ledger.committed.hashes()
+            if mine != snapshot.committed_hashes[: len(mine)]:
+                reason = "our committed prefix conflicts with the snapshot chain"
+        if reason is not None:
+            if snapshot is not None:
+                self.snapshots_rejected += 1
+            self._fallback_block_fetch(sender)
+            return
+        self.ledger.install_snapshot(snapshot.committed_hashes, snapshot.state)
+        self.block_store.add(snapshot.block)
+        self.record_certificate(snapshot.cert)
+        if self.store is not None:
+            # Make the transferred checkpoint our own durable baseline, so a
+            # later crash recovers from it instead of re-transferring.
+            self.store.save_snapshot(snapshot)
+            self.store.compact_below(snapshot)
+        if self.checkpointer is not None:
+            self.checkpointer.note_installed(snapshot.height)
+        self.snapshots_installed += 1
+        # The cluster may have moved past the snapshot while it travelled;
+        # prime the chained block fetch for the remaining suffix.
+        self._fallback_block_fetch(sender)
+
+    def _fallback_block_fetch(self, ask: int) -> None:
+        """Resume block-by-block catch-up toward our highest known certificate."""
+        cert = self.high_cert
+        if not cert.is_genesis and cert.block_hash not in self.block_store:
+            self.request_block(cert.block_hash, ask)
 
     # ----------------------------------------------------- protocol interface
     def on_enter_view(self, view: int) -> None:
@@ -541,10 +643,12 @@ def honest_committed_chains(replicas: Sequence["BaseReplica"]) -> List[List[str]
     Shared by the run-level safety check
     (:func:`repro.experiments.runner.check_ledger_safety`) and the chaos
     report's prefix-agreement computation, so the two can never apply
-    different notions of "same committed prefix".
+    different notions of "same committed prefix".  Chains span checkpointed
+    prefixes (hash-only positions below a snapshot), so a replica restored
+    from a snapshot still compares over its full history.
     """
     return [
-        [block.block_hash for block in replica.ledger.committed.blocks()]
+        replica.ledger.committed.hashes()
         for replica in replicas
         if not replica.behavior.is_byzantine
     ]

@@ -72,6 +72,10 @@ class ExperimentSpec:
     #: Directory for file-backed replica stores; ``None`` keeps stores in
     #: memory (the chaos engine holds them across restarts either way).
     storage_dir: Optional[str] = None
+    #: Checkpointing: take a state-machine snapshot and truncate the WAL /
+    #: block log every this many commits (per replica).  ``None`` disables
+    #: checkpointing; any value implies durable stores for every replica.
+    checkpoint_interval: Optional[int] = None
 
     def label(self) -> str:
         """Short identifier used in series tables."""
@@ -125,6 +129,10 @@ class ExperimentSpec:
             crash_plan = CrashPointPlan.from_dict(self.crash_points)
             crash_plan.validate(self.n, mode=self.mode)
             self.crash_points = crash_plan.to_dict()
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
         return self
 
 
@@ -176,6 +184,16 @@ class RunResult:
             row["events_skipped"] = self.chaos.get("skipped_events", 0)
             row["crashes"] = self.chaos.get("crashes", 0)
             row["recovered"] = self.chaos.get("recovered", 0)
+            row["superseded"] = self.chaos.get("superseded", 0)
+        if self.spec.checkpoint_interval is not None:
+            row["snapshots"] = sum(
+                replica.checkpointer.snapshots_taken
+                for replica in self.replicas
+                if replica.checkpointer is not None
+            )
+            row["state_transfers"] = sum(
+                replica.snapshots_installed for replica in self.replicas
+            )
         row.update(extra)
         return row
 
@@ -225,6 +243,9 @@ class Deployment:
     #: Configured per-replica behaviours (so a restarted replica keeps its
     #: adversary model instead of silently turning honest).
     behaviors: Dict[int, ReplicaBehavior] = field(default_factory=dict)
+    #: Snapshot-every-N-commits cadence (``None`` disables checkpointing);
+    #: restarted replicas get a fresh manager at the same cadence.
+    checkpoint_interval: Optional[int] = None
 
 
 def build_deployment(
@@ -262,23 +283,26 @@ def build_deployment(
     replicas: List[BaseReplica] = []
     for replica_id in range(config.n):
         store = store_for(replica_id) if store_for is not None else None
-        replicas.append(
-            replica_class(
-                replica_id,
-                scheduler,
-                network_for(replica_id),
-                config,
-                authority,
-                leaders,
-                workload.make_state_machine(),
-                mempool,
-                metrics,
-                costs=costs,
-                behavior=spec.behaviors.get(replica_id),
-                block_store=store.open_blockstore() if store is not None else None,
-                store=store,
-            )
+        replica = replica_class(
+            replica_id,
+            scheduler,
+            network_for(replica_id),
+            config,
+            authority,
+            leaders,
+            workload.make_state_machine(),
+            mempool,
+            metrics,
+            costs=costs,
+            behavior=spec.behaviors.get(replica_id),
+            block_store=store.open_blockstore() if store is not None else None,
+            store=store,
         )
+        if spec.checkpoint_interval is not None and store is not None:
+            from repro.checkpoint.manager import CheckpointManager
+
+            replica.checkpointer = CheckpointManager(replica, spec.checkpoint_interval)
+        replicas.append(replica)
     reporter = next(
         (replica for replica in replicas if not replica.behavior.is_byzantine), replicas[0]
     )
@@ -294,6 +318,7 @@ def build_deployment(
         replica_class=replica_class,
         replicas=replicas,
         behaviors=dict(spec.behaviors),
+        checkpoint_interval=spec.checkpoint_interval,
     )
 
 
@@ -373,7 +398,8 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
         CrashPointPlan.from_dict(spec.crash_points) if spec.crash_points else None
     )
     chaotic = plan is not None or crash_plan is not None
-    stores = build_replica_stores(spec) if chaotic or spec.storage_dir else None
+    durable = chaotic or spec.storage_dir or spec.checkpoint_interval is not None
+    stores = build_replica_stores(spec) if durable else None
     deployment = build_deployment(
         spec,
         sim,

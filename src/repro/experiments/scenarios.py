@@ -31,7 +31,7 @@ from repro.consensus.byzantine import (
 from repro.core.registry import EVALUATION_PROTOCOLS
 from repro.errors import ConfigurationError
 from repro.experiments.executor import execute_scenario
-from repro.faults.crashpoints import CRASH_HOOKS, CrashPointPlan
+from repro.faults.crashpoints import CRASH_HOOKS, SNAPSHOT_HOOKS, CrashPointPlan
 from repro.faults.plan import chaos_preset
 from repro.experiments.runner import ExperimentSpec, RunResult
 from repro.experiments.spec import (
@@ -255,14 +255,20 @@ def _build_chaos_fuzz(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec,
     n = p.get("n", 4)
     duration = p.get("duration", 1.0)
     fuzz_seed = int(p.get("fuzz_seed", p.get("seed", 1)))
+    hooks = tuple(p.get("hooks", CRASH_HOOKS))
     plan = CrashPointPlan.randomized(
         n=n,
         seed=fuzz_seed,
         crashes=p.get("crashes", 2),
         down_for=p.get("down_for", round(duration * 0.15, 6)),
-        hooks=tuple(p.get("hooks", CRASH_HOOKS)),
+        hooks=hooks,
         max_occurrence=p.get("max_occurrence", 40),
     )
+    # Snapshot hooks only fire on deployments that checkpoint; when the hook
+    # set can draw them, enable checkpointing so no planned point goes dead.
+    checkpoint_interval = p.get("checkpoint_interval")
+    if checkpoint_interval is None and any(hook in SNAPSHOT_HOOKS for hook in hooks):
+        checkpoint_interval = 4
     spec = ExperimentSpec(
         protocol=protocol,
         n=n,
@@ -273,8 +279,46 @@ def _build_chaos_fuzz(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec,
         seed=p.get("seed", 1),
         view_timeout=p.get("view_timeout", 0.030),
         crash_points=plan.to_dict(),
+        checkpoint_interval=checkpoint_interval,
     )
     return spec, {"fuzz_seed": fuzz_seed, "planned_crashes": len(plan)}
+
+
+@point_builder("snapshot-recovery")
+def _build_snapshot_recovery(protocol: str, p: Dict[str, Any]) -> Tuple[ExperimentSpec, Dict]:
+    """Checkpointed-recovery grid point: a long outage healed by state transfer.
+
+    The crashed replica stays down long enough for many checkpoints to
+    accumulate (``down_for`` defaults to 45% of the run), so its restart must
+    go through the ``SnapshotRequest`` / ``SnapshotResponse`` transfer path
+    instead of replaying or fetching the whole history.  The ``fault`` axis
+    sweeps presets exactly like the plain chaos scenario.
+    """
+    n = p.get("n", 4)
+    duration = p.get("duration", 1.0)
+    interval = int(p.get("checkpoint_interval", 5))
+    fault = p.get("fault", "kill-replica")
+    plan = chaos_preset(
+        fault,
+        n=n,
+        at=p.get("crash_at", round(duration * 0.25, 6)),
+        down_for=p.get("down_for", round(duration * 0.45, 6)),
+        replica=p.get("replica", 1),
+    )
+    spec = ExperimentSpec(
+        protocol=protocol,
+        n=n,
+        mode=p.get("mode", "sim"),
+        batch_size=p.get("batch_size", 10),
+        duration=duration,
+        warmup=p.get("warmup", 0.1),
+        seed=p.get("seed", 1),
+        view_timeout=p.get("view_timeout", 0.030),
+        faults=plan.to_dict(),
+        checkpoint_interval=interval,
+        storage_dir=p.get("storage_dir"),
+    )
+    return spec, {"fault": fault, "checkpoint_interval": interval}
 
 
 @point_builder("latency-breakdown")
@@ -588,6 +632,7 @@ def chaos_fuzz_spec(
     crashes: int = 2,
     down_for: Optional[float] = None,
     hooks: Sequence[str] = CRASH_HOOKS,
+    checkpoint_interval: Optional[int] = None,
     seed: int = 1,
     repeats: int = 1,
 ) -> ScenarioSpec:
@@ -602,11 +647,49 @@ def chaos_fuzz_spec(
     }
     if down_for is not None:
         params["down_for"] = down_for
+    if checkpoint_interval is not None:
+        params["checkpoint_interval"] = checkpoint_interval
     return ScenarioSpec(
         name="chaos-fuzz",
         kind="chaos-fuzz",
         protocols=tuple(protocols),
         axes={"fuzz_seed": list(seeds)},
+        params=params,
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def snapshot_recovery_spec(
+    protocols: Sequence[str] = ("hotstuff-1",),
+    faults: Sequence[str] = ("kill-replica", "kill-leader", "cascade", "blackout"),
+    checkpoint_interval: int = 5,
+    n: int = 4,
+    batch_size: int = 10,
+    duration: float = 1.0,
+    warmup: float = 0.1,
+    crash_at: Optional[float] = None,
+    down_for: Optional[float] = None,
+    seed: int = 1,
+    repeats: int = 1,
+) -> ScenarioSpec:
+    """Checkpointed recovery: long outages healed via snapshot state transfer."""
+    params: Dict[str, Any] = {
+        "n": n,
+        "batch_size": batch_size,
+        "duration": duration,
+        "warmup": warmup,
+        "checkpoint_interval": checkpoint_interval,
+    }
+    if crash_at is not None:
+        params["crash_at"] = crash_at
+    if down_for is not None:
+        params["down_for"] = down_for
+    return ScenarioSpec(
+        name="snapshot-recovery",
+        kind="snapshot-recovery",
+        protocols=tuple(protocols),
+        axes={"fault": list(faults)},
         params=params,
         repeats=repeats,
         seed=seed,
@@ -683,6 +766,7 @@ SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "ablation-slotting": slotting_ablation_spec,
     "chaos-recovery": chaos_recovery_spec,
     "chaos-fuzz": chaos_fuzz_spec,
+    "snapshot-recovery": snapshot_recovery_spec,
 }
 
 

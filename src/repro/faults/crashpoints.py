@@ -26,6 +26,13 @@ Hooks
 ``mid-cert-formation``
     A leader has aggregated a quorum into a certificate but dies before
     proposing on top of it.
+``mid-snapshot``
+    A checkpoint snapshot was persisted but the WAL / block log were not yet
+    truncated (requires a deployment with ``checkpoint_interval`` set).
+    Recovery must prefer the snapshot over the overlapping log prefix.
+``post-compaction``
+    The logs were just truncated below a fresh snapshot; recovery must work
+    from the snapshot plus the suffix alone.
 
 Plans round-trip through JSON and are seed-generated
 (:meth:`CrashPointPlan.randomized`), so the scenario engine can sweep seeds
@@ -40,6 +47,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.checkpoint.manager import HOOK_MID_SNAPSHOT, HOOK_POST_COMPACTION
 from repro.consensus.replica import (
     HOOK_AFTER_VOTE_WAL,
     HOOK_BEFORE_VOTE_WAL,
@@ -56,7 +64,12 @@ CRASH_HOOKS = (
     HOOK_AFTER_VOTE_WAL,
     HOOK_TORN_VOTE_WAL,
     HOOK_MID_CERT,
+    HOOK_MID_SNAPSHOT,
+    HOOK_POST_COMPACTION,
 )
+
+#: Hooks that only fire when checkpointing is enabled on the deployment.
+SNAPSHOT_HOOKS = (HOOK_MID_SNAPSHOT, HOOK_POST_COMPACTION)
 
 #: Instrumented site each hook listens on (torn shares the after-append site).
 _HOOK_SITES = {
@@ -64,6 +77,17 @@ _HOOK_SITES = {
     HOOK_AFTER_VOTE_WAL: HOOK_AFTER_VOTE_WAL,
     HOOK_TORN_VOTE_WAL: HOOK_AFTER_VOTE_WAL,
     HOOK_MID_CERT: HOOK_MID_CERT,
+    HOOK_MID_SNAPSHOT: HOOK_MID_SNAPSHOT,
+    HOOK_POST_COMPACTION: HOOK_POST_COMPACTION,
+}
+
+#: Occurrence ceilings for rare hooks: snapshots fire once per
+#: ``checkpoint_interval`` commits, so a uniformly drawn occurrence in
+#: ``1..max_occurrence`` would routinely plan crashes past the end of a short
+#: fuzz run (a planned-but-never-fired point fails the sweep).
+_HOOK_OCCURRENCE_CAP = {
+    HOOK_MID_SNAPSHOT: 3,
+    HOOK_POST_COMPACTION: 3,
 }
 
 
@@ -212,10 +236,12 @@ class CrashPointPlan:
         attempts = 0
         while len(points) < crashes and attempts < crashes * 50:
             attempts += 1
+            hook = rng.choice(list(hooks))
+            cap = min(max_occurrence, _HOOK_OCCURRENCE_CAP.get(hook, max_occurrence))
             point = CrashPoint(
                 replica=rng.randrange(n),
-                hook=rng.choice(list(hooks)),
-                occurrence=rng.randint(1, max_occurrence),
+                hook=hook,
+                occurrence=rng.randint(1, cap),
                 down_for=round(down_for * rng.uniform(0.5, 1.5), 6),
             )
             key = (point.replica, point.site, point.occurrence)

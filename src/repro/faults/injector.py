@@ -162,6 +162,13 @@ class DeploymentChaosAdapter(ChaosAdapter):
             block_store=store.open_blockstore(),
             store=store,
         )
+        if deployment.checkpoint_interval is not None:
+            from repro.checkpoint.manager import CheckpointManager
+
+            # Attached before restore: recovery re-bases the manager's cadence
+            # on the snapshot it restores from, and catch-up prefers a
+            # snapshot transfer over block-by-block fetch.
+            replica.checkpointer = CheckpointManager(replica, deployment.checkpoint_interval)
         manager = RecoveryManager(store)
         state = manager.restore(replica)
         manager.catch_up(replica, ask=self._live_peer(replica_id))
@@ -289,6 +296,16 @@ class ChaosController:
         return self._last_leader_crash
 
     def _crash(self, replica_id: int, now: float, hook: Optional[str] = None) -> None:
+        # A replica can be re-crashed (by a later plan event or fuzz point)
+        # after restarting but before committing anything new; the earlier
+        # incident can then never complete and is marked superseded instead
+        # of counting as a failed recovery.
+        for earlier in reversed(self.incidents):
+            if earlier["replica"] != replica_id:
+                continue
+            if earlier["restarted_at"] is not None and earlier["first_commit_at"] is None:
+                earlier["superseded"] = True
+            break
         ops_lost = self.adapter.crash(replica_id)
         incident = {
             "replica": replica_id,
@@ -348,6 +365,9 @@ class ChaosController:
                 1 for incident in self.incidents if incident["restarted_at"] is not None
             ),
             "recovered": len(recoveries),
+            "superseded": sum(
+                1 for incident in self.incidents if incident.get("superseded")
+            ),
             "ops_lost_to_rollback": sum(incident["ops_lost"] for incident in self.incidents),
             "max_recovery_s": max(recoveries) if recoveries else None,
             "mean_recovery_s": sum(recoveries) / len(recoveries) if recoveries else None,

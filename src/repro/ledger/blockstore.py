@@ -100,6 +100,40 @@ class BlockStore:
             self.pruned_count += len(pruned)
         return pruned
 
+    def drop_history_below(self, block: Block) -> List[str]:
+        """Remove *block*'s strict ancestors (and their orphaned fork subtrees).
+
+        Called when a checkpoint covers everything up to *block*: the state of
+        the dropped prefix lives in the snapshot, so the block objects below
+        the checkpoint no longer need to be materialised.  *block* itself is
+        kept — it is the anchor the first post-checkpoint block extends.
+        Genesis always stays (the tree root).  Returns the removed hashes so
+        callers can drop per-block metadata; the removals are not counted as
+        pruned forks (they are committed history, not orphans).
+        """
+        chain: List[Block] = []  # strict ancestors, nearest first
+        current = self.parent_of(block)
+        while current is not None and not current.is_genesis:
+            chain.append(current)
+            current = self.parent_of(current)
+        protected = {block.block_hash} | {ancestor.block_hash for ancestor in chain}
+        removed: List[str] = []
+        for ancestor in chain:
+            for child_hash in list(self._children.get(ancestor.block_hash, ())):
+                if child_hash not in protected:
+                    self._remove_subtree(child_hash, removed)
+            self._children.pop(ancestor.block_hash, None)
+            if self._blocks.pop(ancestor.block_hash, None) is not None:
+                removed.append(ancestor.block_hash)
+        if removed:
+            removed_set = set(removed)
+            for parent_hash, children in list(self._children.items()):
+                if any(child in removed_set for child in children):
+                    self._children[parent_hash] = [
+                        child for child in children if child not in removed_set
+                    ]
+        return removed
+
     def _remove_subtree(self, root_hash: str, removed: List[str]) -> None:
         stack = [root_hash]
         while stack:

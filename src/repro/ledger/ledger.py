@@ -3,11 +3,18 @@
 The global ledger is the append-only sequence of committed blocks.  It is the
 structure the paper's safety property speaks about: no two correct replicas
 may hold different blocks at the same ledger position.
+
+A ledger restored from a checkpoint (see :mod:`repro.checkpoint`) starts from
+a *base prefix*: the blocks below the snapshot height are known by hash only
+(their state effects live in the snapshot, the block objects are gone with the
+compacted log).  Position queries, membership and the cross-replica digest all
+span the base prefix, so safety checks compare full histories even when one
+replica materialises only a suffix.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.hashing import combine_digests
 from repro.errors import ForkError
@@ -20,8 +27,45 @@ class CommittedLedger:
     def __init__(self) -> None:
         self._blocks: List[Block] = []
         self._positions: Dict[str, int] = {}
+        #: Hashes of the checkpointed prefix (positions ``0 .. base_height-1``)
+        #: whose block objects are not materialised.
+        self._prefix_hashes: List[str] = []
 
     # ----------------------------------------------------------------- write
+    def restore_base(self, prefix_hashes: Sequence[str]) -> None:
+        """Adopt a checkpointed prefix: blocks known by hash, not by object.
+
+        Only valid while the ledger is empty (a checkpoint is installed before
+        any suffix block commits).  Subsequent appends must extend the last
+        prefix hash.
+        """
+        if self._blocks or self._prefix_hashes:
+            raise ForkError("cannot install a checkpoint base over a non-empty ledger")
+        self._prefix_hashes = list(prefix_hashes)
+        for position, block_hash in enumerate(self._prefix_hashes):
+            self._positions[block_hash] = position
+
+    @property
+    def base_height(self) -> int:
+        """Number of checkpointed (hash-only) positions below the first block."""
+        return len(self._prefix_hashes)
+
+    def collapse_below(self, height: int) -> int:
+        """Demote materialised blocks below *height* to hash-only positions.
+
+        Called after a checkpoint covers them: their state effects live in the
+        snapshot, so holding the block objects would keep memory O(history).
+        Positions, membership and the hash chain are unchanged.  Returns the
+        number of blocks collapsed.
+        """
+        keep_from = height - self.base_height
+        if keep_from <= 0:
+            return 0
+        collapsed = self._blocks[:keep_from]
+        self._prefix_hashes.extend(block.block_hash for block in collapsed)
+        self._blocks = self._blocks[keep_from:]
+        return len(collapsed)
+
     def append(self, block: Block) -> int:
         """Append *block* and return its position (0-based).
 
@@ -32,28 +76,32 @@ class CommittedLedger:
         existing = self._positions.get(block.block_hash)
         if existing is not None:
             return existing
-        if self._blocks:
-            head = self._blocks[-1]
-            if block.parent_hash != head.block_hash:
-                raise ForkError(
-                    f"block {block.block_hash[:8]} (view {block.view}, slot {block.slot}) does not "
-                    f"extend committed head {head.block_hash[:8]} (view {head.view}, slot {head.slot})"
-                )
-        position = len(self._blocks)
+        head_hash = self.head_hash
+        if head_hash is not None and block.parent_hash != head_hash:
+            raise ForkError(
+                f"block {block.block_hash[:8]} (view {block.view}, slot {block.slot}) does not "
+                f"extend committed head {head_hash[:8]}"
+            )
+        position = self.base_height + len(self._blocks)
         self._blocks.append(block)
         self._positions[block.block_hash] = position
         return position
 
     # ------------------------------------------------------------------ read
     def __len__(self) -> int:
-        return len(self._blocks)
+        return self.base_height + len(self._blocks)
 
     def __contains__(self, block_hash: str) -> bool:
         return block_hash in self._positions
 
     def block_at(self, position: int) -> Block:
-        """Return the committed block at *position*."""
-        return self._blocks[position]
+        """Return the committed block at *position* (must be materialised)."""
+        if position < self.base_height:
+            raise KeyError(
+                f"position {position} is below the checkpointed base "
+                f"({self.base_height}); only its hash is retained"
+            )
+        return self._blocks[position - self.base_height]
 
     def position_of(self, block_hash: str) -> Optional[int]:
         """Return the position of a committed block, or ``None``."""
@@ -61,18 +109,31 @@ class CommittedLedger:
 
     @property
     def head(self) -> Optional[Block]:
-        """The most recently committed block, or ``None`` when empty."""
+        """The most recently committed materialised block, or ``None``."""
         return self._blocks[-1] if self._blocks else None
 
     @property
+    def head_hash(self) -> Optional[str]:
+        """Hash of the latest committed position (checkpoint base included)."""
+        if self._blocks:
+            return self._blocks[-1].block_hash
+        if self._prefix_hashes:
+            return self._prefix_hashes[-1]
+        return None
+
+    @property
     def committed_txn_count(self) -> int:
-        """Total number of transactions across all committed blocks."""
+        """Transactions across the materialised committed blocks."""
         return sum(block.txn_count for block in self._blocks)
 
     def blocks(self) -> List[Block]:
-        """Return the committed blocks in order (a copy)."""
+        """Return the materialised committed blocks in order (a copy)."""
         return list(self._blocks)
+
+    def hashes(self) -> List[str]:
+        """The full committed hash chain, checkpointed prefix included."""
+        return self._prefix_hashes + [block.block_hash for block in self._blocks]
 
     def ledger_digest(self) -> str:
         """Digest of the committed block-hash sequence (for cross-replica checks)."""
-        return combine_digests(block.block_hash for block in self._blocks)
+        return combine_digests(self.hashes())

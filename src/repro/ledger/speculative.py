@@ -80,9 +80,13 @@ class SpeculativeLedger:
     # --------------------------------------------------------------- queries
     @property
     def committed_head_hash(self) -> str:
-        """Hash of the latest committed block (genesis hash when empty)."""
-        head = self.committed.head
-        return head.block_hash if head is not None else self.block_store.genesis.block_hash
+        """Hash of the latest committed block (genesis hash when empty).
+
+        A ledger restored from a checkpoint reports the snapshot block's hash
+        even though the block objects below it are no longer materialised.
+        """
+        head_hash = self.committed.head_hash
+        return head_hash if head_hash is not None else self.block_store.genesis.block_hash
 
     @property
     def speculative_head_hash(self) -> str:
@@ -112,6 +116,40 @@ class SpeculativeLedger:
     def state_digest(self) -> str:
         """Digest of the underlying state machine (committed + speculated effects)."""
         return self.state_machine.state_digest()
+
+    # ------------------------------------------------------------ checkpoints
+    def snapshot_committed_state(self) -> Tuple[dict, str]:
+        """Serialize the *committed-only* state and its digest.
+
+        Speculative effects must never leak into a checkpoint (a rolled-back
+        suffix would otherwise become durable truth), so the speculated suffix
+        is temporarily undone, the state captured, and the suffix re-executed —
+        deterministic machines reproduce it exactly.
+        """
+        machine = self.state_machine
+        for entry in reversed(self._speculated):
+            for record in reversed(entry.undo_records):
+                machine.undo(record)
+        payload = machine.snapshot_state()
+        digest = machine.state_digest()
+        for entry in self._speculated:
+            entry.undo_records = [
+                machine.apply_with_undo(txn)[1] for txn in entry.block.transactions
+            ]
+        return payload, digest
+
+    def install_snapshot(self, prefix_hashes: Sequence[str], state_payload: dict) -> None:
+        """Adopt a checkpoint: committed prefix by hash, state machine wholesale.
+
+        Any local committed blocks must form a prefix of *prefix_hashes*
+        (callers verify this before installing); the speculated suffix is
+        rolled away — it extended a head the snapshot supersedes.
+        """
+        self.rollback_to_committed_head()
+        self.state_machine.restore_state(state_payload)
+        fresh = CommittedLedger()
+        fresh.restore_base(prefix_hashes)
+        self.committed = fresh
 
     # -------------------------------------------------------------- speculate
     def speculate(self, block: Block) -> List[ExecutionResult]:

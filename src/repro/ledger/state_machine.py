@@ -74,6 +74,19 @@ class StateMachine:
         """Digest of the full state, used by safety checkers to compare replicas."""
         raise NotImplementedError
 
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Serialize the full state into a JSON-compatible payload.
+
+        The payload must round-trip through :meth:`restore_state` to a machine
+        whose :meth:`state_digest` matches the original exactly — that is what
+        lets a transferred snapshot be verified against its sealed digest.
+        """
+        raise NotImplementedError
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Replace the full state with a payload from :meth:`snapshot_state`."""
+        raise NotImplementedError
+
     def apply_batch(self, txns: Sequence[Transaction]) -> List[ExecutionResult]:
         """Execute a batch in order and return the per-transaction results."""
         return [self.apply(txn) for txn in txns]
@@ -146,6 +159,59 @@ class RecordingStateMachine(StateMachine):
                 # exact pre-transaction digest.
                 continue
             parts.append(hash_fields(table_name, sorted((repr(k), repr(v)) for k, v in table.items())))
+        return hash_fields("state", *parts)
+
+    # ------------------------------------------------------------- snapshots
+    # Table keys are strings, ints or (for TPC-C) tuples of ints; JSON only
+    # has string object keys, so tables serialize as ``[key, value]`` item
+    # pairs with tuple keys tagged explicitly.  Values are already
+    # JSON-compatible (strings / numbers / dicts of those).
+    @staticmethod
+    def _encode_key(key: Any) -> Any:
+        if isinstance(key, tuple):
+            return {"__tuple__": list(key)}
+        return key
+
+    @staticmethod
+    def _decode_key(key: Any) -> Any:
+        if isinstance(key, dict) and "__tuple__" in key:
+            return tuple(key["__tuple__"])
+        return key
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        payload_tables = {
+            name: [[self._encode_key(key), value] for key, value in table.items()]
+            for name, table in self._tables.items()
+            if table  # empty tables are indistinguishable from absent ones
+        }
+        return {"tables": payload_tables}
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        self._tables = {
+            name: {self._decode_key(key): value for key, value in items}
+            for name, items in payload.get("tables", {}).items()
+        }
+        self._current_changes = None
+
+    @classmethod
+    def payload_digest(cls, payload: Dict[str, Any]) -> str:
+        """Digest a :meth:`snapshot_state` payload without building a machine.
+
+        Mirrors :meth:`state_digest` exactly, so a receiver can verify a
+        transferred snapshot against its sealed digest before adopting it.
+        """
+        tables = payload.get("tables", {})
+        parts = []
+        for table_name in sorted(tables):
+            items = tables[table_name]
+            if not items:
+                continue
+            parts.append(
+                hash_fields(
+                    table_name,
+                    sorted((repr(cls._decode_key(key)), repr(value)) for key, value in items),
+                )
+            )
         return hash_fields("state", *parts)
 
     # ------------------------------------------------------------- subclass

@@ -30,6 +30,7 @@ import json
 import struct
 from typing import Any, Callable, Dict, Optional, Tuple, Type
 
+from repro.checkpoint.snapshot import Snapshot
 from repro.consensus.certificates import CertKind, Certificate
 from repro.consensus.messages import (
     ClientRequest,
@@ -43,6 +44,8 @@ from repro.consensus.messages import (
     ProposeVote,
     Reject,
     ResponseEntry,
+    SnapshotRequest,
+    SnapshotResponse,
     TimeoutCertificateMsg,
     ViewSync,
     Wish,
@@ -54,13 +57,16 @@ from repro.ledger.transaction import Transaction
 
 #: Wire protocol version, bumped on incompatible format changes.  Version 2
 #: added the view-synchronisation fields (``ViewSync``; ``current_view`` /
-#: ``sender_view`` / ``high_cert`` on the pacemaker messages); version-1
-#: documents still decode — new fields fall back to their dataclass defaults.
-WIRE_VERSION = 2
+#: ``sender_view`` / ``high_cert`` on the pacemaker messages); version 3
+#: added the checkpointing state-transfer messages (``SnapshotRequest`` /
+#: ``SnapshotResponse``).  Older documents still decode — new fields fall
+#: back to their dataclass defaults, and the new message types only flow to
+#: peers that asked for them.
+WIRE_VERSION = 3
 
 #: Versions :func:`decode_envelope_body` accepts (new fields are optional, so
-#: one release of version skew decodes cleanly).
-SUPPORTED_WIRE_VERSIONS = (1, 2)
+#: releases of version skew decode cleanly).
+SUPPORTED_WIRE_VERSIONS = (1, 2, 3)
 
 #: Hard upper bound on one frame; guards readers against corrupt length words.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -216,6 +222,24 @@ _register(
 _register(ViewSync, "view_sync", ("view", "voter", "high_cert"))
 _register(FetchRequest, "fetch_request", ("block_hash", "requester"))
 _register(FetchResponse, "fetch_response", ("block",))
+# Checkpoint state transfer (wire version 3).  The snapshot's ``state``
+# payload is already JSON-safe (string table names, tagged keys), so it rides
+# the generic map encoding; blocks and certificates reuse their registrations.
+_register(
+    Snapshot,
+    "snapshot",
+    ("height", "block", "cert", "state_digest", "state", "committed_hashes"),
+    lambda d: Snapshot(
+        height=d["height"],
+        block=d["block"],
+        cert=d["cert"],
+        state_digest=d["state_digest"],
+        state=d["state"],
+        committed_hashes=list(d["committed_hashes"]),
+    ),
+)
+_register(SnapshotRequest, "snapshot_request", ("requester", "have_height"))
+_register(SnapshotResponse, "snapshot_response", ("responder", "snapshot"))
 
 
 #: Message classes the codec can carry (exported for tests).
@@ -233,6 +257,8 @@ MESSAGE_TYPES = (
     ViewSync,
     FetchRequest,
     FetchResponse,
+    SnapshotRequest,
+    SnapshotResponse,
 )
 
 
@@ -298,6 +324,11 @@ _SHAPE_KEYS: Dict[Type, Callable[[Any], Tuple]] = {
     Propose: lambda m: _batch_weight(m.block.transactions) + (m.commit_cert is None,),
     FetchResponse: lambda m: _batch_weight(m.block.transactions),
     NewView: lambda m: (m.share is None, m.commit_share is None),
+    # Snapshot payloads grow with state size, so the shape key carries the
+    # height — two different checkpoints never share a cached size.
+    SnapshotResponse: lambda m: (
+        (None,) if m.snapshot is None else (m.snapshot.height, len(m.snapshot.committed_hashes))
+    ),
     Wish: lambda m: (m.high_cert is None,),
     TimeoutCertificateMsg: lambda m: (m.high_cert is None,),
     ViewSync: lambda m: (m.high_cert is None,),

@@ -164,7 +164,8 @@ async def _run_live(
             CrashPointPlan.from_dict(spec.crash_points) if spec.crash_points else None
         )
         chaotic = plan is not None or crash_plan is not None
-        stores = build_replica_stores(spec) if chaotic or spec.storage_dir else None
+        durable = chaotic or spec.storage_dir or spec.checkpoint_interval is not None
+        stores = build_replica_stores(spec) if durable else None
         deployment = build_deployment(
             spec,
             clock,

@@ -41,6 +41,15 @@ class LogBackend:
         """Discard every record (used by tests and compaction)."""
         raise NotImplementedError
 
+    def compact(self, records: List[Dict[str, Any]]) -> None:
+        """Atomically replace the whole log with *records*.
+
+        Checkpointing rewrites a log to just the suffix a snapshot does not
+        cover; the replacement must be all-or-nothing so a crash mid-compaction
+        leaves either the old log or the new one, never a mix.
+        """
+        raise NotImplementedError
+
     def tear_tail(self) -> None:
         """Corrupt the last appended record as a crash mid-append would.
 
@@ -65,6 +74,11 @@ class MemoryLogBackend(LogBackend):
 
     def clear(self) -> None:
         self._records.clear()
+
+    def compact(self, records: List[Dict[str, Any]]) -> None:
+        # A single list swap is atomic with respect to "crash between
+        # statements", matching the file backend's rename.
+        self._records = list(records)
 
     def tear_tail(self) -> None:
         # In memory a torn record has no readable remnant: replay of a torn
@@ -142,6 +156,22 @@ class FileLogBackend(LogBackend):
     def clear(self) -> None:
         self._handle.close()
         self._handle = open(self.path, "w", encoding="utf-8")
+        self._dirty_tail = False
+
+    def compact(self, records: List[Dict[str, Any]]) -> None:
+        # Write the replacement beside the log and rename over it: the rename
+        # is atomic, so a crash mid-compaction leaves either the old log or
+        # the new one, never a torn mix.
+        temp_path = self.path + ".compact"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(temp_path, self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
         self._dirty_tail = False
 
     def tear_tail(self) -> None:

@@ -36,3 +36,18 @@ class DurableBlockStore(BlockStore):
         if not block.is_genesis:
             self._backend.append(message_to_wire(block))
         return stored
+
+    def compact_log(self) -> int:
+        """Rewrite the backend to hold exactly the live in-memory tree.
+
+        Checkpointing calls this after dropping the covered history
+        (:meth:`~repro.ledger.blockstore.BlockStore.drop_history_below`), which
+        is also the moment fork blocks pruned over the run finally leave the
+        append-only log.  Returns the number of log records dropped.
+        """
+        persisted = len(self._backend.replay())
+        records = [
+            message_to_wire(block) for block in self.blocks() if not block.is_genesis
+        ]
+        self._backend.compact(records)
+        return persisted - len(records)

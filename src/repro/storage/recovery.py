@@ -47,9 +47,28 @@ class RecoveryManager:
         ``store.open_blockstore()`` so every persisted block is already in its
         tree.  Appends are suspended for the duration: re-committing the
         prefix must not re-log the records being read.
+
+        When the store holds a checkpoint snapshot, the committed prefix up to
+        the snapshot height is restored *from the snapshot* (state machine
+        payload plus hash chain) and only the post-snapshot suffix is
+        re-executed from the WAL — restart cost is O(state + suffix), not
+        O(history).  The WAL may still contain records the snapshot covers (a
+        crash between snapshot persist and log compaction); those replay as
+        no-ops.
         """
         state = self.store.load_state()
+        snapshot = self.store.latest_snapshot()
         with self.store.suspended():
+            if snapshot is not None:
+                replica.ledger.install_snapshot(snapshot.committed_hashes, snapshot.state)
+                replica.block_store.add(snapshot.block)
+                replica.record_certificate(snapshot.cert)
+                if replica.checkpointer is not None:
+                    replica.checkpointer.note_installed(snapshot.height)
+                # Fold the snapshot's view into the recovered summary so
+                # resume_view stays past views whose vote records the log
+                # compaction dropped.
+                state.entered_view = max(state.entered_view, snapshot.view)
             if state.high_cert is not None:
                 replica.record_certificate(state.high_cert)
             if state.commit_cert is not None and hasattr(replica, "high_commit_cert"):
@@ -63,18 +82,22 @@ class RecoveryManager:
             # snapshot (views are monotonic, so old evidence is still valid);
             # the jump itself happens when the replica starts.
             replica.pacemaker.restore_view_table(state.peer_views)
-            self._recommit_prefix(replica, state)
+            self._recommit_prefix(replica, state, snapshot)
         return state
 
-    def _recommit_prefix(self, replica, state: RecoveredState) -> None:
+    def _recommit_prefix(self, replica, state: RecoveredState, snapshot=None) -> None:
         """Re-execute the WAL'd committed prefix through the replica's ledger.
 
         The append-only block log also resurrects fork blocks that were
         pruned before the crash; pruning each committed block's siblings as
         the prefix replays drops them again, so a restarted replica's tree
-        holds the same orphan-free shape the dead incarnation had.
+        holds the same orphan-free shape the dead incarnation had.  With a
+        snapshot installed, commits the snapshot already covers are skipped.
         """
+        covered = set(snapshot.committed_hashes) if snapshot is not None else ()
         for block_hash in state.committed_hashes:
+            if block_hash in covered:
+                continue
             block = replica.block_store.maybe_get(block_hash)
             if block is None:
                 # Torn persist: the block log lost the tail the WAL refers to.
@@ -86,24 +109,30 @@ class RecoveryManager:
 
     # --------------------------------------------------------------- catch up
     def catch_up(self, replica, ask: Optional[int] = None) -> None:
-        """Request certified-but-missing blocks from a peer.
+        """Request the history the cluster built while this replica was down.
 
-        The highest known certificate may point at a block the store never
-        saw (certificates are WAL'd independently of block arrival).  Asking
-        one live peer for it starts the chained ancestor fetch; the committed
-        suffix the cluster built while this replica was down follows through
-        the normal proposal → commit-rule path.
+        With checkpointing enabled the replica first asks a live peer for a
+        snapshot newer than its own committed height — a far-behind rejoiner
+        then installs a digest-checked checkpoint instead of re-fetching the
+        suffix block by block (and falls back to block fetch when the peer has
+        nothing newer or the snapshot fails verification).  Without
+        checkpointing the behaviour is unchanged: if the highest known
+        certificate points at a missing block, ask one live peer for it and
+        let the chained ancestor fetch walk the gap.
         """
+        if ask is None:
+            ask = (replica.replica_id + 1) % replica.config.n
+        if replica.checkpointer is not None:
+            replica.request_snapshot(ask)
+            return
         cert = replica.high_cert
         if cert.is_genesis or cert.block_hash in replica.block_store:
             return
-        if ask is None:
-            ask = (replica.replica_id + 1) % replica.config.n
         replica.request_block(cert.block_hash, ask)
 
     # ------------------------------------------------------------ view choice
     @staticmethod
-    def resume_view(state: RecoveredState) -> int:
+    def resume_view(state: RecoveredState, snapshot=None) -> int:
         """First view the recovered replica should enter (always fresh ground).
 
         One past everything it ever voted in, saw certified, or *entered*, so
@@ -111,8 +140,13 @@ class RecoveryManager:
         Entered views matter when the cluster was circling on timeouts: a
         replica can reach a high view without ever voting there, and rejoining
         at its last *voted* view would strand it far behind the survivors.
+        A checkpoint's view counts too: log compaction drops vote records
+        below the snapshot view, so the snapshot itself must keep the replica
+        from ever re-entering them.
         """
         highest = max(state.last_voted_view, state.entered_view)
         if state.high_cert is not None:
             highest = max(highest, state.high_cert.view)
+        if snapshot is not None:
+            highest = max(highest, snapshot.view)
         return highest + 1

@@ -25,18 +25,27 @@ from repro.storage.wal import WalState, WriteAheadLog
 
 
 class ReplicaStore:
-    """Durable state of one replica (WAL + block log) over a pair of backends."""
+    """Durable state of one replica (WAL + block log + snapshot log)."""
 
-    def __init__(self, wal_backend: LogBackend, block_backend: LogBackend) -> None:
+    def __init__(
+        self,
+        wal_backend: LogBackend,
+        block_backend: LogBackend,
+        snapshot_backend: Optional[LogBackend] = None,
+    ) -> None:
         self.wal = WriteAheadLog(wal_backend)
         self._block_backend = block_backend
+        self._snapshot_backend = snapshot_backend or MemoryLogBackend()
         self._suspended = False
+        #: Decoded latest snapshot (fetch serving hits this on every request).
+        self._snapshot_cache = None
+        self._snapshot_cache_valid = False
 
     # ----------------------------------------------------------- constructors
     @classmethod
     def memory(cls) -> "ReplicaStore":
         """In-memory store for simulated deployments (survives the replica object)."""
-        return cls(MemoryLogBackend(), MemoryLogBackend())
+        return cls(MemoryLogBackend(), MemoryLogBackend(), MemoryLogBackend())
 
     @classmethod
     def at_path(cls, directory: str, replica_id: int, fsync: bool = False) -> "ReplicaStore":
@@ -45,6 +54,7 @@ class ReplicaStore:
         return cls(
             FileLogBackend(os.path.join(base, "wal.jsonl"), fsync=fsync),
             FileLogBackend(os.path.join(base, "blocks.jsonl"), fsync=fsync),
+            FileLogBackend(os.path.join(base, "snapshots.jsonl"), fsync=fsync),
         )
 
     # -------------------------------------------------------------- lifecycle
@@ -57,14 +67,57 @@ class ReplicaStore:
         return self.wal.reduce()
 
     def close(self) -> None:
-        """Close both backends (no-op for memory backends)."""
+        """Close every backend (no-op for memory backends)."""
         self.wal.backend.close()
         self._block_backend.close()
+        self._snapshot_backend.close()
 
     def clear(self) -> None:
         """Wipe all persisted state (tests only)."""
         self.wal.backend.clear()
         self._block_backend.clear()
+        self._snapshot_backend.clear()
+        self._snapshot_cache = None
+        self._snapshot_cache_valid = False
+
+    # -------------------------------------------------------------- snapshots
+    def save_snapshot(self, snapshot) -> None:
+        """Durably persist *snapshot* (a :class:`~repro.checkpoint.snapshot.Snapshot`).
+
+        One atomic :meth:`~repro.storage.backend.LogBackend.compact` replaces
+        the log with just the newest snapshot: a crash mid-write leaves the
+        previous snapshot intact (the swap is all-or-nothing).
+        """
+        if self._suspended:
+            return
+        self._snapshot_backend.compact([snapshot.to_dict()])
+        self._snapshot_cache = snapshot
+        self._snapshot_cache_valid = True
+
+    def latest_snapshot(self):
+        """The newest durable snapshot, or ``None`` (torn records are skipped)."""
+        from repro.checkpoint.snapshot import Snapshot
+
+        if self._snapshot_cache_valid:
+            return self._snapshot_cache
+        latest = None
+        for record in self._snapshot_backend.replay():
+            try:
+                latest = Snapshot.from_dict(record)
+            except (KeyError, TypeError, ValueError):
+                continue  # torn or foreign record: keep the last intact one
+        self._snapshot_cache = latest
+        self._snapshot_cache_valid = True
+        return latest
+
+    def compact_below(self, snapshot) -> int:
+        """Truncate the WAL below *snapshot*; returns the WAL records dropped.
+
+        The block log is compacted separately by the checkpoint manager (it
+        owns the live block tree); this call only rewrites the WAL so that
+        replay cost stops growing with history.
+        """
+        return self.wal.compact_below(snapshot.view, set(snapshot.committed_hashes))
 
     # ---------------------------------------------------------------- appends
     @contextmanager

@@ -147,6 +147,59 @@ class WriteAheadLog:
             WalRecord(kind=KIND_PEER_VIEWS, peer_views=dict(peer_views)).to_dict()
         )
 
+    # ----------------------------------------------------------- compaction
+    def compact_below(self, snapshot_view: int, covered_hashes: Set[str]) -> int:
+        """Drop every record a snapshot through *snapshot_view* subsumes.
+
+        Kept are: the latest high/commit certificate (re-emitted once), the
+        folded ``entered_view`` / ``peer_views`` records, vote records with
+        ``view >= snapshot_view`` (the snapshot view itself may still collect
+        votes in higher slots, and never-vote-twice must keep covering them),
+        commit records for hashes outside *covered_hashes* (the post-snapshot
+        suffix, in order), and any unknown record kinds verbatim.  Older vote
+        records are safe to drop because a recovered replica resumes strictly
+        past the snapshot view and views are monotonic — it can never be asked
+        to vote below the snapshot again.  Returns the number of records
+        dropped.
+        """
+        raw_records = self.backend.replay()  # one read serves fold, filter and count
+        state = self._reduce_records([WalRecord.from_dict(raw) for raw in raw_records])
+        compacted: List[Dict[str, Any]] = []
+        if state.high_cert is not None:
+            compacted.append(WalRecord(kind=KIND_HIGH_CERT, cert=state.high_cert).to_dict())
+        if state.commit_cert is not None:
+            compacted.append(
+                WalRecord(kind=KIND_COMMIT_CERT, cert=state.commit_cert).to_dict()
+            )
+        if state.entered_view:
+            compacted.append(
+                WalRecord(kind=KIND_ENTERED_VIEW, view=state.entered_view).to_dict()
+            )
+        if state.peer_views:
+            compacted.append(
+                WalRecord(kind=KIND_PEER_VIEWS, peer_views=state.peer_views).to_dict()
+            )
+        for raw in raw_records:
+            record = WalRecord.from_dict(raw)
+            if record.kind == KIND_VOTE:
+                if record.view >= snapshot_view:
+                    compacted.append(raw)
+            elif record.kind == KIND_COMMIT:
+                if record.block_hash not in covered_hashes:
+                    compacted.append(raw)
+            elif record.kind in (
+                KIND_HIGH_CERT,
+                KIND_COMMIT_CERT,
+                KIND_ENTERED_VIEW,
+                KIND_PEER_VIEWS,
+            ):
+                continue  # folded into the single records above
+            else:
+                compacted.append(raw)  # unknown kinds stay, inert
+        dropped = len(raw_records) - len(compacted)
+        self.backend.compact(compacted)
+        return dropped
+
     # --------------------------------------------------------------- replay
     def records(self) -> List[WalRecord]:
         """Decode every appended record, in order (unknown kinds are kept, inert)."""
@@ -154,10 +207,14 @@ class WriteAheadLog:
 
     def reduce(self) -> WalState:
         """Fold the record stream into the latest state recovery restores."""
+        return self._reduce_records(self.records())
+
+    @staticmethod
+    def _reduce_records(records: List[WalRecord]) -> WalState:
         state = WalState()
         highest_voted: Tuple[int, int] = (0, 0)
         committed_seen: Set[str] = set()
-        for record in self.records():
+        for record in records:
             if record.kind == KIND_VOTE:
                 state.voted.add((record.view, record.slot))
                 state.last_voted_view = max(state.last_voted_view, record.view)

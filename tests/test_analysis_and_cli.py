@@ -142,6 +142,7 @@ class TestCli:
             "ablation-slotting",
             "chaos-recovery",
             "chaos-fuzz",
+            "snapshot-recovery",
         }
         assert set(FIGURES) == expected
 

@@ -25,6 +25,7 @@ from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.experiments.scenarios import chaos_fuzz_spec
 from repro.faults.crashpoints import (
     CRASH_HOOKS,
+    SNAPSHOT_HOOKS,
     HOOK_TORN_VOTE_WAL,
     CrashPoint,
     CrashPointPlan,
@@ -38,6 +39,9 @@ BASE = dict(protocol="hotstuff-1", n=4, batch_size=10, duration=0.8, warmup=0.1)
 
 def run_with(plan, **overrides):
     params = dict(BASE)
+    # Snapshot hooks only fire on deployments that actually checkpoint.
+    if any(point.hook in SNAPSHOT_HOOKS for point in plan.points):
+        params["checkpoint_interval"] = 4
     params.update(overrides)
     return run_experiment(ExperimentSpec(crash_points=plan.to_dict(), **params))
 

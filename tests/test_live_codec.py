@@ -19,10 +19,13 @@ from repro.consensus.messages import (
     ProposeVote,
     Reject,
     ResponseEntry,
+    SnapshotRequest,
+    SnapshotResponse,
     TimeoutCertificateMsg,
     ViewSync,
     Wish,
 )
+from repro.checkpoint.snapshot import Snapshot
 from repro.crypto.threshold import ThresholdScheme
 from repro.experiments.report import format_network_breakdown
 from repro.ledger.block import Block, make_genesis_block
@@ -91,6 +94,19 @@ def _all_messages():
         ViewSync(view=7, voter=2),  # beacon before any certificate is known
         FetchRequest(block_hash=block.block_hash, requester=1),
         FetchResponse(block=block),
+        SnapshotRequest(requester=2, have_height=7),
+        SnapshotResponse(responder=1),  # "nothing newer": fall back to fetch
+        SnapshotResponse(
+            responder=1,
+            snapshot=Snapshot(
+                height=1,
+                block=block,
+                cert=cert,
+                state_digest="d" * 64,
+                state={"tables": {"usertable": [["user1", "v1"], [{"__tuple__": [1, 2]}, {"ytd": 0.5}]]}},
+                committed_hashes=[block.block_hash],
+            ),
+        ),
     ]
 
 
@@ -180,9 +196,10 @@ class TestVersionSkew:
         assert (sender, receiver, sent_at) == (0, 1, 0.5)
         assert payload == Wish(view=6, voter=3, share=shares[0])
 
-    def test_current_version_is_2_and_v1_remains_supported(self):
-        assert codec.WIRE_VERSION == 2
-        assert set(codec.SUPPORTED_WIRE_VERSIONS) == {1, 2}
+    def test_current_version_is_3_and_older_versions_remain_supported(self):
+        # v2 added view-sync evidence, v3 the snapshot state-transfer messages.
+        assert codec.WIRE_VERSION == 3
+        assert set(codec.SUPPORTED_WIRE_VERSIONS) == {1, 2, 3}
 
 
 class TestEncodedSize:

@@ -239,6 +239,48 @@ class TestLiveViewResync:
         assert views[0] > 0
         assert views[-1] - views[0] <= 8, views
 
+    def test_live_blackout_rejoin_converges_via_state_transfer(self):
+        """Blackout rejoin over real sockets with checkpointing on: f+1
+        replicas crash at once (consensus halts), the first restart restores
+        quorum and the cluster races ahead, and the late rejoiner — now far
+        behind a compacting cluster — must converge through SnapshotResponse
+        (digest-checked state transfer), with committed prefixes agreeing."""
+        from repro.faults.plan import FaultPlan, FaultEvent
+
+        plan = FaultPlan(
+            events=[
+                FaultEvent(at=0.5, action="crash", replica=0),
+                FaultEvent(at=0.5, action="crash", replica=1),
+                FaultEvent(at=1.2, action="restart", replica=0),
+                FaultEvent(at=3.5, action="restart", replica=1),
+            ]
+        )
+        spec = ExperimentSpec(
+            protocol="hotstuff-1", mode="live", n=4, batch_size=10,
+            duration=6.0, warmup=0.2, view_timeout=0.05, seed=23,
+            faults=plan.to_dict(), checkpoint_interval=5,
+        )
+        # A fixed duration (no target_ops early stop) guarantees the run
+        # outlives the late 3.5s restart regardless of machine speed.
+        result = run_live_experiment(spec)
+        chaos = result.chaos
+        assert chaos["crashes"] == chaos["restarts"] == 2
+        assert chaos["recovered"] + chaos["superseded"] == 2, chaos["incidents"]
+        assert chaos["prefix_agreement"] is True
+        assert chaos["wal_vote_violations"] == []
+        # At least one rejoiner adopted a transferred snapshot; its ledger is
+        # re-based on the checkpoint instead of a full history replay.
+        installed = sum(replica.snapshots_installed for replica in result.replicas)
+        assert installed >= 1, [
+            (replica.replica_id, replica.snapshots_installed)
+            for replica in result.replicas
+        ]
+        rebased = [
+            replica for replica in result.replicas
+            if replica.ledger.committed.base_height > 0
+        ]
+        assert rebased, "no replica is running on a checkpointed base"
+
 
 class TestLiveCli:
     def test_live_subcommand_runs_cluster_and_reports(self, capsys):

@@ -167,6 +167,48 @@ class TestViewSynchronizer:
         # the satisfied wish for view 2 must not be retransmitted.
         assert all(wish.view != 2 for wish in wishes)
 
+    def test_wish_share_is_cached_across_retransmissions(self):
+        from repro.consensus.messages import Wish
+
+        harness = ReplicaHarness(HotStuff2Replica, replica_id=0, n=4)
+        pacemaker = harness.replica.pacemaker
+        created = []
+        original = harness.authority.create_timeout_vote
+
+        def counting(voter, view):
+            created.append(view)
+            return original(voter, view)
+
+        harness.authority.create_timeout_vote = counting
+        wishes = []
+        harness.replica.send = lambda target, payload, **kw: (
+            wishes.append(payload) if isinstance(payload, Wish) else None
+        )
+        pacemaker.synchronize_epoch(2)
+        harness.run(duration=harness.config.view_timeout * 3.5)
+        # Several retransmission rounds went out, but the threshold-signing
+        # work for the wished view happened exactly once.
+        assert len([w for w in wishes if w.view == 2]) >= 3 * 2
+        assert created.count(2) == 1
+        shares = {id(w.share) for w in wishes if w.view == 2}
+        assert len(shares) == 1
+
+    def test_view_entry_prunes_stale_synchronisation_state(self):
+        harness, pacemaker = self._started()
+        pacemaker.note_peer_view(1, 3)
+        pacemaker.note_peer_view(2, 50)
+        pacemaker._tc_formed.update({2, 40})
+        pacemaker._tc_entered.update({2, 40})
+        pacemaker._sent_wish_shares[2] = object()
+        pacemaker._sent_wish_shares[40] = object()
+        pacemaker.enter_view(10)
+        # Everything keyed at or below the entered view is gone; higher
+        # entries (still-useful evidence and state) survive.
+        assert pacemaker.view_table == {2: 50}
+        assert pacemaker._tc_formed == {40}
+        assert pacemaker._tc_entered == {40}
+        assert set(pacemaker._sent_wish_shares) == {40}
+
     def test_wish_carries_current_view_and_high_cert_evidence(self):
         harness, pacemaker = self._started(replica_id=0)
         sent = []

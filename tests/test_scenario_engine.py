@@ -234,7 +234,7 @@ class TestRegistry:
             "fig8-scalability", "fig8-batching", "fig8-geo-ycsb", "fig8-geo-tpcc",
             "fig9-delay", "fig9-geo", "fig10-slowness", "fig10-tailfork",
             "fig10-rollback", "latency-breakdown", "ablation-slotting",
-            "chaos-recovery", "chaos-fuzz",
+            "chaos-recovery", "chaos-fuzz", "snapshot-recovery",
         }
         for name in SCENARIOS:
             spec = scenario_spec(name)
