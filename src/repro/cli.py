@@ -52,6 +52,9 @@ Sub-commands
     Inspect the durable checkpoint snapshots under a ``--storage-dir``: per
     replica, the latest snapshot's height/view/digest and the (compacted) WAL
     and block-log record counts.
+``profile``
+    cProfile one live run and report where the event loop's CPU goes, bucketed
+    by layer (encode / decode / transport / hashing / consensus / ...).
 ``predict``
     Print the closed-form performance-model predictions for all protocols.
 """
@@ -141,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     live_parser.add_argument("--warmup", type=float, default=0.25)
     live_parser.add_argument("--seed", type=int, default=1)
     live_parser.add_argument("--view-timeout", type=float, default=0.05)
+    live_parser.add_argument("--codec", default="json", choices=("json", "binary"),
+                             help="wire codec for the TCP transports (binary is the fast path; "
+                                  "json is the readable default)")
+    live_parser.add_argument("--pipeline-depth", type=int, default=1,
+                             help="uncertified slot proposals a slotted leader keeps in flight "
+                                  "(>1 needs a slotting protocol, e.g. hotstuff-1-slotting)")
     live_parser.add_argument("--target-ops", type=int, default=1000,
                              help="stop once this many client operations completed (0: run full duration)")
     live_parser.add_argument("--clients", type=int, default=None,
@@ -253,6 +262,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect one replica id (default: every replica-* subdirectory)",
     )
 
+    profile_parser = subparsers.add_parser(
+        "profile", help="cProfile a live run and report CPU by layer (encode/decode/transport/...)"
+    )
+    profile_parser.add_argument(
+        "--protocol", default="hotstuff-1",
+        help=f"protocol name or alias, e.g. hotstuff1 (available: {', '.join(sorted(PROTOCOLS))})",
+    )
+    profile_parser.add_argument("--n", "--replicas", dest="replicas", type=int, default=4)
+    profile_parser.add_argument("--batch", type=int, default=100)
+    profile_parser.add_argument("--workload", default="ycsb", choices=("ycsb", "tpcc"))
+    profile_parser.add_argument("--duration", type=float, default=15.0,
+                                help="wall-clock measurement cap in seconds")
+    profile_parser.add_argument("--warmup", type=float, default=0.05)
+    profile_parser.add_argument("--seed", type=int, default=1)
+    profile_parser.add_argument("--view-timeout", type=float, default=0.05)
+    profile_parser.add_argument("--codec", default="binary", choices=("json", "binary"),
+                                help="wire codec to profile under (default: the binary fast path)")
+    profile_parser.add_argument("--pipeline-depth", type=int, default=1)
+    profile_parser.add_argument("--target-ops", type=int, default=1000,
+                                help="stop once this many client operations completed")
+    profile_parser.add_argument("--rate", type=float, default=None,
+                                help="open-loop injection rate in txn/s (default: closed loop)")
+    profile_parser.add_argument("--top", type=int, default=15,
+                                help="how many hottest functions to list")
+
     predict_parser = subparsers.add_parser("predict", help="closed-form performance predictions")
     predict_parser.add_argument("--replicas", type=int, default=32)
     predict_parser.add_argument("--batch", type=int, default=100)
@@ -268,6 +302,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=float, default=0.1)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--view-timeout", type=float, default=0.03)
+    parser.add_argument("--codec", default="json", choices=("json", "binary"),
+                        help="wire codec for live transports (sim runs size messages with it too)")
+    parser.add_argument("--pipeline-depth", type=int, default=1,
+                        help="uncertified slot proposals a slotted leader keeps in flight "
+                             "(>1 needs a slotting protocol)")
     parser.add_argument(
         "--checkpoint-interval", type=int, default=None, metavar="COMMITS",
         help="snapshot the state machine and truncate the logs every N commits "
@@ -293,6 +332,8 @@ def _spec_from_args(args: argparse.Namespace, protocol: str) -> ExperimentSpec:
         warmup=args.warmup,
         seed=args.seed,
         view_timeout=args.view_timeout,
+        codec=getattr(args, "codec", "json"),
+        pipeline_depth=getattr(args, "pipeline_depth", 1),
         checkpoint_interval=getattr(args, "checkpoint_interval", None),
     )
 
@@ -347,7 +388,7 @@ def command_run(args: argparse.Namespace) -> int:
     result = run_experiment(spec)
     rows = [result.summary.as_dict()]
     print(format_series(rows, title=f"{args.protocol} — n={args.replicas}, batch={args.batch}"))
-    print(format_network_breakdown(result.network_stats))
+    print(format_network_breakdown(result.network_stats, committed_ops=result.summary.committed_txns))
     if result.chaos is not None:
         print(format_chaos_report(result.chaos))
     return 0
@@ -367,6 +408,8 @@ def command_live(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         seed=args.seed,
         view_timeout=args.view_timeout,
+        codec=args.codec,
+        pipeline_depth=args.pipeline_depth,
         num_clients=args.clients,
         faults=load_plan(args.faults).to_dict() if args.faults else None,
         storage_dir=args.storage_dir,
@@ -381,7 +424,7 @@ def command_live(args: argparse.Namespace) -> int:
         f"{mode} clients, measured {summary.duration:.2f}s wall-clock"
     )
     print(format_series([summary.as_dict()], title=f"{spec.protocol} — live, n={spec.n}"))
-    print(format_network_breakdown(result.network_stats))
+    print(format_network_breakdown(result.network_stats, committed_ops=summary.committed_txns))
     if result.chaos is not None:
         print(format_chaos_report(result.chaos))
     if target_ops is not None and summary.committed_txns < target_ops:
@@ -660,6 +703,29 @@ def command_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_profile(args: argparse.Namespace) -> int:
+    """cProfile one live run and print the per-layer CPU breakdown."""
+    from repro.live.profiling import format_profile, profile_live_run
+
+    spec = ExperimentSpec(
+        protocol=args.protocol,
+        mode="live",
+        n=args.replicas,
+        batch_size=args.batch,
+        workload=args.workload,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        view_timeout=args.view_timeout,
+        codec=args.codec,
+        pipeline_depth=args.pipeline_depth,
+    )
+    target_ops = args.target_ops if args.target_ops > 0 else None
+    profile = profile_live_run(spec, target_ops=target_ops, rate=args.rate, top=args.top)
+    print(format_profile(profile))
+    return 0
+
+
 def command_predict(args: argparse.Namespace) -> int:
     """Print analytic predictions for every protocol."""
     config = ProtocolConfig(n=args.replicas, batch_size=args.batch)
@@ -686,6 +752,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite": command_suite,
         "grid": command_grid,
         "snapshot": command_snapshot,
+        "profile": command_profile,
         "predict": command_predict,
     }
     try:

@@ -115,7 +115,12 @@ class ClientPool:
         target = self.target_replicas[self._next_target % len(self.target_replicas)]
         self._next_target += 1
         request.last_sent_at = self.sim.now
-        self.network.send(self.node_id, target, ClientRequest(txn=request.txn))
+        self._dispatch_request(target, request.txn)
+
+    def _dispatch_request(self, target: int, txn: Transaction) -> None:
+        """Put one transaction on the wire.  The live load generator overrides
+        this to coalesce a burst of submissions into one frame per target."""
+        self.network.send(self.node_id, target, ClientRequest(txn=txn))
 
     def _client_id(self, logical_client: int) -> int:
         return self.node_id * 1_000_000 - logical_client

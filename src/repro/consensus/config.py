@@ -28,6 +28,12 @@ class ProtocolConfig:
         Upper bound on slots per view for the slotting design (a safety valve
         for the simulation; the adaptive mechanism usually stops earlier when
         the view timer expires).
+    pipeline_depth:
+        How many uncertified slot proposals a slotted leader keeps in flight
+        at once.  The default 1 reproduces the paper's one-round-trip-at-a-
+        time slotting exactly; deeper pipelines overlap proposal dissemination
+        with vote aggregation (multi-pipeline HotStuff style) and pay off once
+        real network/IO latency dominates, i.e. in the live runtime.
     speculation_enabled:
         Whether HotStuff-1 replicas speculatively execute (disabling it turns
         HotStuff-1 into a useful ablation baseline).
@@ -44,6 +50,7 @@ class ProtocolConfig:
     view_timeout: float = 0.010
     delta: float = 0.001
     max_slots_per_view: int = 64
+    pipeline_depth: int = 1
     speculation_enabled: bool = True
     epoch_sync_enabled: bool = True
     seed: int = 0
@@ -59,6 +66,13 @@ class ProtocolConfig:
             raise ConfigurationError("view_timeout must be positive")
         if self.delta <= 0:
             raise ConfigurationError("delta must be positive")
+        if self.pipeline_depth < 1:
+            raise ConfigurationError(f"pipeline_depth must be >= 1, got {self.pipeline_depth}")
+        if self.pipeline_depth > self.max_slots_per_view:
+            raise ConfigurationError(
+                f"pipeline_depth ({self.pipeline_depth}) cannot exceed "
+                f"max_slots_per_view ({self.max_slots_per_view})"
+            )
 
     # ------------------------------------------------------------ quorums
     @property

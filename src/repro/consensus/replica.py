@@ -29,6 +29,7 @@ from repro.consensus.leader import RoundRobinLeaderElection
 from repro.consensus.mempool import Mempool
 from repro.consensus.messages import (
     ClientRequest,
+    ClientRequestBatch,
     ClientResponseBatch,
     FetchRequest,
     FetchResponse,
@@ -207,6 +208,8 @@ class BaseReplica:
             self.handle_reject(payload, sender)
         elif isinstance(payload, ClientRequest):
             self.handle_client_request(payload, sender)
+        elif isinstance(payload, ClientRequestBatch):
+            self.handle_client_request_batch(payload, sender)
         elif isinstance(payload, Wish):
             self.pacemaker.note_peer_view(
                 sender, max(payload.current_view, payload.view - 1)
@@ -269,6 +272,11 @@ class BaseReplica:
     def handle_client_request(self, msg: ClientRequest, sender: int) -> None:
         """Admit a client transaction into the (shared) mempool."""
         self.mempool.add(msg.txn)
+
+    def handle_client_request_batch(self, msg: ClientRequestBatch, sender: int) -> None:
+        """Admit a coalesced frame of client transactions into the mempool."""
+        for txn in msg.txns:
+            self.mempool.add(txn)
 
     def respond_to_clients(self, block: Block, results, speculative: bool, delay: float = 0.0) -> None:
         """Send one response batch per client pool for *block*'s transactions.

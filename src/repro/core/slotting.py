@@ -60,8 +60,17 @@ class SlottedHotStuff1Replica(BaseReplica):
         self._reject_msgs: Dict[int, Dict[int, Reject]] = {}
         self._proposed_slots: set = set()
         self._voted_slots: set = set()
+        self._voted_hashes: set = set()
         self._formed_slot_certs: set = set()
         self.slots_proposed_total = 0
+        # Leader pipelining bookkeeping (config.pipeline_depth > 1): per view,
+        # the highest slot proposed, the hash of that block (the parent of the
+        # next pipelined proposal), the highest slot certified, and the
+        # freshest certificate to justify in-flight proposals with.
+        self._last_proposed_slot: Dict[int, int] = {}
+        self._last_proposed_hash: Dict[int, str] = {}
+        self._last_certified_slot: Dict[int, int] = {}
+        self._pipeline_justify: Dict[int, Certificate] = {}
 
     @staticmethod
     def client_quorum(config) -> int:
@@ -277,7 +286,12 @@ class SlottedHotStuff1Replica(BaseReplica):
             self._formed_slot_certs.add(key)
             self.record_certificate(cert)
             self.fault_point(HOOK_MID_CERT)
-            if msg.slot + 1 <= self.config.max_slots_per_view:
+            if msg.slot > self._last_certified_slot.get(msg.view, 0):
+                self._last_certified_slot[msg.view] = msg.slot
+                self._pipeline_justify[msg.view] = cert
+            if self.config.pipeline_depth > 1:
+                self._pump_pipeline(msg.view)
+            elif msg.slot + 1 <= self.config.max_slots_per_view:
                 self._broadcast_slot_proposal(
                     msg.view, msg.slot + 1, cert, cert.block_hash, NULL_DIGEST
                 )
@@ -306,12 +320,56 @@ class SlottedHotStuff1Replica(BaseReplica):
         )
         self.block_store.add(block)
         self.justify_of[block.block_hash] = justify
+        # The proposer vouches for its own block: its self-addressed copy of
+        # a deeper pipelined proposal may arrive before it has processed (and
+        # voted on) this one, and the SafeSlot ancestry walk must not treat
+        # the leader's own chain as unvouched-for.
+        self._voted_hashes.add(block.block_hash)
         proposal = Propose(view=view, slot=slot, block=block, justify=justify, carry_hash=carry_hash)
+        if slot >= self._last_proposed_slot.get(view, 0):
+            self._last_proposed_slot[view] = slot
+            self._last_proposed_hash[view] = block.block_hash
+        if slot == 1:
+            self._pipeline_justify.setdefault(view, justify)
         cost = self.costs.certificate_formation_cost(self.config.quorum)
         cost += self.costs.proposal_cost(len(batch), self.config.n)
         delay = self.behavior.propose_delay(self, view) if slot == 1 else 0.0
         targets = self.behavior.proposal_targets(self, view, list(self.config.replica_ids()))
         self.sim.schedule(cost + delay, self.broadcast_replicas, proposal, targets)
+        if self.config.pipeline_depth > 1:
+            self._pump_pipeline(view)
+
+    def _pump_pipeline(self, view: int) -> None:
+        """Keep up to ``pipeline_depth`` uncertified slot proposals in flight.
+
+        Called after each proposal and each New-Slot certificate: while the
+        in-flight window (proposed minus certified slots) has capacity, the
+        leader proposes the next slot immediately — justified by the freshest
+        certificate it holds, chained onto its own previous proposal — instead
+        of waiting one vote round-trip per slot.  Replicas accept the
+        uncertified gap through the pipelined arm of ``SafeSlot``.
+        """
+        proposed = self._last_proposed_slot.get(view, 0)
+        if proposed == 0 or self.current_view != view or self.halted:
+            return  # slot 1 must go through its own well-formedness proof
+        in_flight = proposed - self._last_certified_slot.get(view, 0)
+        if in_flight >= self.config.pipeline_depth:
+            return
+        if in_flight > 0 and self.mempool.peek_count() == 0:
+            # Proposing ahead of an empty mempool just burns fixed per-slot
+            # cost on empty blocks.  Keep at most one empty slot in flight
+            # (the depth-1 heartbeat that keeps the view alive); the window
+            # refills on the next certificate, by which time commits have
+            # released closed-loop clients back into the mempool.
+            return
+        next_slot = proposed + 1
+        if next_slot > self.config.max_slots_per_view or self.pacemaker.has_completed(view):
+            return
+        justify = self._pipeline_justify.get(view)
+        parent_hash = self._last_proposed_hash.get(view)
+        if justify is None or parent_hash is None:
+            return
+        self._broadcast_slot_proposal(view, next_slot, justify, parent_hash, NULL_DIGEST)
 
     def handle_reject(self, msg: Reject, sender: int) -> None:
         """Figure 6, Lines 22-24: adopt the higher certificate and distrust the previous leader."""
@@ -338,6 +396,15 @@ class SlottedHotStuff1Replica(BaseReplica):
             and (msg.view, 1) not in self._formed_slot_certs
         ):
             self._proposed_slots.discard((msg.view, 1))
+            # Any pipelined successors extend the withdrawn block and can
+            # never certify; withdraw them too so the re-proposed slot 1
+            # restarts the pipeline from a clean slate.
+            if self.config.pipeline_depth > 1:
+                for slot in range(2, self._last_proposed_slot.get(msg.view, 1) + 1):
+                    self._proposed_slots.discard((msg.view, slot))
+                self._last_proposed_slot.pop(msg.view, None)
+                self._last_proposed_hash.pop(msg.view, None)
+                self._pipeline_justify.pop(msg.view, None)
             self._try_first_slot(msg.view, force=True)
 
     # ------------------------------------------------------------ backup role
@@ -356,6 +423,18 @@ class SlottedHotStuff1Replica(BaseReplica):
         if not is_null_digest(msg.carry_hash) and msg.carry_hash not in self.block_store:
             self.request_block(msg.carry_hash, sender, waiting_proposal=msg)
             return
+        if (
+            self.config.pipeline_depth > 1
+            and msg.slot > 1
+            and block.parent_hash != msg.justify.block_hash
+            and block.parent_hash not in self.block_store
+        ):
+            # A pipelined proposal can overtake its still-uncertified parent
+            # in flight (the simulated network reorders freely; TCP does
+            # not).  Park it until the parent arrives rather than rejecting
+            # a perfectly safe slot.
+            self.request_block(block.parent_hash, sender, waiting_proposal=msg)
+            return
         self.block_store.add(block)
         self.justify_of.setdefault(block.block_hash, msg.justify)
         self.record_certificate(msg.justify)
@@ -370,6 +449,13 @@ class SlottedHotStuff1Replica(BaseReplica):
         if self.pacemaker.has_completed(msg.view):
             return
         self._process_slot_proposal(msg, sender)
+        # Now that this block is stored (and our vote on it, if any, is
+        # recorded) any pipelined children parked on it can be processed —
+        # without waiting for the fetch round-trip that parking started.
+        waiting = self._pending_fetch.pop(block.block_hash, None)
+        if waiting:
+            for child in waiting:
+                self.handle_propose(child, sender)
 
     def _process_slot_proposal(self, msg: Propose, sender: int) -> None:
         block = msg.block
@@ -382,6 +468,7 @@ class SlottedHotStuff1Replica(BaseReplica):
         not_superseded = self.high_cert.position <= justify.position
         if safe and not_superseded and self.behavior.should_vote(self, msg):
             self._voted_slots.add((msg.view, msg.slot))
+            self._voted_hashes.add(block.block_hash)
             self.note_vote(msg.view, msg.slot, block.block_hash)
             voted_block = self.block_store.maybe_get(self.highest_voted_hash)
             if voted_block is None or block.position > voted_block.position:
@@ -420,6 +507,14 @@ class SlottedHotStuff1Replica(BaseReplica):
                 return False
         else:
             if block.parent_hash != justify.block_hash:
+                # Pipelined proposals legitimately outrun their justify: the
+                # parent is the leader's previous, still-uncertified proposal.
+                if (
+                    self.config.pipeline_depth > 1
+                    and msg.slot > 1
+                    and justify.kind in (CertKind.NEW_SLOT, CertKind.NEW_VIEW)
+                ):
+                    return self._safe_pipelined_slot(msg)
                 return False
 
         if msg.slot == 1 and justify.is_genesis:
@@ -455,6 +550,43 @@ class SlottedHotStuff1Replica(BaseReplica):
             # The first slot of a view may be certified as a New-View certificate
             # when its votes arrive as New-View shares; treat it like Case 4.
             return True
+        return False
+
+    def _safe_pipelined_slot(self, msg: Propose) -> bool:
+        """Pipelined arm of SafeSlot (``pipeline_depth > 1`` deployments only).
+
+        Accept slot ``s`` whose uncertified ancestry is a consecutive-slot,
+        same-view, same-proposer chain of blocks this replica already voted
+        for, rooted either at the block the justify certifies in this view
+        (Case 4 at a distance) or at this view's first slot — whose own
+        first-slot well-formedness proof (including any carry block) was
+        checked when the replica voted for it.  Voting for such a proposal is
+        safe for the same reason Case 4 is: every uncertified link is vouched
+        for either by the replica's own vote or by a certificate it verified
+        (a quorum's endorsement, strictly stronger), so a conflicting chain
+        through these slots can never gather a quorum that intersects it.
+        """
+        justify = msg.justify
+        proposer = msg.block.proposer
+        ancestor = self.block_store.maybe_get(msg.block.parent_hash)
+        hops = 1
+        while ancestor is not None and hops <= self.config.pipeline_depth:
+            if ancestor.block_hash == justify.block_hash:
+                return justify.view == msg.view and justify.slot == msg.slot - hops
+            if (
+                ancestor.view != msg.view
+                or ancestor.proposer != proposer
+                or ancestor.slot != msg.slot - hops
+                or (
+                    ancestor.block_hash not in self._voted_hashes
+                    and ancestor.block_hash not in self.certs_by_block
+                )
+            ):
+                return False
+            if ancestor.slot == 1:
+                return True
+            ancestor = self.block_store.maybe_get(ancestor.parent_hash)
+            hops += 1
         return False
 
     # ---------------------------------------------------- commit & speculation

@@ -66,33 +66,47 @@ def format_series(rows: Sequence[Dict], title: str = "") -> str:
     return "\n".join(lines) + "\n"
 
 
-def format_network_breakdown(network_stats: Dict, title: str = "network traffic by message type") -> str:
+def format_network_breakdown(
+    network_stats: Dict,
+    title: str = "network traffic by message type",
+    committed_ops: int = 0,
+) -> str:
     """Render the per-message-type counters of a run's ``network_stats``.
 
     Expects the dict produced by :meth:`repro.net.network.NetworkStats.as_dict`
-    (one row per payload type, plus a totals row carrying the drop and byte
-    counters).  Plain stats dicts without per-type maps render as totals only.
+    (one row per payload type — with its byte total and share of all traffic
+    when the stats carry ``bytes_by_type`` — plus a totals row carrying the
+    drop and byte counters).  Pass the run's *committed_ops* to surface the
+    headline bytes-per-op cost next to the byte total.  Plain stats dicts
+    without per-type maps render as totals only.
     """
     sent_by_type = network_stats.get("sent_by_type", {})
     delivered_by_type = network_stats.get("delivered_by_type", {})
+    bytes_by_type = network_stats.get("bytes_by_type", {})
+    total_bytes = network_stats.get("bytes_sent", 0)
     names = sorted(set(sent_by_type) | set(delivered_by_type), key=lambda name: (-sent_by_type.get(name, 0), name))
-    rows = [
-        {
+    rows = []
+    for name in names:
+        row = {
             "message_type": name,
             "sent": sent_by_type.get(name, 0),
             "delivered": delivered_by_type.get(name, 0),
         }
-        for name in names
-    ]
-    rows.append(
-        {
-            "message_type": "(total)",
-            "sent": network_stats.get("messages_sent", 0),
-            "delivered": network_stats.get("messages_delivered", 0),
-            "dropped": network_stats.get("messages_dropped", 0),
-            "bytes_sent": network_stats.get("bytes_sent", 0),
-        }
-    )
+        if bytes_by_type:
+            type_bytes = bytes_by_type.get(name, 0)
+            row["bytes"] = type_bytes
+            row["byte_share"] = f"{100.0 * type_bytes / total_bytes:.1f}%" if total_bytes else "0.0%"
+        rows.append(row)
+    totals = {
+        "message_type": "(total)",
+        "sent": network_stats.get("messages_sent", 0),
+        "delivered": network_stats.get("messages_delivered", 0),
+        "dropped": network_stats.get("messages_dropped", 0),
+        "bytes_sent": total_bytes,
+    }
+    if committed_ops:
+        totals["bytes_per_op"] = round(total_bytes / committed_ops, 1)
+    rows.append(totals)
     return format_series(rows, title=title)
 
 

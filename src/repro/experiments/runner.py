@@ -60,6 +60,16 @@ class ExperimentSpec:
     check_safety: bool = True
     max_slots_per_view: int = 64
     knee_factor: float = 0.9
+    #: Wire codec the deployment encodes with: ``"json"`` (debuggable, wire
+    #: versions 1–3) or ``"binary"`` (struct-packed v4, ~3× smaller frames).
+    #: Applies to live sockets and to the simulator's byte accounting alike;
+    #: decoding always accepts both formats.
+    codec: str = "json"
+    #: How many uncertified slot proposals a slotted leader keeps in flight
+    #: (``> 1`` requires a protocol with ``supports_slotting``).  Depth 1 is
+    #: the paper's sequential slotting; deeper pipelines overlap proposal
+    #: dissemination with vote aggregation.
+    pipeline_depth: int = 1
     #: Chaos: a :class:`~repro.faults.plan.FaultPlan` as a plain dict (JSON
     #: shape), or ``None`` for a fault-free run.  When set, every replica gets
     #: a durable :class:`~repro.storage.store.ReplicaStore` and the plan's
@@ -121,6 +131,27 @@ class ExperimentSpec:
             )
         if self.view_timeout <= 0:
             raise ConfigurationError(f"view_timeout must be positive, got {self.view_timeout}")
+        if self.codec not in ("json", "binary"):
+            raise ConfigurationError(
+                f"unknown codec {self.codec!r}; available: ['binary', 'json']"
+            )
+        if self.pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.pipeline_depth > self.max_slots_per_view:
+            raise ConfigurationError(
+                f"pipeline_depth ({self.pipeline_depth}) cannot exceed "
+                f"max_slots_per_view ({self.max_slots_per_view})"
+            )
+        if self.pipeline_depth > 1 and not getattr(
+            replica_class_for(self.protocol), "supports_slotting", False
+        ):
+            raise ConfigurationError(
+                f"pipeline_depth > 1 needs a slotted protocol whose leader owns "
+                f"consecutive slots (hotstuff-1-slotting); {self.protocol!r} "
+                "rotates the leader every view"
+            )
         if self.faults is not None:
             plan = FaultPlan.from_dict(self.faults)
             plan.validate(self.n, mode=self.mode)
@@ -271,6 +302,7 @@ def build_deployment(
         epoch_sync_enabled=spec.epoch_sync_enabled,
         seed=spec.seed,
         max_slots_per_view=spec.max_slots_per_view,
+        pipeline_depth=spec.pipeline_depth,
     )
     scheme = ThresholdScheme(n=config.n, threshold=config.quorum, seed=spec.seed)
     authority = CertificateAuthority(scheme)
@@ -378,9 +410,13 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
         from repro.live.deploy import run_live_experiment  # local import: avoids cycle
 
         return run_live_experiment(spec)
-    from repro.live.codec import reset_size_cache
+    from repro.live.codec import wire_codec_scope
 
-    reset_size_cache()  # message sizes are memoized per shape, scoped to one run
+    with wire_codec_scope(spec.codec):  # also resets the per-shape size memo
+        return _run_sim(spec)
+
+
+def _run_sim(spec: ExperimentSpec) -> RunResult:
     sim = Simulator(seed=spec.seed)
     faults = FaultInjector()
     if spec.delay_injection:

@@ -2,23 +2,44 @@
 
 Every protocol message in :mod:`repro.consensus.messages` (and the support
 objects nested inside them — blocks, transactions, certificates, signature
-shares) serializes to a tagged JSON document, carried on the wire as a
-length-prefixed frame::
+shares) serializes through one of two interchangeable codecs, carried on the
+wire as a length-prefixed frame:
 
-    +----------------+----------------------------------------+
-    | 4-byte big-    | UTF-8 JSON body                        |
-    | endian length  | {"s": sender, "r": receiver,           |
-    |                |  "a": sent_at, "m": {"__t": tag, ...}} |
-    +----------------+----------------------------------------+
+* ``json`` (wire versions 1–3, still emitted by v4 peers running the JSON
+  codec) — a tagged JSON document::
 
-JSON keeps the format dependency-free and debuggable (``tcpdump`` shows
-readable traffic); the codec is the single source of truth for message sizes,
-so the simulated network charges :func:`encoded_size` bytes for exactly the
-payload the live transport would put on a socket.
+      +----------------+----------------------------------------+
+      | 4-byte big-    | UTF-8 JSON body                        |
+      | endian length  | {"v": 4, "s": sender, "r": receiver,   |
+      |                |  "a": sent_at, "m": {"__t": tag, ...}} |
+      +----------------+----------------------------------------+
+
+* ``binary`` (wire version 4) — a struct-packed format: a magic byte that can
+  never start a JSON document, varint routing fields, and a recursive value
+  encoding with one-byte type codes, zigzag varint integers, varint-length
+  strings and hex-packed digests (64-char sha256/HMAC hex strings ride as 32
+  raw bytes)::
+
+      +----------------+----------------------------------------+
+      | 4-byte big-    | 0xB1 | version | sender | receiver |   |
+      | endian length  | sent_at (f64) | message value          |
+      +----------------+----------------------------------------+
+
+Receivers sniff the first body byte (``{`` versus ``0xB1``), so a cluster
+mid-upgrade decodes both formats regardless of which codec it emits; the
+active *encoding* codec is selected per deployment with :func:`set_wire_codec`
+(the ``ExperimentSpec.codec`` knob).  JSON keeps traffic debuggable
+(``tcpdump`` shows readable frames); binary cuts bytes/op and encode/decode
+CPU, which dominate the live runtime's profile.
+
+The codec is the single source of truth for message sizes, so the simulated
+network charges :func:`encoded_size` bytes for exactly the payload the live
+transport would put on a socket under the active codec.
 
 The registry is table-driven: each type maps to a tag, the fields to encode,
 and an optional rebuild function for constructors that need coercion (tuples,
-enums, nested objects).  Unknown payload types raise
+enums, nested objects).  Binary tags are the registration order, so both
+codecs share one registry.  Unknown payload types raise
 :class:`UnknownWireTypeError`; callers that only need a size estimate (the
 simulated network, whose tests send plain strings) fall back to a default.
 """
@@ -27,13 +48,16 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import struct
-from typing import Any, Callable, Dict, Optional, Tuple, Type
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Type
 
 from repro.checkpoint.snapshot import Snapshot
 from repro.consensus.certificates import CertKind, Certificate
 from repro.consensus.messages import (
     ClientRequest,
+    ClientRequestBatch,
     ClientResponseBatch,
     FetchRequest,
     FetchResponse,
@@ -51,7 +75,7 @@ from repro.consensus.messages import (
     Wish,
 )
 from repro.crypto.threshold import SignatureShare, ThresholdSignature
-from repro.errors import NetworkError
+from repro.errors import ConfigurationError, NetworkError
 from repro.ledger.block import Block
 from repro.ledger.transaction import Transaction
 
@@ -59,16 +83,25 @@ from repro.ledger.transaction import Transaction
 #: added the view-synchronisation fields (``ViewSync``; ``current_view`` /
 #: ``sender_view`` / ``high_cert`` on the pacemaker messages); version 3
 #: added the checkpointing state-transfer messages (``SnapshotRequest`` /
-#: ``SnapshotResponse``).  Older documents still decode — new fields fall
-#: back to their dataclass defaults, and the new message types only flow to
-#: peers that asked for them.
-WIRE_VERSION = 3
+#: ``SnapshotResponse``); version 4 added the binary codec.  Older JSON
+#: documents still decode — new fields fall back to their dataclass defaults,
+#: and the new message types only flow to peers that asked for them.
+WIRE_VERSION = 4
 
 #: Versions :func:`decode_envelope_body` accepts (new fields are optional, so
-#: releases of version skew decode cleanly).
-SUPPORTED_WIRE_VERSIONS = (1, 2, 3)
+#: releases of version skew decode cleanly; binary frames exist from v4 only).
+SUPPORTED_WIRE_VERSIONS = (1, 2, 3, 4)
 
-#: Hard upper bound on one frame; guards readers against corrupt length words.
+#: Codec names :func:`set_wire_codec` accepts.
+WIRE_CODECS = ("json", "binary")
+
+#: First body byte of every binary envelope.  JSON bodies start with ``{``
+#: (0x7B) and binary *message* bodies with a type code ≤ 0x09, so the three
+#: framings are mutually sniffable from their first byte.
+BINARY_MAGIC = 0xB1
+
+#: Hard upper bound on one frame; guards readers against corrupt length words
+#: and, since v4, is enforced at encode time (:class:`FrameTooLargeError`).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 #: Frame header: one unsigned 32-bit big-endian body length.
@@ -78,6 +111,10 @@ FRAME_HEADER = struct.Struct(">I")
 #: top of the message body; used by :func:`encoded_size` so simulated byte
 #: counters line up with what the live transport actually writes.
 ENVELOPE_OVERHEAD = 48
+
+#: Binary envelopes are leaner: magic + version + two varint node ids + an
+#: 8-byte float + the frame header.
+BINARY_ENVELOPE_OVERHEAD = 18
 
 #: Size charged for payloads the codec does not know (e.g. test stubs).
 DEFAULT_SIZE_BYTES = 256
@@ -91,16 +128,30 @@ class UnknownWireTypeError(CodecError):
     """The payload type has no wire representation registered."""
 
 
+class FrameTooLargeError(CodecError, ConfigurationError):
+    """An encoded frame exceeds :data:`MAX_FRAME_BYTES`.
+
+    Inherits :class:`~repro.errors.ConfigurationError` because the fix is a
+    configuration change (smaller batches, lower checkpoint state size), and
+    :class:`CodecError` so the transport's existing drop-and-record error
+    path surfaces it after the run.
+    """
+
+
 # --------------------------------------------------------------------- values
 _TYPE_TAGS: Dict[Type, str] = {}
 _FIELDS: Dict[str, Tuple[str, ...]] = {}
 _REBUILDERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {}
+_TAG_LIST: List[str] = []  # registration order doubles as the binary tag id
+_TAG_IDS: Dict[str, int] = {}
 
 
 def _register(cls: Type, tag: str, fields: Tuple[str, ...], rebuild: Optional[Callable] = None) -> None:
     _TYPE_TAGS[cls] = tag
     _FIELDS[tag] = fields
     _REBUILDERS[tag] = rebuild or (lambda data, _cls=cls: _cls(**data))
+    _TAG_IDS[tag] = len(_TAG_LIST)
+    _TAG_LIST.append(tag)
 
 
 def _enc(value: Any) -> Any:
@@ -137,6 +188,300 @@ def _dec(value: Any) -> Any:
         fields = {name: _dec(value[name]) for name in _FIELDS[tag] if name in value}
         return rebuild(fields)
     return value
+
+
+# --------------------------------------------------------------- binary values
+# One-byte type codes for the recursive binary value encoding.
+_B_NONE = 0x00
+_B_TRUE = 0x01
+_B_FALSE = 0x02
+_B_INT = 0x03  # zigzag varint
+_B_FLOAT = 0x04  # 8-byte big-endian double
+_B_STR = 0x05  # varint byte length + UTF-8
+_B_HEX = 0x06  # varint byte length + raw bytes, decoded back to lowercase hex
+_B_LIST = 0x07  # varint count + items
+_B_MAP = 0x08  # varint count + key/value pairs
+_B_OBJ = 0x09  # varint tag id + registered fields, positionally
+
+_DOUBLE = struct.Struct(">d")
+
+# Even-length lowercase-hex strings of ≥ 16 chars (sha256 digests, HMAC
+# fingerprints, block/state hashes) pack to half their JSON size as raw bytes.
+_HEX_RE = re.compile(r"[0-9a-f]{16,}")
+
+
+def _append_uvarint(buf: bytearray, value: int) -> None:
+    while value >= 0x80:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]  # IndexError on truncation → CodecError in callers
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise CodecError("varint longer than 10 bytes")
+
+
+def _append_zigzag(buf: bytearray, value: int) -> None:
+    _append_uvarint(buf, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _read_zigzag(data: bytes, pos: int) -> Tuple[int, int]:
+    unsigned, pos = _read_uvarint(data, pos)
+    return (unsigned >> 1) if not unsigned & 1 else -((unsigned + 1) >> 1), pos
+
+
+def _enc_bin(value: Any, buf: bytearray) -> None:
+    """Append the binary encoding of *value* to *buf*."""
+    if value is None:
+        buf.append(_B_NONE)
+        return
+    if value is True:
+        buf.append(_B_TRUE)
+        return
+    if value is False:
+        buf.append(_B_FALSE)
+        return
+    cls = value.__class__
+    if cls is int:
+        buf.append(_B_INT)
+        zigzag = (value << 1) if value >= 0 else ((-value << 1) - 1)
+        if zigzag < 0x80:
+            buf.append(zigzag)
+        else:
+            _append_uvarint(buf, zigzag)
+    elif cls is str or isinstance(value, str):  # CertKind is a str subclass
+        length = len(value)
+        if length >= 16 and not length & 1 and _HEX_RE.fullmatch(value) is not None:
+            raw = bytes.fromhex(value)
+            buf.append(_B_HEX)
+            size = len(raw)
+            if size < 0x80:
+                buf.append(size)
+            else:
+                _append_uvarint(buf, size)
+            buf += raw
+        else:
+            data = value.encode("utf-8")
+            buf.append(_B_STR)
+            size = len(data)
+            if size < 0x80:
+                buf.append(size)
+            else:
+                _append_uvarint(buf, size)
+            buf += data
+    elif cls is float:
+        buf.append(_B_FLOAT)
+        buf += _DOUBLE.pack(value)
+    elif cls is list or cls is tuple:
+        buf.append(_B_LIST)
+        _append_uvarint(buf, len(value))
+        for item in value:
+            _enc_bin(item, buf)
+    elif cls is dict:
+        buf.append(_B_MAP)
+        _append_uvarint(buf, len(value))
+        for key, item in value.items():
+            _enc_bin(key, buf)
+            _enc_bin(item, buf)
+    else:
+        tag = _TYPE_TAGS.get(cls)
+        if tag is not None:
+            buf.append(_B_OBJ)
+            _append_uvarint(buf, _TAG_IDS[tag])
+            if cls is ClientResponseBatch:
+                # Hot path: all n replicas (and the committed confirmation
+                # following a speculative response) encode an equal-content
+                # entries tuple for the same block.  Entries are frozen
+                # dataclasses, so the tuple is hashable: encode it once and
+                # splice the bytes for every equal tuple thereafter.
+                for name in _FIELDS[tag][:-1]:  # entries is the last field
+                    _enc_bin(getattr(value, name), buf)
+                entries = value.entries
+                cached = _entries_enc_cache.get(entries)
+                if cached is None:
+                    sub = bytearray()
+                    _enc_bin(entries, sub)
+                    cached = bytes(sub)
+                    if len(_entries_enc_cache) >= _ENTRIES_CACHE_MAX:
+                        _entries_enc_cache.clear()
+                    _entries_enc_cache[entries] = cached
+                buf += cached
+                return
+            for name in _FIELDS[tag]:
+                _enc_bin(getattr(value, name), buf)
+        elif isinstance(value, int):  # bool handled above; covers int enums
+            buf.append(_B_INT)
+            _append_zigzag(buf, int(value))
+        elif isinstance(value, float):
+            buf.append(_B_FLOAT)
+            buf += _DOUBLE.pack(float(value))
+        elif isinstance(value, (list, tuple)):
+            buf.append(_B_LIST)
+            _append_uvarint(buf, len(value))
+            for item in value:
+                _enc_bin(item, buf)
+        elif isinstance(value, dict):
+            buf.append(_B_MAP)
+            _append_uvarint(buf, len(value))
+            for key, item in value.items():
+                _enc_bin(key, buf)
+                _enc_bin(item, buf)
+        else:
+            raise UnknownWireTypeError(f"no wire format registered for {cls.__name__}")
+
+
+def _dec_bin(data: bytes, pos: int) -> Tuple[Any, int]:
+    """Decode one binary value starting at *pos*; returns ``(value, next_pos)``.
+
+    The single-byte varint case (values and lengths < 128, the overwhelming
+    majority) is inlined: a frame decode visits hundreds of values and the
+    extra function call per varint is the hottest line of the live runtime.
+    """
+    code = data[pos]
+    pos += 1
+    if code == _B_INT:  # most frequent first: ints, strings, digests, objects
+        unsigned = data[pos]
+        if unsigned < 0x80:
+            pos += 1
+        else:
+            unsigned, pos = _read_uvarint(data, pos)
+        return (unsigned >> 1) if not unsigned & 1 else -((unsigned + 1) >> 1), pos
+    if code == _B_STR:
+        length = data[pos]
+        if length < 0x80:
+            pos += 1
+        else:
+            length, pos = _read_uvarint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise CodecError("truncated binary string")
+        return data[pos:end].decode("utf-8"), end
+    if code == _B_HEX:
+        length = data[pos]
+        if length < 0x80:
+            pos += 1
+        else:
+            length, pos = _read_uvarint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise CodecError("truncated binary digest")
+        return data[pos:end].hex(), end
+    if code == _B_OBJ:
+        tag_id = data[pos]
+        if tag_id < 0x80:
+            pos += 1
+        else:
+            tag_id, pos = _read_uvarint(data, pos)
+        if tag_id >= len(_TAG_LIST):
+            raise CodecError(f"unknown binary tag id {tag_id}")
+        tag = _TAG_LIST[tag_id]
+        fields = _FIELDS[tag]
+        if tag == "client_response":
+            # Mirror of the entries encode cache: a client collects one
+            # response batch per replica for the same block, and the entries
+            # (the last, and by far largest, field) are byte-identical across
+            # them.  Key the cache by the remaining byte suffix — equal bytes
+            # decode to an equal prefix deterministically.
+            values = []
+            for _ in fields[:-1]:
+                value, pos = _dec_bin(data, pos)
+                values.append(value)
+            suffix = bytes(data[pos:])
+            hit = _entries_dec_cache.get(suffix)
+            if hit is not None:
+                entries, consumed = hit
+                values.append(entries)
+                return _REBUILDERS[tag](dict(zip(fields, values))), pos + consumed
+            entries, end = _dec_bin(data, pos)
+            if len(_entries_dec_cache) >= _ENTRIES_CACHE_MAX:
+                _entries_dec_cache.clear()
+            _entries_dec_cache[suffix] = (entries, end - pos)
+            values.append(entries)
+            return _REBUILDERS[tag](dict(zip(fields, values))), end
+        values = []
+        for _ in fields:
+            value, pos = _dec_bin(data, pos)
+            values.append(value)
+        return _REBUILDERS[tag](dict(zip(fields, values))), pos
+    if code == _B_FLOAT:
+        return _DOUBLE.unpack_from(data, pos)[0], pos + 8
+    if code == _B_LIST:
+        count = data[pos]
+        if count < 0x80:
+            pos += 1
+        else:
+            count, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _dec_bin(data, pos)
+            items.append(item)
+        return items, pos
+    if code == _B_MAP:
+        count = data[pos]
+        if count < 0x80:
+            pos += 1
+        else:
+            count, pos = _read_uvarint(data, pos)
+        mapping: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _dec_bin(data, pos)
+            mapping[key], pos = _dec_bin(data, pos)
+        return mapping, pos
+    if code == _B_NONE:
+        return None, pos
+    if code == _B_TRUE:
+        return True, pos
+    if code == _B_FALSE:
+        return False, pos
+    raise CodecError(f"unknown binary type code {code:#04x}")
+
+
+# ------------------------------------------------------------- codec selection
+_active_codec = "json"
+
+
+def wire_codec() -> str:
+    """Name of the codec currently used for *encoding* (decoding sniffs)."""
+    return _active_codec
+
+
+def set_wire_codec(name: str) -> None:
+    """Select the encoding codec for this process (``json`` or ``binary``).
+
+    Decoding is unaffected — both formats are always accepted — but encoded
+    frames, :func:`encoded_size` charges, and therefore the simulator's byte
+    counters all follow the active codec, so the memoized sizes are dropped.
+    """
+    global _active_codec
+    if name not in WIRE_CODECS:
+        raise ConfigurationError(f"unknown wire codec {name!r}; available: {sorted(WIRE_CODECS)}")
+    _active_codec = name
+    reset_size_cache()
+
+
+@contextmanager
+def wire_codec_scope(name: str) -> Iterator[None]:
+    """Run a block under codec *name*, restoring the previous codec after.
+
+    Experiment runs select their spec's codec through this scope so tests and
+    sweeps sharing one process never leak a codec choice into the next run.
+    """
+    previous = _active_codec
+    set_wire_codec(name)
+    try:
+        yield
+    finally:
+        set_wire_codec(previous)
 
 
 # Support objects nested inside protocol messages.
@@ -186,8 +531,8 @@ _register(
         formed_in_view=d["formed_in_view"],
     ),
 )
-# Note: Certificate.kind is a str-enum, so json serializes it as its value
-# string and the Certificate rebuilder restores it with ``CertKind(...)``.
+# Note: Certificate.kind is a str-enum, so both codecs serialize it as its
+# value string and the Certificate rebuilder restores it with ``CertKind(...)``.
 _register(ResponseEntry, "entry", ("txn_id", "client_id", "result_digest", "success"))
 
 # Protocol messages (one tag per dataclass in repro.consensus.messages).
@@ -240,11 +585,20 @@ _register(
 )
 _register(SnapshotRequest, "snapshot_request", ("requester", "have_height"))
 _register(SnapshotResponse, "snapshot_response", ("responder", "snapshot"))
+# Wire version 4 additions (registered last so earlier binary tag ids stay
+# stable): the live client pool's coalesced request frame.
+_register(
+    ClientRequestBatch,
+    "client_request_batch",
+    ("txns",),
+    lambda d: ClientRequestBatch(txns=tuple(d["txns"])),
+)
 
 
 #: Message classes the codec can carry (exported for tests).
 MESSAGE_TYPES = (
     ClientRequest,
+    ClientRequestBatch,
     ClientResponseBatch,
     Propose,
     ProposeVote,
@@ -277,12 +631,28 @@ def message_from_wire(document: Dict[str, Any]) -> Any:
 
 
 def encode_message(payload: Any) -> bytes:
-    """Serialize one protocol message to compact JSON bytes."""
+    """Serialize one protocol message under the active codec."""
+    if _active_codec == "binary":
+        if type(payload) not in _TYPE_TAGS:
+            raise UnknownWireTypeError(f"{type(payload).__name__} is not a wire message")
+        buf = bytearray()
+        _enc_bin(payload, buf)
+        return bytes(buf)
     return json.dumps(message_to_wire(payload), separators=(",", ":")).encode("utf-8")
 
 
 def decode_message(data: bytes) -> Any:
-    """Inverse of :func:`encode_message`."""
+    """Inverse of :func:`encode_message` (either codec, sniffed from byte 0)."""
+    if data[:1] == b"\x09":  # binary messages always carry a registered object
+        try:
+            value, pos = _dec_bin(data, 0)
+        except CodecError:
+            raise
+        except (IndexError, ValueError, KeyError, TypeError, struct.error) as exc:
+            raise CodecError(f"cannot decode binary message: {exc}") from exc
+        if pos != len(data):
+            raise CodecError(f"{len(data) - pos} trailing bytes after binary message")
+        return value
     try:
         return message_from_wire(json.loads(data.decode("utf-8")))
     except (ValueError, KeyError, TypeError) as exc:
@@ -335,15 +705,38 @@ _SHAPE_KEYS: Dict[Type, Callable[[Any], Tuple]] = {
 }
 _size_cache: Dict[Tuple, int] = {}
 
+#: Decoded-payload cache for binary envelopes, keyed by the exact payload
+#: bytes.  A broadcast encodes its message once and splices per-receiver
+#: routing headers, so every remote peer of an in-process cluster receives a
+#: byte-identical payload: the first decode pays, the rest are dict hits.
+#: Sharing the decoded object between recipients mirrors the simulator, which
+#: delivers one message object to every recipient.
+_decode_cache: Dict[bytes, Any] = {}
+_DECODE_CACHE_MAX = 256
+
+#: ClientResponseBatch entries caches.  Every replica in a deployment encodes
+#: an equal-content entries tuple for the same block (and encodes it twice
+#: when a speculative response is later confirmed), and the client decodes all
+#: of those copies.  Encode is keyed by the entries tuple itself (frozen
+#: dataclasses hash by value); decode is keyed by the remaining byte suffix.
+_entries_enc_cache: Dict[Tuple, bytes] = {}
+_entries_dec_cache: Dict[bytes, Tuple[Any, int]] = {}
+_ENTRIES_CACHE_MAX = 64
+
 
 def reset_size_cache() -> None:
-    """Drop memoized sizes (called at the start of every experiment run, so
-    one deployment's message shapes never leak into the next)."""
+    """Drop memoized sizes and decoded payloads (called at the start of every
+    experiment run and on codec switches, so one deployment's message shapes
+    never leak into the next)."""
     _size_cache.clear()
+    _decode_cache.clear()
+    _entries_enc_cache.clear()
+    _entries_dec_cache.clear()
 
 
 def encoded_size(payload: Any, default: int = DEFAULT_SIZE_BYTES) -> int:
-    """Bytes this payload occupies on the wire (body plus envelope overhead).
+    """Bytes this payload occupies on the wire (body plus envelope overhead)
+    under the active codec.
 
     Sizes are exact for the first message of each (type, shape) and reused
     for later messages of the same shape (whose encodings differ only by
@@ -357,8 +750,9 @@ def encoded_size(payload: Any, default: int = DEFAULT_SIZE_BYTES) -> int:
     cached = _size_cache.get(key)
     if cached is not None:
         return cached
+    overhead = BINARY_ENVELOPE_OVERHEAD if _active_codec == "binary" else ENVELOPE_OVERHEAD
     try:
-        size = len(encode_message(payload)) + ENVELOPE_OVERHEAD
+        size = len(encode_message(payload)) + overhead
     except UnknownWireTypeError:
         return default
     _size_cache[key] = size
@@ -366,19 +760,77 @@ def encoded_size(payload: Any, default: int = DEFAULT_SIZE_BYTES) -> int:
 
 
 # --------------------------------------------------------------------- frames
-def encode_envelope_frame(sender: int, receiver: int, payload: Any, sent_at: float) -> bytes:
-    """Build one length-prefixed frame carrying *payload* between two nodes."""
-    body = json.dumps(
-        {"v": WIRE_VERSION, "s": sender, "r": receiver, "a": sent_at, "m": message_to_wire(payload)},
-        separators=(",", ":"),
-    ).encode("utf-8")
+def frame_from_message(sender: int, receiver: int, message: bytes, sent_at: float) -> bytes:
+    """Build one length-prefixed frame around already-encoded *message* bytes.
+
+    The envelope format is sniffed from the message encoding, so the frame
+    always matches its body.  Broadcasts encode the message once and call
+    this per receiver — splicing the routing fields is an order of magnitude
+    cheaper than re-encoding a 100-transaction block per peer.
+    """
+    if message[:1] == b"{":
+        # repr() of a Python float is exactly json.dumps' float text.
+        body = b'{"v":%d,"s":%d,"r":%d,"a":%s,"m":%s}' % (
+            WIRE_VERSION,
+            sender,
+            receiver,
+            repr(float(sent_at)).encode("ascii"),
+            message,
+        )
+    elif message[:1] == b"\x09":
+        head = bytearray((BINARY_MAGIC,))
+        _append_uvarint(head, WIRE_VERSION)
+        _append_zigzag(head, sender)
+        _append_zigzag(head, receiver)
+        head += _DOUBLE.pack(sent_at)
+        body = bytes(head) + message
+    else:
+        raise CodecError("message bytes are neither JSON nor binary encoded")
     if len(body) > MAX_FRAME_BYTES:
-        raise CodecError(f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+        raise FrameTooLargeError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES}); reduce the batch size or snapshot state"
+        )
     return FRAME_HEADER.pack(len(body)) + body
 
 
+def encode_envelope_frame(sender: int, receiver: int, payload: Any, sent_at: float) -> bytes:
+    """Build one length-prefixed frame carrying *payload* between two nodes."""
+    return frame_from_message(sender, receiver, encode_message(payload), sent_at)
+
+
 def decode_envelope_body(body: bytes) -> Tuple[int, int, float, Any]:
-    """Decode a frame body into ``(sender, receiver, sent_at, payload)``."""
+    """Decode a frame body into ``(sender, receiver, sent_at, payload)``.
+
+    Accepts both formats regardless of the active encoding codec: binary
+    bodies are recognised by :data:`BINARY_MAGIC`, everything else is treated
+    as a JSON envelope (wire versions 1–4).
+    """
+    if body[:1] == bytes((BINARY_MAGIC,)):
+        try:
+            version, pos = _read_uvarint(body, 1)
+            if version not in SUPPORTED_WIRE_VERSIONS:
+                raise CodecError(f"unsupported wire version {version!r}")
+            sender, pos = _read_zigzag(body, pos)
+            receiver, pos = _read_zigzag(body, pos)
+            sent_at = _DOUBLE.unpack_from(body, pos)[0]
+            payload_bytes = body[pos + 8 :]
+            payload = _decode_cache.get(payload_bytes)
+            if payload is not None:
+                return sender, receiver, sent_at, payload
+            payload, end = _dec_bin(payload_bytes, 0)
+        except CodecError:
+            raise
+        except (IndexError, ValueError, KeyError, TypeError, struct.error) as exc:
+            raise CodecError(f"cannot decode binary envelope: {exc}") from exc
+        if end != len(payload_bytes):
+            raise CodecError(
+                f"{len(payload_bytes) - end} trailing bytes after binary envelope"
+            )
+        if len(_decode_cache) >= _DECODE_CACHE_MAX:
+            _decode_cache.clear()
+        _decode_cache[payload_bytes] = payload
+        return sender, receiver, sent_at, payload
     try:
         document = json.loads(body.decode("utf-8"))
         if document.get("v") not in SUPPORTED_WIRE_VERSIONS:

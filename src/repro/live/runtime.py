@@ -68,6 +68,16 @@ class WallClock:
         """Seconds since the clock was created (monotonic)."""
         return self._loop.time() - self._origin
 
+    def reset_origin(self) -> None:
+        """Restart time at 0.0, as if the clock had just been constructed.
+
+        Deployment construction (workload tables, keys, replicas) happens
+        under the same clock that later times the run; resetting the origin
+        right before the protocol starts keeps that setup cost out of the
+        measured window.  Must be called before anything is scheduled.
+        """
+        self._origin = self._loop.time()
+
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> WallHandle:
         """Run *callback* *delay* wall-clock seconds from now."""

@@ -23,7 +23,8 @@ from repro.errors import NetworkError
 from repro.live.codec import (
     CodecError,
     decode_envelope_body,
-    encode_envelope_frame,
+    encode_message,
+    frame_from_message,
     read_frame,
 )
 from repro.net.message import Envelope
@@ -91,15 +92,36 @@ class _PeerConnection:
 
     async def _run(self) -> None:
         backoff = self.owner.reconnect_backoff
+        queue = self._queue
+        batch_bytes = self.owner.batch_bytes
+        flush_delay = self.owner.flush_delay
         while True:
-            frame = await self._queue.get()
+            frame = await queue.get()
+            # Nagle-style coalescing: after blocking for the first frame,
+            # greedily drain whatever else is already queued (optionally
+            # lingering ``flush_delay`` seconds first) and write the batch
+            # with a single syscall + drain.  Vote shares and beacons stop
+            # paying one write()/drain() round-trip each; ``drain()`` on the
+            # combined batch still applies writer backpressure.
+            if flush_delay > 0.0 and queue.empty():
+                await asyncio.sleep(flush_delay)
+            frames = [frame]
+            size = len(frame)
+            while size < batch_bytes:
+                try:
+                    extra = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                frames.append(extra)
+                size += len(extra)
+            batch = frames[0] if len(frames) == 1 else b"".join(frames)
             delivered = False
             for _ in range(self.owner.max_send_attempts):
                 try:
                     if self._writer is None:
                         _, self._writer = await asyncio.open_connection(self.host, self.port)
                         self.connects += 1
-                    self._writer.write(frame)
+                    self._writer.write(batch)
                     await self._writer.drain()
                     delivered = True
                     break
@@ -109,8 +131,10 @@ class _PeerConnection:
                     backoff = min(backoff * 2, self.owner.max_backoff)
             if delivered:
                 backoff = self.owner.reconnect_backoff
+                self.owner.batch_writes += 1
+                self.owner.batched_frames += len(frames)
             else:
-                self.owner.stats.messages_dropped += 1
+                self.owner.stats.messages_dropped += len(frames)
 
     async def _drop_writer(self) -> None:
         writer, self._writer = self._writer, None
@@ -158,6 +182,8 @@ class AsyncTcpTransport:
         max_send_attempts: int = 5,
         reconnect_backoff: float = 0.02,
         max_backoff: float = 0.5,
+        batch_bytes: int = 64 * 1024,
+        flush_delay: float = 0.0,
     ) -> None:
         self.node_id = int(node_id)
         self.clock = clock
@@ -167,6 +193,15 @@ class AsyncTcpTransport:
         self.max_send_attempts = max_send_attempts
         self.reconnect_backoff = reconnect_backoff
         self.max_backoff = max_backoff
+        #: Writer coalescing thresholds: a peer connection batches queued
+        #: frames up to ``batch_bytes`` per write (after lingering
+        #: ``flush_delay`` seconds when its queue is empty, 0 = flush
+        #: immediately); ``batch_writes`` / ``batched_frames`` count the
+        #: resulting syscalls and the frames they carried.
+        self.batch_bytes = batch_bytes
+        self.flush_delay = flush_delay
+        self.batch_writes = 0
+        self.batched_frames = 0
         self.delivery_errors: List[BaseException] = []
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -268,10 +303,27 @@ class AsyncTcpTransport:
         Returns the in-flight envelope, or ``None`` when dropped.
         """
         try:
-            frame = encode_envelope_frame(sender, receiver, payload, self.clock.now)
+            message = encode_message(payload)
         except CodecError as exc:
             # send() runs inside timer callbacks; raising here would vanish
             # into asyncio's default handler, so record and drop instead.
+            self.delivery_errors.append(exc)
+            self.stats.messages_dropped += 1
+            return None
+        return self._send_encoded(sender, receiver, payload, message, size_bytes)
+
+    def _send_encoded(
+        self,
+        sender: int,
+        receiver: int,
+        payload: Any,
+        message: bytes,
+        size_bytes: Optional[int] = None,
+    ) -> Optional[Envelope]:
+        """Frame pre-encoded *message* bytes and hand them to one receiver."""
+        try:
+            frame = frame_from_message(sender, receiver, message, self.clock.now)
+        except CodecError as exc:  # includes FrameTooLargeError
             self.delivery_errors.append(exc)
             self.stats.messages_dropped += 1
             return None
@@ -304,13 +356,25 @@ class AsyncTcpTransport:
         include_self: bool = True,
         size_bytes: Optional[int] = None,
     ) -> int:
-        """Send *payload* to every known node (or the given *receivers*)."""
+        """Send *payload* to every known node (or the given *receivers*).
+
+        The message body is encoded once for the whole fan-out; only the
+        per-receiver envelope is spliced around it.
+        """
         targets = list(self.node_ids if receivers is None else receivers)
+        try:
+            message = encode_message(payload)
+        except CodecError as exc:
+            self.delivery_errors.append(exc)
+            self.stats.messages_dropped += sum(
+                1 for receiver in targets if include_self or receiver != sender
+            )
+            return 0
         count = 0
         for receiver in targets:
             if not include_self and receiver == sender:
                 continue
-            self.send(sender, receiver, payload, size_bytes=size_bytes)
+            self._send_encoded(sender, receiver, payload, message, size_bytes)
             count += 1
         return count
 

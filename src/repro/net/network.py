@@ -51,6 +51,7 @@ class NetworkStats:
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.sent_by_type: Dict[str, int] = {}
+        self.bytes_by_type: Dict[str, int] = {}
         self.delivered_by_type: Dict[str, int] = {}
 
     def record_sent(self, payload: Any, size_bytes: int) -> None:
@@ -59,6 +60,7 @@ class NetworkStats:
         self.bytes_sent += size_bytes
         name = type(payload).__name__
         self.sent_by_type[name] = self.sent_by_type.get(name, 0) + 1
+        self.bytes_by_type[name] = self.bytes_by_type.get(name, 0) + size_bytes
 
     def record_delivered(self, payload: Any) -> None:
         """Count one delivered message, keyed by payload type."""
@@ -74,6 +76,8 @@ class NetworkStats:
         self.bytes_sent += other.bytes_sent
         for name, count in other.sent_by_type.items():
             self.sent_by_type[name] = self.sent_by_type.get(name, 0) + count
+        for name, count in other.bytes_by_type.items():
+            self.bytes_by_type[name] = self.bytes_by_type.get(name, 0) + count
         for name, count in other.delivered_by_type.items():
             self.delivered_by_type[name] = self.delivered_by_type.get(name, 0) + count
 
@@ -85,6 +89,7 @@ class NetworkStats:
             "messages_dropped": self.messages_dropped,
             "bytes_sent": self.bytes_sent,
             "sent_by_type": dict(self.sent_by_type),
+            "bytes_by_type": dict(self.bytes_by_type),
             "delivered_by_type": dict(self.delivered_by_type),
         }
 

@@ -9,8 +9,16 @@ from __future__ import annotations
 
 import math
 
+from typing import Dict, Tuple
+
 from repro.errors import WorkloadError
 from repro.sim.rng import SeededRng
+
+#: Memoized zeta(n) partial sums keyed by (count, theta).  Computing the sum
+#: for the paper's 600k-record YCSB table costs ~60ms of pure Python; every
+#: experiment in a sweep builds a fresh workload with the same parameters, so
+#: the table is worth computing exactly once per process.
+_ZETA_CACHE: Dict[Tuple[int, float], float] = {}
 
 
 class ZipfGenerator:
@@ -47,7 +55,14 @@ class ZipfGenerator:
 
     @staticmethod
     def _zeta(count: int, theta: float) -> float:
-        return sum(1.0 / math.pow(i, theta) for i in range(1, count + 1)) if theta > 0 else float(count)
+        if theta <= 0:
+            return float(count)
+        key = (count, theta)
+        value = _ZETA_CACHE.get(key)
+        if value is None:
+            value = sum(1.0 / math.pow(i, theta) for i in range(1, count + 1))
+            _ZETA_CACHE[key] = value
+        return value
 
     def next(self, rng: SeededRng) -> int:
         """Draw the next item index using *rng*."""

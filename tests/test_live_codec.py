@@ -9,6 +9,7 @@ import pytest
 from repro.consensus.certificates import CertKind, Certificate
 from repro.consensus.messages import (
     ClientRequest,
+    ClientRequestBatch,
     ClientResponseBatch,
     FetchRequest,
     FetchResponse,
@@ -75,6 +76,7 @@ def _all_messages():
     )
     return [
         ClientRequest(txn=txns[0]),
+        ClientRequestBatch(txns=txns),
         ClientResponseBatch(
             replica_id=2, view=5, slot=2, block_hash=block.block_hash, speculative=True, entries=entries
         ),
@@ -196,10 +198,159 @@ class TestVersionSkew:
         assert (sender, receiver, sent_at) == (0, 1, 0.5)
         assert payload == Wish(view=6, voter=3, share=shares[0])
 
-    def test_current_version_is_3_and_older_versions_remain_supported(self):
-        # v2 added view-sync evidence, v3 the snapshot state-transfer messages.
-        assert codec.WIRE_VERSION == 3
-        assert set(codec.SUPPORTED_WIRE_VERSIONS) == {1, 2, 3}
+    def test_current_version_is_4_and_older_versions_remain_supported(self):
+        # v2 added view-sync evidence, v3 the snapshot state-transfer
+        # messages, v4 the binary codec.
+        assert codec.WIRE_VERSION == 4
+        assert set(codec.SUPPORTED_WIRE_VERSIONS) == {1, 2, 3, 4}
+
+
+class TestBinaryCodec:
+    """Wire version 4: the struct-packed codec behind the same API."""
+
+    def test_every_message_type_round_trips_in_binary(self):
+        seen_types = set()
+        with codec.wire_codec_scope("binary"):
+            for message in _all_messages():
+                data = codec.encode_message(message)
+                assert data[:1] == b"\x09"  # every message is a registered object
+                assert codec.decode_message(data) == message
+                seen_types.add(type(message))
+        assert seen_types == set(codec.MESSAGE_TYPES)
+
+    def test_binary_envelope_frame_round_trips(self):
+        codec.reset_size_cache()
+        message = _all_messages()[2]  # a Propose with a full block
+        with codec.wire_codec_scope("binary"):
+            frame = codec.encode_envelope_frame(3, -1, message, 1.25)
+            body = frame[4:]
+            assert body[0] == codec.BINARY_MAGIC
+            assert codec.decode_envelope_body(body) == (3, -1, 1.25, message)
+
+    def test_binary_is_leaner_than_json_for_every_message(self):
+        for message in _all_messages():
+            with codec.wire_codec_scope("binary"):
+                binary = codec.encode_message(message)
+            json_bytes = codec.encode_message(message)
+            assert len(binary) < len(json_bytes), type(message).__name__
+
+    def test_json_peer_decodes_v4_binary_frames(self):
+        """Mid-upgrade skew: a JSON-emitting peer receives binary frames."""
+        codec.reset_size_cache()
+        message = _all_messages()[0]
+        with codec.wire_codec_scope("binary"):
+            frame = codec.encode_envelope_frame(0, 2, message, 0.5)
+        assert codec.wire_codec() == "json"
+        assert codec.decode_envelope_body(frame[4:]) == (0, 2, 0.5, message)
+
+    def test_binary_peer_decodes_v1_v2_v3_json_frames(self):
+        """Mid-upgrade skew the other way: a binary-emitting peer receives
+        older JSON frames, including ones missing post-v1 fields."""
+        shares, _, cert, _ = _fixture_objects()
+        document = codec.message_to_wire(Wish(view=6, voter=3, share=shares[0]))
+        del document["current_view"]
+        del document["high_cert"]
+        v1_body = json.dumps(
+            {"v": 1, "s": 0, "r": 1, "a": 0.5, "m": document}, separators=(",", ":")
+        ).encode("utf-8")
+        v2_message = TimeoutCertificateMsg(view=6, cert=cert, sender_view=5, high_cert=cert)
+        v2_body = json.dumps(
+            {"v": 2, "s": 2, "r": 3, "a": 1.5, "m": codec.message_to_wire(v2_message)},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        v3_message = SnapshotRequest(requester=2, have_height=7)
+        v3_body = json.dumps(
+            {"v": 3, "s": 1, "r": 0, "a": 2.5, "m": codec.message_to_wire(v3_message)},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        with codec.wire_codec_scope("binary"):
+            assert codec.decode_envelope_body(v1_body) == (
+                0, 1, 0.5, Wish(view=6, voter=3, share=shares[0])
+            )
+            assert codec.decode_envelope_body(v2_body) == (2, 3, 1.5, v2_message)
+            assert codec.decode_envelope_body(v3_body) == (1, 0, 2.5, v3_message)
+
+    def test_unsupported_binary_wire_version_rejected(self):
+        codec.reset_size_cache()
+        with codec.wire_codec_scope("binary"):
+            frame = codec.encode_envelope_frame(0, 1, _all_messages()[0], 0.0)
+        body = bytearray(frame[4:])
+        assert body[1] == codec.WIRE_VERSION  # single-byte varint
+        body[1] = 99
+        with pytest.raises(codec.CodecError, match="version"):
+            codec.decode_envelope_body(bytes(body))
+
+    def test_truncated_binary_frames_raise_codec_error(self):
+        codec.reset_size_cache()
+        with codec.wire_codec_scope("binary"):
+            body = codec.encode_envelope_frame(0, 1, _all_messages()[2], 0.0)[4:]
+        for cut in (len(body) // 2, len(body) - 1, 12):
+            with pytest.raises(codec.CodecError):
+                codec.decode_envelope_body(body[:cut])
+
+    def test_trailing_bytes_after_binary_payload_rejected(self):
+        codec.reset_size_cache()
+        with codec.wire_codec_scope("binary"):
+            body = codec.encode_envelope_frame(0, 1, _all_messages()[0], 0.0)[4:]
+            with pytest.raises(codec.CodecError, match="trailing"):
+                codec.decode_envelope_body(body + b"\x00")
+            with pytest.raises(codec.CodecError, match="trailing"):
+                codec.decode_message(codec.encode_message(_all_messages()[0]) + b"\x00")
+
+    def test_unknown_binary_type_code_rejected(self):
+        head = bytearray((codec.BINARY_MAGIC, codec.WIRE_VERSION, 0, 2))
+        head += codec._DOUBLE.pack(0.0)
+        with pytest.raises(codec.CodecError, match="type code"):
+            codec.decode_envelope_body(bytes(head) + b"\xff")
+
+    def test_overlong_varint_rejected(self):
+        head = bytearray((codec.BINARY_MAGIC, codec.WIRE_VERSION, 0, 2))
+        head += codec._DOUBLE.pack(0.0)
+        with pytest.raises(codec.CodecError, match="varint"):
+            codec.decode_envelope_body(bytes(head) + b"\x03" + b"\x80" * 11)
+
+    def test_oversized_frame_raises_configuration_error(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setattr(codec, "MAX_FRAME_BYTES", 64)
+        with codec.wire_codec_scope("binary"):
+            with pytest.raises(codec.FrameTooLargeError) as excinfo:
+                codec.encode_envelope_frame(0, 1, _all_messages()[2], 0.0)
+        assert isinstance(excinfo.value, ConfigurationError)
+        assert isinstance(excinfo.value, codec.CodecError)
+
+    def test_broadcast_payloads_share_one_decoded_object(self):
+        """Per-receiver frames spliced around one encoded message decode to
+        the same object, mirroring the simulator's single delivered message."""
+        codec.reset_size_cache()
+        message = _all_messages()[2]
+        with codec.wire_codec_scope("binary"):
+            encoded = codec.encode_message(message)
+            body_a = codec.frame_from_message(0, 1, encoded, 0.25)[4:]
+            body_b = codec.frame_from_message(0, 2, encoded, 0.25)[4:]
+            payload_a = codec.decode_envelope_body(body_a)[3]
+            payload_b = codec.decode_envelope_body(body_b)[3]
+        assert payload_a == message
+        assert payload_a is payload_b
+
+    def test_response_entries_cache_keeps_distinct_batches_distinct(self):
+        codec.reset_size_cache()
+        entries_a = tuple(
+            ResponseEntry(txn_id=i, client_id=-1 - i, result_digest="a" * 64, success=True)
+            for i in range(5)
+        )
+        entries_b = entries_a[:-1] + (
+            ResponseEntry(txn_id=4, client_id=-5, result_digest="b" * 64, success=False),
+        )
+        batches = [
+            ClientResponseBatch(replica_id=r, view=1, slot=1, block_hash="c" * 64,
+                                speculative=False, entries=entries)
+            for entries in (entries_a, entries_b)
+            for r in range(3)
+        ]
+        with codec.wire_codec_scope("binary"):
+            for batch in batches:
+                assert codec.decode_message(codec.encode_message(batch)) == batch
 
 
 class TestEncodedSize:

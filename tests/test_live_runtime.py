@@ -124,6 +124,95 @@ class TestAsyncTcpTransport:
         assert result is None
         assert dropped == 1
 
+    def test_burst_of_frames_coalesces_into_few_writes(self):
+        """Frames queued while the writer is busy (here: still connecting
+        lazily) are drained into one batched write + drain, not one syscall
+        round-trip each."""
+        async def scenario():
+            clock = WallClock()
+            left, right = AsyncTcpTransport(0, clock), AsyncTcpTransport(1, clock)
+            sinks = [_Sink(0), _Sink(1)]
+            left.register(sinks[0])
+            right.register(sinks[1])
+            cluster = LiveCluster(clock, [LiveNode(0, left), LiveNode(1, right)])
+            await cluster.start()
+            try:
+                message = FetchRequest(block_hash="c" * 64, requester=0)
+                for _ in range(50):  # no awaits: all 50 queue before the writer runs
+                    left.send(0, 1, message)
+                for _ in range(200):
+                    await asyncio.sleep(0.01)
+                    if len(sinks[1].received) >= 50:
+                        break
+            finally:
+                await cluster.close()
+            return left, sinks
+
+        left, sinks = asyncio.run(scenario())
+        assert len(sinks[1].received) == 50
+        assert left.batched_frames == 50
+        # The whole burst fits well under batch_bytes (64 KiB), so the writer
+        # needed far fewer writes than frames — typically one or two.
+        assert left.batch_writes <= 5
+
+    def test_batch_bytes_threshold_bounds_coalescing(self):
+        """With batch_bytes below one frame, every frame pays its own write:
+        the threshold really is what stops the greedy drain."""
+        async def scenario():
+            clock = WallClock()
+            left = AsyncTcpTransport(0, clock, batch_bytes=1)
+            right = AsyncTcpTransport(1, clock)
+            sinks = [_Sink(0), _Sink(1)]
+            left.register(sinks[0])
+            right.register(sinks[1])
+            cluster = LiveCluster(clock, [LiveNode(0, left), LiveNode(1, right)])
+            await cluster.start()
+            try:
+                message = FetchRequest(block_hash="d" * 64, requester=0)
+                for _ in range(10):
+                    left.send(0, 1, message)
+                for _ in range(200):
+                    await asyncio.sleep(0.01)
+                    if len(sinks[1].received) >= 10:
+                        break
+            finally:
+                await cluster.close()
+            return left, sinks
+
+        left, sinks = asyncio.run(scenario())
+        assert len(sinks[1].received) == 10
+        assert left.batch_writes == 10
+        assert left.batched_frames == 10
+
+    def test_flush_delay_lingers_then_delivers(self):
+        """A small flush_delay coalesces trickling frames without losing any."""
+        async def scenario():
+            clock = WallClock()
+            left = AsyncTcpTransport(0, clock, flush_delay=0.005)
+            right = AsyncTcpTransport(1, clock)
+            sinks = [_Sink(0), _Sink(1)]
+            left.register(sinks[0])
+            right.register(sinks[1])
+            cluster = LiveCluster(clock, [LiveNode(0, left), LiveNode(1, right)])
+            await cluster.start()
+            try:
+                message = FetchRequest(block_hash="e" * 64, requester=0)
+                for _ in range(4):
+                    left.send(0, 1, message)
+                    await asyncio.sleep(0.001)  # trickle inside the linger window
+                for _ in range(200):
+                    await asyncio.sleep(0.01)
+                    if len(sinks[1].received) >= 4:
+                        break
+            finally:
+                await cluster.close()
+            return left, sinks
+
+        left, sinks = asyncio.run(scenario())
+        assert len(sinks[1].received) == 4
+        assert left.batched_frames == 4
+        assert left.batch_writes <= 3  # the linger coalesced at least one pair
+
     def test_one_transport_serves_one_node(self):
         async def scenario():
             transport = AsyncTcpTransport(0, WallClock())
@@ -201,7 +290,11 @@ class TestLiveClusterSmoke:
         sent = result.network_stats["sent_by_type"]
         assert sent.get("Propose", 0) > 0
         assert sent.get("NewView", 0) > 0
-        assert sent.get("ClientRequest", 0) > 0
+        # The live load generator coalesces request bursts into batch frames;
+        # stragglers (retries, single-completion bursts) still go individually.
+        requests = sent.get("ClientRequest", 0) + sent.get("ClientRequestBatch", 0)
+        assert requests > 0
+        assert sent.get("ClientRequestBatch", 0) > 0
         assert result.network_stats["bytes_sent"] > 0
 
 
