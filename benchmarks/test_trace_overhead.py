@@ -1,0 +1,87 @@
+"""Tracing-overhead guard: a traced run must not perturb or slow the engine.
+
+Runs the same simulation twice — tracing off, then on — and records both
+wall-clock times plus their ratio into the benchmark JSON
+(``benchmark.extra_info``).  Because the recorder only *observes* the clock
+(it never schedules events and keeps its own RNG), the traced run must commit
+the exact same transactions; the ratio guard then bounds the bookkeeping cost
+itself.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR, SCALE, pick
+
+from repro.experiments.report import format_series
+from repro.experiments.runner import ExperimentSpec, run_experiment
+
+
+def _timed_run(trace: bool, duration: float):
+    spec = ExperimentSpec(
+        protocol="hotstuff-1",
+        n=8,
+        duration=duration,
+        seed=7,
+        trace=trace,
+        trace_max_txns=2000,
+    )
+    started = time.perf_counter()
+    result = run_experiment(spec)
+    return time.perf_counter() - started, result
+
+
+def test_tracing_overhead(benchmark):
+    duration = pick(0.5, 2.0)
+
+    rows_holder = {}
+
+    def runner():
+        untraced_s, untraced = _timed_run(False, duration)
+        traced_s, traced = _timed_run(True, duration)
+        rows_holder["untraced"] = (untraced_s, untraced)
+        rows_holder["traced"] = (traced_s, traced)
+
+    benchmark.pedantic(runner, rounds=1, iterations=1)
+
+    untraced_s, untraced = rows_holder["untraced"]
+    traced_s, traced = rows_holder["traced"]
+
+    # Determinism: the recorder observes, never schedules.
+    assert (
+        untraced.summary.committed_txns == traced.summary.committed_txns
+    ), "tracing perturbed the simulation"
+    assert untraced.summary.as_dict() == traced.summary.as_dict()
+
+    ratio = traced_s / untraced_s if untraced_s > 0 else 1.0
+    benchmark.extra_info["untraced_s"] = round(untraced_s, 4)
+    benchmark.extra_info["traced_s"] = round(traced_s, 4)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 3)
+    benchmark.extra_info["committed_txns"] = untraced.summary.committed_txns
+    benchmark.extra_info["spans_sampled"] = len(traced.trace.spans)
+
+    rows = [
+        {
+            "variant": "untraced",
+            "wall_s": round(untraced_s, 4),
+            "committed_txns": untraced.summary.committed_txns,
+        },
+        {
+            "variant": "traced",
+            "wall_s": round(traced_s, 4),
+            "committed_txns": traced.summary.committed_txns,
+            "overhead_ratio": round(ratio, 3),
+        },
+    ]
+    table = format_series(rows, title=f"tracing overhead  [scale={SCALE}]")
+    print()
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "tracing-overhead.txt"), "w") as handle:
+        handle.write(table)
+
+    # Generous single-run bound: sampling caps keep the recorder's bookkeeping
+    # a small constant per event, so even noisy CI machines sit far below 2x.
+    assert ratio < 2.0, f"tracing overhead ratio {ratio:.2f} exceeds guard"

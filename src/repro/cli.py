@@ -55,6 +55,10 @@ Sub-commands
 ``profile``
     cProfile one live run and report where the event loop's CPU goes, bucketed
     by layer (encode / decode / transport / hashing / consensus / ...).
+``trace``
+    Inspect a JSONL trace dump (written by ``--trace-out`` on ``run`` /
+    ``live`` / ``chaos``) and re-export it as a Chrome/Perfetto trace or a
+    Prometheus text snapshot.
 ``predict``
     Print the closed-form performance-model predictions for all protocols.
 """
@@ -75,8 +79,10 @@ from repro.experiments.executor import execute_scenario, execute_suite
 from repro.experiments.report import (
     format_chaos_report,
     format_network_breakdown,
+    format_phase_breakdown,
     format_series,
     format_suite,
+    format_timeline,
 )
 from repro.faults.crashpoints import CRASH_HOOKS
 from repro.faults.plan import PRESETS as CHAOS_PRESETS
@@ -128,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PLAN.json",
         help="inject faults from a FaultPlan JSON file (crash/restart/partition/pause)",
     )
+    _add_trace_arguments(run_parser)
 
     live_parser = subparsers.add_parser(
         "live", help="run one experiment over real localhost TCP sockets"
@@ -165,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot the state machine and truncate the logs every N commits "
              "(default: checkpointing off)",
     )
+    _add_trace_arguments(live_parser)
 
     chaos_parser = subparsers.add_parser(
         "chaos", help="run one experiment under a fault plan and report recovery"
@@ -192,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="directory for file-backed replica stores (default: in-memory)")
     chaos_parser.add_argument("--emit-plan", action="store_true",
                               help="print the resolved fault plan as JSON and exit")
+    _add_trace_arguments(chaos_parser)
 
     fuzz_parser = subparsers.add_parser(
         "fuzz", help="crash-point fuzzing: seed-swept protocol-relative crashes"
@@ -287,6 +296,21 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--top", type=int, default=15,
                                 help="how many hottest functions to list")
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a JSONL trace dump and re-export it (Chrome / Prometheus)"
+    )
+    trace_parser.add_argument(
+        "trace_file", help="trace.jsonl written by a --trace-out run"
+    )
+    trace_parser.add_argument(
+        "--chrome", default=None, metavar="OUT.json",
+        help="write a Chrome/Perfetto trace (load in chrome://tracing or ui.perfetto.dev)",
+    )
+    trace_parser.add_argument(
+        "--prom", default=None, metavar="OUT.prom",
+        help="write a Prometheus text-exposition snapshot",
+    )
+
     predict_parser = subparsers.add_parser("predict", help="closed-form performance predictions")
     predict_parser.add_argument("--replicas", type=int, default=32)
     predict_parser.add_argument("--batch", type=int, default=100)
@@ -314,6 +338,27 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record per-transaction lifecycle spans, a phase-level latency breakdown "
+             "and a windowed time series (off by default; zero hot-path cost when off)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="write the trace bundle (JSONL + Chrome trace + Prometheus text) to this "
+             "directory (implies --trace)",
+    )
+    parser.add_argument(
+        "--trace-bucket", type=float, default=None, metavar="SECONDS",
+        help="time-series bucket width (default: duration/8, clamped to 20ms..1s)",
+    )
+    parser.add_argument(
+        "--trace-max-txns", type=int, default=2000,
+        help="cap on fully-sampled transaction spans (event counters stay exact past it)",
+    )
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for independent runs (default: serial)")
@@ -335,7 +380,28 @@ def _spec_from_args(args: argparse.Namespace, protocol: str) -> ExperimentSpec:
         codec=getattr(args, "codec", "json"),
         pipeline_depth=getattr(args, "pipeline_depth", 1),
         checkpoint_interval=getattr(args, "checkpoint_interval", None),
+        trace=bool(getattr(args, "trace", False) or getattr(args, "trace_out", None)),
+        trace_max_txns=getattr(args, "trace_max_txns", 2000),
+        trace_bucket=getattr(args, "trace_bucket", None),
     )
+
+
+def _emit_trace(result, args: argparse.Namespace) -> None:
+    """Print a traced run's phase breakdown and time series; export on request."""
+    trace = result.trace
+    if trace is None:
+        return
+    print(format_phase_breakdown(trace.phase_breakdown()))
+    print(format_timeline(trace.timeline()))
+    out_dir = getattr(args, "trace_out", None)
+    if out_dir:
+        from repro.obs.export import write_trace_bundle
+
+        paths = write_trace_bundle(trace, out_dir)
+        print(
+            "trace bundle: "
+            + ", ".join(f"{kind}={path}" for kind, path in sorted(paths.items()))
+        )
 
 
 def _clamp_warmup(scenario) -> None:
@@ -391,6 +457,7 @@ def command_run(args: argparse.Namespace) -> int:
     print(format_network_breakdown(result.network_stats, committed_ops=result.summary.committed_txns))
     if result.chaos is not None:
         print(format_chaos_report(result.chaos))
+    _emit_trace(result, args)
     return 0
 
 
@@ -414,6 +481,9 @@ def command_live(args: argparse.Namespace) -> int:
         faults=load_plan(args.faults).to_dict() if args.faults else None,
         storage_dir=args.storage_dir,
         checkpoint_interval=args.checkpoint_interval,
+        trace=bool(args.trace or args.trace_out),
+        trace_max_txns=args.trace_max_txns,
+        trace_bucket=args.trace_bucket,
     )
     target_ops = args.target_ops if args.target_ops > 0 else None
     result = run_live_experiment(spec, target_ops=target_ops, rate=args.rate)
@@ -427,6 +497,7 @@ def command_live(args: argparse.Namespace) -> int:
     print(format_network_breakdown(result.network_stats, committed_ops=summary.committed_txns))
     if result.chaos is not None:
         print(format_chaos_report(result.chaos))
+    _emit_trace(result, args)
     if target_ops is not None and summary.committed_txns < target_ops:
         print(
             f"warning: only {summary.committed_txns} of the targeted "
@@ -470,6 +541,7 @@ def command_chaos(args: argparse.Namespace) -> int:
     print(format_series([result.summary.as_dict()],
                         title=f"{spec.protocol} — chaos ({spec.mode}), n={spec.n}"))
     print(format_chaos_report(chaos))
+    _emit_trace(result, args)
     healthy = (
         bool(chaos.get("prefix_agreement", False))
         and chaos.get("events_fired", 0) == len(plan)
@@ -726,6 +798,30 @@ def command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_trace(args: argparse.Namespace) -> int:
+    """Load a JSONL trace dump, print its surfaces, optionally re-export it."""
+    import os
+
+    from repro.obs.export import read_jsonl, write_chrome, write_prometheus
+
+    if not os.path.isfile(args.trace_file):
+        raise ConfigurationError(f"trace file {args.trace_file!r} does not exist")
+    trace = read_jsonl(args.trace_file)
+    if not trace.counts and not trace.spans:
+        raise ConfigurationError(f"no trace records in {args.trace_file!r}")
+    counters = [
+        {"event": kind, "count": count} for kind, count in sorted(trace.counts.items())
+    ]
+    print(format_series(counters, title=f"lifecycle event counters — {args.trace_file}"))
+    print(format_phase_breakdown(trace.phase_breakdown()))
+    print(format_timeline(trace.timeline()))
+    if args.chrome:
+        print(f"wrote Chrome trace to {write_chrome(trace, args.chrome)}")
+    if args.prom:
+        print(f"wrote Prometheus exposition to {write_prometheus(trace, args.prom)}")
+    return 0
+
+
 def command_predict(args: argparse.Namespace) -> int:
     """Print analytic predictions for every protocol."""
     config = ProtocolConfig(n=args.replicas, batch_size=args.batch)
@@ -753,6 +849,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "grid": command_grid,
         "snapshot": command_snapshot,
         "profile": command_profile,
+        "trace": command_trace,
         "predict": command_predict,
     }
     try:

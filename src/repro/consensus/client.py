@@ -74,6 +74,9 @@ class ClientPool:
         self.outstanding: Dict[int, OutstandingRequest] = {}
         self.completed_count = 0
         self.retries = 0
+        #: Optional :class:`~repro.obs.trace.TraceRecorder`; ``None`` keeps
+        #: the submission/completion paths allocation-free.
+        self.tracer = None
         self._rng = sim.rng.fork("clients")
         self._next_target = 0
         self._retry_timer = PeriodicTimer(sim, max(self.retry_timeout / 2.0, config.view_timeout), self._check_retries)
@@ -109,6 +112,8 @@ class ClientPool:
             last_sent_at=self.sim.now,
         )
         self.outstanding[txn.txn_id] = request
+        if self.tracer is not None:
+            self.tracer.txn_submitted(txn.txn_id)
         self._send_request(request)
 
     def _send_request(self, request: OutstandingRequest) -> None:
@@ -142,6 +147,12 @@ class ClientPool:
     def _complete(self, request: OutstandingRequest, speculative: bool) -> None:
         self.outstanding.pop(request.txn.txn_id, None)
         self.completed_count += 1
+        if self.tracer is not None:
+            self.tracer.txn_responded(
+                request.txn.txn_id,
+                request.submitted_at,
+                speculative or request.speculative_seen,
+            )
         self.metrics.record_completion(
             txn_id=request.txn.txn_id,
             submitted_at=request.submitted_at,

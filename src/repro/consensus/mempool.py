@@ -25,6 +25,9 @@ class Mempool:
         self._pending: "OrderedDict[int, Transaction]" = OrderedDict()
         self._committed_ids: set = set()
         self._ever_added = 0
+        #: Optional :class:`~repro.obs.trace.TraceRecorder` (the tracer holds
+        #: the deployment clock; the mempool itself has no time source).
+        self.tracer = None
 
     # ----------------------------------------------------------------- write
     def add(self, txn: Transaction) -> bool:
@@ -36,6 +39,8 @@ class Mempool:
             return False
         self._pending[txn.txn_id] = txn
         self._ever_added += 1
+        if self.tracer is not None:
+            self.tracer.txn_mempool(txn.txn_id)
         return True
 
     def requeue(self, txns: List[Transaction]) -> None:

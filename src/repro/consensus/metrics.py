@@ -11,6 +11,8 @@ failure-resiliency experiments and the tests.
 from __future__ import annotations
 
 import math
+import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -73,9 +75,24 @@ class MetricsSummary:
 
 
 class MetricsCollector:
-    """Collects per-run measurements from clients, replicas and the network."""
+    """Collects per-run measurements from clients, replicas and the network.
 
-    def __init__(self, warmup: float = 0.0) -> None:
+    Memory is bounded: exact counters (completion count, latency sum) cover
+    every post-warmup completion, while ``samples`` is a capped reservoir the
+    percentiles are estimated from.  Below :data:`MAX_SAMPLES` completions —
+    every test and all but the longest live runs — percentiles are exact;
+    past the cap they are reservoir estimates whose error shrinks as
+    ``1/sqrt(cap)`` (well under the run-to-run noise at the default cap).
+    Duplicate-completion dedup uses an LRU window of recent transaction ids
+    (duplicates arrive close together, so the window is exact in practice).
+    """
+
+    #: Reservoir cap on retained :class:`LatencySample` objects.
+    MAX_SAMPLES = 100_000
+    #: LRU window of transaction ids used for duplicate-completion dedup.
+    DEDUP_WINDOW = 1 << 16
+
+    def __init__(self, warmup: float = 0.0, max_samples: Optional[int] = None) -> None:
         self.warmup = float(warmup)
         self.samples: List[LatencySample] = []
         self.consensus_commits = 0
@@ -86,7 +103,16 @@ class MetricsCollector:
         self.speculative_executions = 0
         self.messages_sent = 0
         self.pruned_blocks = 0
-        self._committed_txn_ids: set = set()
+        #: Exact count of completions submitted after the warmup window.
+        self.completed_count = 0
+        self._latency_sum = 0.0
+        self._max_samples = int(max_samples if max_samples is not None else self.MAX_SAMPLES)
+        self._samples_seen = 0
+        #: Private reservoir RNG — never the simulator's, so sampling cannot
+        #: perturb a deterministic run.
+        self._rng = random.Random(0xC0FFEE)
+        self._committed_txn_ids: "OrderedDict[int, None]" = OrderedDict()
+        self._window_end: Optional[float] = None
 
     # ----------------------------------------------------------- client side
     def record_completion(
@@ -95,15 +121,36 @@ class MetricsCollector:
         """Record that a client reached its matching quorum for a transaction."""
         if txn_id in self._committed_txn_ids:
             return
-        self._committed_txn_ids.add(txn_id)
-        self.samples.append(
-            LatencySample(
-                txn_id=txn_id,
-                submitted_at=submitted_at,
-                completed_at=completed_at,
-                speculative=speculative,
-            )
+        if len(self._committed_txn_ids) >= self.DEDUP_WINDOW:
+            self._committed_txn_ids.popitem(last=False)
+        self._committed_txn_ids[txn_id] = None
+        if self._window_end is not None and completed_at > self._window_end:
+            return  # completed while the harness was tearing the run down
+        if submitted_at >= self.warmup:
+            self.completed_count += 1
+            self._latency_sum += completed_at - submitted_at
+        sample = LatencySample(
+            txn_id=txn_id,
+            submitted_at=submitted_at,
+            completed_at=completed_at,
+            speculative=speculative,
         )
+        self._samples_seen += 1
+        if len(self.samples) < self._max_samples:
+            self.samples.append(sample)
+        else:
+            slot = self._rng.randrange(self._samples_seen)
+            if slot < self._max_samples:
+                self.samples[slot] = sample
+
+    def close_window(self, at: float) -> None:
+        """Close the measurement window at time *at*.
+
+        Completions recorded afterwards with ``completed_at > at`` (e.g.
+        while a live cluster's teardown drains) are ignored, so throughput
+        reflects the window that was actually measured.
+        """
+        self._window_end = float(at)
 
     # ---------------------------------------------------------- replica side
     def record_consensus_commit(self, txn_count: int) -> None:
@@ -129,16 +176,26 @@ class MetricsCollector:
 
     # ------------------------------------------------------------- summaries
     def completed_after_warmup(self) -> List[LatencySample]:
-        """Samples completed after the warmup window."""
-        return [sample for sample in self.samples if sample.completed_at >= self.warmup]
+        """Retained samples of transactions *submitted* after the warmup window.
+
+        Filtering on submission time keeps transactions issued during warmup
+        out of the early latency statistics even when they complete after the
+        boundary (their queueing delay belongs to the warmup, not the run).
+        Past the reservoir cap this is a sample; :attr:`completed_count` is
+        the exact population count.
+        """
+        return [sample for sample in self.samples if sample.submitted_at >= self.warmup]
 
     def throughput(self, duration: float) -> float:
         """Committed transactions per second over the post-warmup window."""
         window = max(duration - self.warmup, 1e-9)
-        return len(self.completed_after_warmup()) / window
+        return self.completed_count / window
 
     def latency_percentile(self, fraction: float) -> float:
-        """Latency percentile (e.g. 0.5, 0.99) over post-warmup samples."""
+        """Latency percentile (e.g. 0.5, 0.99) over post-warmup samples.
+
+        Exact below the reservoir cap, a reservoir estimate above it.
+        """
         samples = sorted(sample.latency for sample in self.completed_after_warmup())
         if not samples:
             return 0.0
@@ -146,18 +203,16 @@ class MetricsCollector:
         return samples[index]
 
     def average_latency(self) -> float:
-        """Mean client latency over post-warmup samples."""
-        samples = self.completed_after_warmup()
-        if not samples:
+        """Mean client latency over post-warmup completions (exact)."""
+        if not self.completed_count:
             return 0.0
-        return sum(sample.latency for sample in samples) / len(samples)
+        return self._latency_sum / self.completed_count
 
     def summarize(self, protocol: str, duration: float) -> MetricsSummary:
         """Build the final :class:`MetricsSummary` for a run of *duration* seconds."""
-        completed = self.completed_after_warmup()
         return MetricsSummary(
             protocol=protocol,
-            committed_txns=len(completed),
+            committed_txns=self.completed_count,
             duration=duration,
             throughput_tps=self.throughput(duration),
             avg_latency=self.average_latency(),

@@ -126,6 +126,8 @@ class ChainedReplica(BaseReplica):
             transactions=batch,
         )
         self.block_store.add(block)
+        if self.tracer is not None:
+            self.tracer.block_proposed(block, self.mempool.peek_count(), replica=self.replica_id)
         self.justify_of[block.block_hash] = justify
         proposal = Propose(view=view, slot=1, block=block, justify=justify)
         cost = self.costs.certificate_formation_cost(self.config.quorum)

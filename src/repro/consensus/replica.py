@@ -144,6 +144,9 @@ class BaseReplica:
         #: Optional :class:`~repro.checkpoint.manager.CheckpointManager`
         #: taking periodic snapshots; ``None`` disables checkpointing.
         self.checkpointer = None
+        #: Optional :class:`~repro.obs.trace.TraceRecorder` shared by the
+        #: whole deployment; ``None`` keeps every hot path allocation-free.
+        self.tracer = None
         #: State-transfer outcomes (diagnostics and report columns).
         self.snapshots_installed = 0
         self.snapshots_rejected = 0
@@ -320,7 +323,12 @@ class BaseReplica:
             return True
         if not self.authority.verify_certificate(cert):
             return False
-        self.certs_by_block.setdefault(cert.block_hash, cert)
+        if cert.block_hash not in self.certs_by_block:
+            self.certs_by_block[cert.block_hash] = cert
+            if self.tracer is not None:
+                self.tracer.block_certified(
+                    cert, self.block_store.maybe_get(cert.block_hash), replica=self.replica_id
+                )
         if cert.position > self.high_cert.position:
             self.high_cert = cert
             if self.store is not None:
@@ -356,6 +364,8 @@ class BaseReplica:
             return []
         outcomes = self.ledger.commit_chain(block)
         for outcome in outcomes:
+            if self.tracer is not None:
+                self.tracer.block_committed(outcome.block, replica=self.replica_id)
             self.mempool.mark_committed(txn.txn_id for txn in outcome.block.transactions)
             if self.store is not None:
                 self.store.record_commit(outcome.block.block_hash)
@@ -403,6 +413,8 @@ class BaseReplica:
         if self.ledger.is_committed(block.block_hash) or self.ledger.is_speculated(block.block_hash):
             return
         results = self.ledger.speculate(block)
+        if self.tracer is not None:
+            self.tracer.block_speculated(block, replica=self.replica_id)
         self.respond_to_clients(block, results, speculative=True, delay=response_delay)
         if self.report_metrics:
             self.metrics.record_speculative_execution(block.txn_count)
@@ -461,6 +473,10 @@ class BaseReplica:
         self.fault_point(HOOK_BEFORE_VOTE_WAL)
         if self.halted:
             return
+        if self.tracer is not None:
+            self.tracer.block_voted(
+                view, slot, self.block_store.maybe_get(block_hash), replica=self.replica_id
+            )
         self.last_voted_view = max(self.last_voted_view, int(view))
         if self.store is not None:
             self.store.record_vote(view, slot, block_hash)
@@ -610,6 +626,8 @@ class BaseReplica:
         """
         if self.store is not None:
             self.store.record_entered_view(view)
+        if self.tracer is not None:
+            self.tracer.view_entered(view, replica=self.replica_id)
         if self.report_metrics:
             self.metrics.record_view_change()
 

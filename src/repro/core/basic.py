@@ -138,6 +138,8 @@ class BasicHotStuff1Replica(BaseReplica):
             transactions=batch,
         )
         self.block_store.add(block)
+        if self.tracer is not None:
+            self.tracer.block_proposed(block, self.mempool.peek_count(), replica=self.replica_id)
         self.justify_of[block.block_hash] = justify
         self._own_proposals[view] = block
         proposal = Propose(

@@ -319,6 +319,8 @@ class SlottedHotStuff1Replica(BaseReplica):
             carry_hash=carry_hash,
         )
         self.block_store.add(block)
+        if self.tracer is not None:
+            self.tracer.block_proposed(block, self.mempool.peek_count(), replica=self.replica_id)
         self.justify_of[block.block_hash] = justify
         # The proposer vouches for its own block: its self-addressed copy of
         # a deeper pipelined proposal may arrive before it has processed (and

@@ -63,6 +63,10 @@ def execute_request(request: RunRequest) -> RunRecord:
     storage_dir = request.params.get("storage_dir")
     if storage_dir is not None:
         spec.storage_dir = storage_dir
+    # Tracing too: {"trace": true} in params attaches a TraceRecorder to any
+    # point of any scenario, and the phase columns land in its report row.
+    if request.params.get("trace"):
+        spec.trace = True
     result = run_experiment(spec)
     # Unrounded values backing every aggregated column, so repeat means
     # and post-processors never inherit display rounding.

@@ -106,8 +106,42 @@ def format_network_breakdown(
     }
     if committed_ops:
         totals["bytes_per_op"] = round(total_bytes / committed_ops, 1)
+    # Wire-level counters exist only for live runs (the transports coalesce
+    # queued frames into batched writes); sim stats lack the keys, so sim
+    # tables render exactly as before.
+    reconnects = network_stats.get("reconnects") or {}
+    if "batch_writes" in network_stats:
+        totals["batch_writes"] = network_stats["batch_writes"]
+        totals["batched_frames"] = network_stats["batched_frames"]
+        totals["reconnects"] = sum(reconnects.values())
     rows.append(totals)
-    return format_series(rows, title=title)
+    text = format_series(rows, title=title)
+    if reconnects:
+        per_peer = ", ".join(
+            f"peer {peer}: {count}" for peer, count in sorted(reconnects.items())
+        )
+        text += f"reconnects by peer: {per_peer}\n"
+    return text
+
+
+def format_phase_breakdown(breakdown, title: str = "phase-level latency breakdown") -> str:
+    """Render a :class:`~repro.obs.trace.PhaseBreakdown` as stacked tables.
+
+    The first table decomposes the canonical lifecycle into adjacent-pair
+    phases; the second carries the end-to-end totals, including the signed
+    *speculation lead* (``responded→committed``) — positive exactly when
+    clients learned their result before the commit finished.
+    """
+    rows = [stat.as_row() for stat in breakdown.phases]
+    totals = [stat.as_row() for stat in breakdown.totals]
+    text = format_series(rows, title=f"{title} ({breakdown.spans_used} sampled txns)")
+    text += format_series(totals, title="end-to-end totals")
+    return text
+
+
+def format_timeline(rows: Sequence[Dict], title: str = "windowed time series") -> str:
+    """Render :meth:`~repro.obs.trace.TraceRecorder.timeline` rows as a table."""
+    return format_series(list(rows), title=title)
 
 
 def format_chaos_report(chaos: Dict, title: str = "chaos & recovery") -> str:

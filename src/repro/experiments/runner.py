@@ -86,6 +86,16 @@ class ExperimentSpec:
     #: block log every this many commits (per replica).  ``None`` disables
     #: checkpointing; any value implies durable stores for every replica.
     checkpoint_interval: Optional[int] = None
+    #: Observability: attach a :class:`~repro.obs.trace.TraceRecorder` to the
+    #: deployment.  Off by default — every instrumentation site is guarded by
+    #: an ``is not None`` check, so an untraced run costs nothing.
+    trace: bool = False
+    #: Cap on fully-sampled transaction lifecycle spans (first post-warmup
+    #: submissions win; counters stay exact for everything).
+    trace_max_txns: int = 2000
+    #: Time-series bucket width in seconds; ``None`` picks
+    #: :func:`~repro.obs.trace.default_bucket_width` from the duration.
+    trace_bucket: Optional[float] = None
 
     def label(self) -> str:
         """Short identifier used in series tables."""
@@ -164,6 +174,14 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
             )
+        if self.trace_max_txns < 1:
+            raise ConfigurationError(
+                f"trace_max_txns must be >= 1, got {self.trace_max_txns}"
+            )
+        if self.trace_bucket is not None and self.trace_bucket <= 0:
+            raise ConfigurationError(
+                f"trace_bucket must be positive, got {self.trace_bucket}"
+            )
         return self
 
 
@@ -180,6 +198,9 @@ class RunResult:
     #: incidents, recovery times, ops lost, prefix agreement.  ``None`` for
     #: fault-free runs.
     chaos: Optional[Dict] = None
+    #: The run's :class:`~repro.obs.trace.TraceRecorder` when ``spec.trace``
+    #: was set, ``None`` otherwise.
+    trace: Optional[object] = None
 
     @property
     def throughput(self) -> float:
@@ -225,6 +246,11 @@ class RunResult:
             row["state_transfers"] = sum(
                 replica.snapshots_installed for replica in self.replicas
             )
+        if self.trace is not None:
+            breakdown = self.trace.phase_breakdown()
+            row["trace_resp_ms"] = round(breakdown.response_s * 1000.0, 3)
+            row["trace_commit_ms"] = round(breakdown.commit_s * 1000.0, 3)
+            row["spec_lead_ms"] = round(breakdown.speculation_lead_s * 1000.0, 3)
         row.update(extra)
         return row
 
@@ -277,6 +303,10 @@ class Deployment:
     #: Snapshot-every-N-commits cadence (``None`` disables checkpointing);
     #: restarted replicas get a fresh manager at the same cadence.
     checkpoint_interval: Optional[int] = None
+    #: The deployment-wide :class:`~repro.obs.trace.TraceRecorder`, or
+    #: ``None`` when tracing is off.  Chaos adapters re-attach it to
+    #: replicas they rebuild.
+    tracer: Optional[object] = None
 
 
 def build_deployment(
@@ -311,6 +341,17 @@ def build_deployment(
     mempool = Mempool()
     metrics = MetricsCollector(warmup=spec.warmup)
     costs = CostModel()
+    tracer = None
+    if spec.trace:
+        from repro.obs.trace import TraceRecorder, default_bucket_width
+
+        tracer = TraceRecorder(
+            clock=scheduler,
+            warmup=spec.warmup,
+            bucket=spec.trace_bucket or default_bucket_width(spec.duration),
+            max_txns=spec.trace_max_txns,
+        )
+        mempool.tracer = tracer
     replica_class = replica_class_for(spec.protocol)
     replicas: List[BaseReplica] = []
     for replica_id in range(config.n):
@@ -334,6 +375,7 @@ def build_deployment(
             from repro.checkpoint.manager import CheckpointManager
 
             replica.checkpointer = CheckpointManager(replica, spec.checkpoint_interval)
+        replica.tracer = tracer
         replicas.append(replica)
     reporter = next(
         (replica for replica in replicas if not replica.behavior.is_byzantine), replicas[0]
@@ -351,6 +393,7 @@ def build_deployment(
         replicas=replicas,
         behaviors=dict(spec.behaviors),
         checkpoint_interval=spec.checkpoint_interval,
+        tracer=tracer,
     )
 
 
@@ -469,6 +512,7 @@ def _run_sim(spec: ExperimentSpec) -> RunResult:
         required_quorum=client_quorum_for(spec.protocol, deployment.config),
         target_replicas=_client_targets(spec, latency),
     )
+    client_pool.tracer = deployment.tracer
 
     for replica in deployment.replicas:
         replica.start()
@@ -486,6 +530,7 @@ def _run_sim(spec: ExperimentSpec) -> RunResult:
         client_pool=client_pool,
         network_stats=network.stats.as_dict(),
         chaos=controller.report(deployment.replicas) if controller is not None else None,
+        trace=deployment.tracer,
     )
 
 

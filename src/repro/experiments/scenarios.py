@@ -110,7 +110,14 @@ def _build_delay_injection(protocol: str, p: Dict[str, Any]) -> Tuple[Experiment
     impacted_count = p["impacted"]
     impacted = list(range(n - impacted_count, n))
     duration = p.get("duration", 0.5)
-    horizon = max(duration, 6 * delay_ms / 1000.0)
+    # When every certificate needs an impacted replica (k > f) a round takes
+    # up to the 4x-delay view timeout, and latency accounting only counts
+    # transactions *submitted* after warmup — i.e. second-generation traffic
+    # arriving one full round in.  The horizon must therefore fit warmup plus
+    # roughly two such rounds (~16x the delay) or the worst grid points
+    # measure nothing; event count, not horizon, drives simulation cost, so
+    # stalled long-horizon points stay cheap.
+    horizon = max(duration, 16 * delay_ms / 1000.0)
     spec = ExperimentSpec(
         protocol=protocol,
         n=n,

@@ -169,6 +169,7 @@ class DeploymentChaosAdapter(ChaosAdapter):
             # on the snapshot it restores from, and catch-up prefers a
             # snapshot transfer over block-by-block fetch.
             replica.checkpointer = CheckpointManager(replica, deployment.checkpoint_interval)
+        replica.tracer = deployment.tracer
         manager = RecoveryManager(store)
         state = manager.restore(replica)
         manager.catch_up(replica, ask=self._live_peer(replica_id))

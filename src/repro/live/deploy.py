@@ -252,31 +252,32 @@ async def _run_live(
             required_quorum=client_quorum_for(spec.protocol, deployment.config),
             rate=rate,
         )
+        client_pool.tracer = deployment.tracer
 
         for replica in replicas:
             replica.start()
         client_pool.start()
 
-        # Count post-warmup completions incrementally: samples only ever
-        # append, so each poll scans just the new tail instead of rebuilding
-        # the filtered list on the loop that is also running consensus.
-        counted_ops = 0
-        scanned = 0
+        # The collector keeps an exact post-warmup completion counter, so the
+        # poll reads one int instead of scanning the sample list on the loop
+        # that is also running consensus.
         while clock.now < spec.duration:
             await asyncio.sleep(POLL_INTERVAL)
-            if target_ops is None or clock.now <= spec.warmup:
-                continue
-            fresh = metrics.samples[scanned:]
-            scanned += len(fresh)
-            counted_ops += sum(1 for sample in fresh if sample.completed_at >= spec.warmup)
-            if counted_ops >= target_ops:
+            if target_ops is not None and metrics.completed_count >= target_ops:
                 break
         elapsed = clock.now
+        # Close the measurement window first: completions recorded while the
+        # teardown drains would otherwise inflate throughput past the window
+        # that was actually timed.
+        metrics.close_window(elapsed)
         client_pool.stop()
         # Snapshot traffic counters at the end of the measurement window, so
         # the report excludes teardown traffic (replica timers keep firing
         # until the transports close, and post-close sends count as drops).
+        # Wire counters must be read here too — closing the cluster destroys
+        # the per-peer connection state the reconnect counts live on.
         stats = merge_network_stats(cluster.transports)
+        wire = cluster.wire_counters()
     finally:
         await cluster.close()
 
@@ -286,18 +287,18 @@ async def _run_live(
             f"live run hit {len(errors)} delivery error(s); first: {errors[0]!r}"
         ) from errors[0]
 
-    # Completions recorded while the teardown drained land past the
-    # measurement window; trim them so throughput matches the window.
-    metrics.samples = [sample for sample in metrics.samples if sample.completed_at <= elapsed]
     aggregate_replica_counters(metrics, replicas, stats)
     if spec.check_safety:
         check_ledger_safety(replicas)
     summary = metrics.summarize(spec.protocol, elapsed)
+    network_stats = stats.as_dict()
+    network_stats.update(wire)
     return RunResult(
         spec=spec,
         summary=summary,
         replicas=replicas,
         client_pool=client_pool,
-        network_stats=stats.as_dict(),
+        network_stats=network_stats,
         chaos=controller.report(replicas) if controller is not None else None,
+        trace=deployment.tracer,
     )

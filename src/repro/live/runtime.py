@@ -167,3 +167,23 @@ class LiveCluster:
         for node in self.nodes:
             errors.extend(node.transport.delivery_errors)
         return errors
+
+    def wire_counters(self) -> Dict:
+        """Cluster-wide wire counters, merged across every node's transport.
+
+        ``batch_writes`` / ``batched_frames`` sum the write-coalescing
+        counters (PR 6); ``reconnects`` sums re-connections per *target*
+        peer.  Read before :meth:`close` — closing destroys the per-peer
+        connection state the reconnect counts live on.
+        """
+        totals: Dict = {"batch_writes": 0, "batched_frames": 0, "reconnects": {}}
+        for node in self.nodes:
+            counters = node.transport.wire_counters()
+            totals["batch_writes"] += counters["batch_writes"]
+            totals["batched_frames"] += counters["batched_frames"]
+            for peer_id, count in counters["reconnects"].items():
+                if count:
+                    totals["reconnects"][peer_id] = (
+                        totals["reconnects"].get(peer_id, 0) + count
+                    )
+        return totals

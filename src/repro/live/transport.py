@@ -292,6 +292,22 @@ class AsyncTcpTransport:
         """Install a hook invoked on every delivered envelope (tests/tracing)."""
         self._trace_hook = hook
 
+    def wire_counters(self) -> Dict:
+        """Wire-level counters for reports: write coalescing plus reconnects.
+
+        ``reconnects`` maps peer id to the number of *re*-connections (the
+        first lazy connect is free).  Must be read before :meth:`close` —
+        closing drops the per-peer connection objects and their counts.
+        """
+        return {
+            "batch_writes": self.batch_writes,
+            "batched_frames": self.batched_frames,
+            "reconnects": {
+                peer_id: max(0, connection.connects - 1)
+                for peer_id, connection in self._connections.items()
+            },
+        }
+
     # ------------------------------------------------------------------ send
     def send(
         self, sender: int, receiver: int, payload: Any, size_bytes: Optional[int] = None

@@ -1,0 +1,43 @@
+"""Observability layer: lifecycle tracing, phase decomposition, exports.
+
+See :mod:`repro.obs.trace` for the recorder both substrates feed and
+:mod:`repro.obs.export` for the JSONL / Chrome-trace / Prometheus surfaces.
+"""
+
+from repro.obs.trace import (
+    EVENT_KINDS,
+    PhaseBreakdown,
+    PhaseStat,
+    ProtocolEvent,
+    TraceRecorder,
+    TxnSpan,
+    default_bucket_width,
+)
+from repro.obs.export import (
+    chrome_trace,
+    parse_prometheus,
+    prometheus_text,
+    read_jsonl,
+    write_chrome,
+    write_jsonl,
+    write_prometheus,
+    write_trace_bundle,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "PhaseBreakdown",
+    "PhaseStat",
+    "ProtocolEvent",
+    "TraceRecorder",
+    "TxnSpan",
+    "default_bucket_width",
+    "chrome_trace",
+    "parse_prometheus",
+    "prometheus_text",
+    "read_jsonl",
+    "write_chrome",
+    "write_jsonl",
+    "write_prometheus",
+    "write_trace_bundle",
+]
