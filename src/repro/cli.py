@@ -56,9 +56,14 @@ Sub-commands
     cProfile one live run and report where the event loop's CPU goes, bucketed
     by layer (encode / decode / transport / hashing / consensus / ...).
 ``trace``
-    Inspect a JSONL trace dump (written by ``--trace-out`` on ``run`` /
-    ``live`` / ``chaos``) and re-export it as a Chrome/Perfetto trace or a
-    Prometheus text snapshot.
+    Inspect a JSONL trace dump (written by ``--trace-out`` or streamed by
+    ``--trace-stream`` on ``run`` / ``live`` / ``chaos``) and re-export it as
+    a Chrome/Perfetto trace or a Prometheus text snapshot; ``--since`` /
+    ``--until`` window the report, ``--follow`` tails a streaming trace live.
+``watch``
+    Refreshing terminal dashboard over a live run: tail a ``--trace-stream``
+    JSONL or poll per-replica ``--scrape-port`` HTTP endpoints (tps, p50/p99,
+    current view, speculation lead, fault markers, active SLO alerts).
 ``predict``
     Print the closed-form performance-model predictions for all protocols.
 """
@@ -172,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot the state machine and truncate the logs every N commits "
              "(default: checkpointing off)",
     )
+    live_parser.add_argument(
+        "--scrape-port", type=int, default=None, metavar="PORT",
+        help="serve per-replica HTTP scrape endpoints (/metrics, /healthz, /readyz) "
+             "on PORT+replica_id (0: ephemeral ports, printed at startup)",
+    )
     _add_trace_arguments(live_parser)
 
     chaos_parser = subparsers.add_parser(
@@ -200,6 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="directory for file-backed replica stores (default: in-memory)")
     chaos_parser.add_argument("--emit-plan", action="store_true",
                               help="print the resolved fault plan as JSON and exit")
+    chaos_parser.add_argument(
+        "--scrape-port", type=int, default=None, metavar="PORT",
+        help="serve per-replica HTTP scrape endpoints during --mode live runs "
+             "on PORT+replica_id (0: ephemeral ports)",
+    )
     _add_trace_arguments(chaos_parser)
 
     fuzz_parser = subparsers.add_parser(
@@ -310,6 +325,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--prom", default=None, metavar="OUT.prom",
         help="write a Prometheus text-exposition snapshot",
     )
+    trace_parser.add_argument(
+        "--since", type=float, default=None, metavar="SECONDS",
+        help="only include spans/events/buckets at or after this run time",
+    )
+    trace_parser.add_argument(
+        "--until", type=float, default=None, metavar="SECONDS",
+        help="only include spans/events/buckets before this run time",
+    )
+    trace_parser.add_argument(
+        "--follow", "-f", action="store_true",
+        help="tail a streaming trace file live (like tail -f), refreshing the dashboard",
+    )
+    trace_parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh interval in seconds for --follow (default: 1.0)",
+    )
+    trace_parser.add_argument(
+        "--frames", type=int, default=0,
+        help="with --follow: stop after N refreshes (0: until interrupted)",
+    )
+
+    watch_parser = subparsers.add_parser(
+        "watch", help="live terminal dashboard over a streaming trace or scrape endpoints"
+    )
+    watch_parser.add_argument(
+        "trace_file", nargs="?", default=None,
+        help="streaming trace JSONL to tail (written by --trace-stream); "
+             "omit when using --scrape",
+    )
+    watch_parser.add_argument(
+        "--scrape", default=None, metavar="HOST:PORT,...",
+        help="poll these replica scrape endpoints instead of tailing a file "
+             "(started by --scrape-port on live/chaos runs)",
+    )
+    watch_parser.add_argument("--interval", type=float, default=1.0,
+                              help="refresh interval in seconds (default: 1.0)")
+    watch_parser.add_argument("--frames", type=int, default=0,
+                              help="stop after N refreshes (0: until interrupted)")
+    watch_parser.add_argument("--no-clear", dest="clear", action="store_false", default=True,
+                              help="append frames instead of clearing the terminal")
 
     predict_parser = subparsers.add_parser("predict", help="closed-form performance predictions")
     predict_parser.add_argument("--replicas", type=int, default=32)
@@ -357,6 +412,26 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
         "--trace-max-txns", type=int, default=2000,
         help="cap on fully-sampled transaction spans (event counters stay exact past it)",
     )
+    parser.add_argument(
+        "--trace-sampler", default="head", choices=("head", "reservoir", "tail"),
+        help="span sampling policy once the cap fills: head keeps the first N, "
+             "reservoir keeps a uniform sample, tail keeps the slowest (default: head)",
+    )
+    parser.add_argument(
+        "--trace-stream", default=None, metavar="FILE.jsonl",
+        help="stream completed spans, events and closed buckets to this JSONL file "
+             "as the run progresses (bounded recorder memory; implies --trace; "
+             "readable mid-run by `repro trace` / `repro watch`)",
+    )
+    parser.add_argument(
+        "--trace-max-events", type=int, default=4096,
+        help="ring size for raw protocol events and trace instants (default: 4096)",
+    )
+    parser.add_argument(
+        "--no-detect", dest="trace_detect", action="store_false", default=True,
+        help="disable the online SLO detector (commit-stall, view-change-storm, "
+             "mempool-saturation, speculation-lead-collapse)",
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -380,9 +455,18 @@ def _spec_from_args(args: argparse.Namespace, protocol: str) -> ExperimentSpec:
         codec=getattr(args, "codec", "json"),
         pipeline_depth=getattr(args, "pipeline_depth", 1),
         checkpoint_interval=getattr(args, "checkpoint_interval", None),
-        trace=bool(getattr(args, "trace", False) or getattr(args, "trace_out", None)),
+        trace=bool(
+            getattr(args, "trace", False)
+            or getattr(args, "trace_out", None)
+            or getattr(args, "trace_stream", None)
+        ),
         trace_max_txns=getattr(args, "trace_max_txns", 2000),
         trace_bucket=getattr(args, "trace_bucket", None),
+        trace_sampler=getattr(args, "trace_sampler", "head"),
+        trace_stream=getattr(args, "trace_stream", None),
+        trace_max_events=getattr(args, "trace_max_events", 4096),
+        trace_detect=getattr(args, "trace_detect", True),
+        scrape_port=getattr(args, "scrape_port", None),
     )
 
 
@@ -391,6 +475,15 @@ def _emit_trace(result, args: argparse.Namespace) -> None:
     trace = result.trace
     if trace is None:
         return
+    stream = getattr(args, "trace_stream", None)
+    if stream:
+        # A streaming run evicts spans and closed buckets from memory as it
+        # goes; the JSONL file is the complete record, so reload it for the
+        # end-of-run report instead of printing the partial resident state.
+        from repro.obs.export import read_jsonl
+
+        trace = read_jsonl(stream)
+        print(f"streamed trace: {stream}")
     print(format_phase_breakdown(trace.phase_breakdown()))
     print(format_timeline(trace.timeline()))
     out_dir = getattr(args, "trace_out", None)
@@ -481,12 +574,29 @@ def command_live(args: argparse.Namespace) -> int:
         faults=load_plan(args.faults).to_dict() if args.faults else None,
         storage_dir=args.storage_dir,
         checkpoint_interval=args.checkpoint_interval,
-        trace=bool(args.trace or args.trace_out),
+        trace=bool(args.trace or args.trace_out or args.trace_stream),
         trace_max_txns=args.trace_max_txns,
         trace_bucket=args.trace_bucket,
+        trace_sampler=args.trace_sampler,
+        trace_stream=args.trace_stream,
+        trace_max_events=args.trace_max_events,
+        trace_detect=args.trace_detect,
+        scrape_port=args.scrape_port,
     )
     target_ops = args.target_ops if args.target_ops > 0 else None
-    result = run_live_experiment(spec, target_ops=target_ops, rate=args.rate)
+
+    def _announce(info: Dict) -> None:
+        ports = info.get("scrape_ports") or []
+        if ports:
+            endpoints = ", ".join(f"127.0.0.1:{port}" for port in ports)
+            print(f"scrape endpoints: {endpoints} (/metrics /healthz /readyz)", flush=True)
+
+    result = run_live_experiment(
+        spec,
+        target_ops=target_ops,
+        rate=args.rate,
+        on_started=_announce if spec.scrape_port is not None else None,
+    )
     summary = result.summary
     mode = "open-loop" if args.rate else "closed-loop"
     print(
@@ -806,9 +916,19 @@ def command_trace(args: argparse.Namespace) -> int:
 
     if not os.path.isfile(args.trace_file):
         raise ConfigurationError(f"trace file {args.trace_file!r} does not exist")
+    if args.follow:
+        from repro.obs.watch import watch_file
+
+        watch_file(args.trace_file, interval=args.interval, frames=args.frames)
+        return 0
     trace = read_jsonl(args.trace_file)
     if not trace.counts and not trace.spans:
         raise ConfigurationError(f"no trace records in {args.trace_file!r}")
+    if args.since is not None or args.until is not None:
+        trace = trace.filtered(since=args.since, until=args.until)
+        window = f"[{args.since if args.since is not None else 0.0}s, "
+        window += f"{args.until}s)" if args.until is not None else "end)"
+        print(f"trace window: {window}")
     counters = [
         {"event": kind, "count": count} for kind, count in sorted(trace.counts.items())
     ]
@@ -819,6 +939,27 @@ def command_trace(args: argparse.Namespace) -> int:
         print(f"wrote Chrome trace to {write_chrome(trace, args.chrome)}")
     if args.prom:
         print(f"wrote Prometheus exposition to {write_prometheus(trace, args.prom)}")
+    return 0
+
+
+def command_watch(args: argparse.Namespace) -> int:
+    """Live terminal dashboard: tail a streaming trace or poll scrape endpoints."""
+    if args.scrape:
+        from repro.obs.watch import watch_scrape
+
+        endpoints = [e.strip() for e in args.scrape.split(",") if e.strip()]
+        if not endpoints:
+            raise ConfigurationError("--scrape needs at least one host:port endpoint")
+        watch_scrape(endpoints, interval=args.interval, frames=args.frames, clear=args.clear)
+        return 0
+    if not args.trace_file:
+        raise ConfigurationError(
+            "watch needs a streaming trace file (written by --trace-stream) "
+            "or --scrape host:port[,host:port...]"
+        )
+    from repro.obs.watch import watch_file
+
+    watch_file(args.trace_file, interval=args.interval, frames=args.frames, clear=args.clear)
     return 0
 
 
@@ -850,6 +991,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "snapshot": command_snapshot,
         "profile": command_profile,
         "trace": command_trace,
+        "watch": command_watch,
         "predict": command_predict,
     }
     try:

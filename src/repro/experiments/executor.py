@@ -67,6 +67,22 @@ def execute_request(request: RunRequest) -> RunRecord:
     # point of any scenario, and the phase columns land in its report row.
     if request.params.get("trace"):
         spec.trace = True
+    # The rest of the telemetry plane rides through the same way: sampling
+    # strategy, streaming sink, detector toggle and recorder caps are all
+    # engine-level knobs any scenario point can carry.
+    for knob in (
+        "trace_sampler",
+        "trace_stream",
+        "trace_bucket",
+        "trace_max_txns",
+        "trace_max_events",
+        "trace_reservoir",
+        "trace_detect",
+        "scrape_port",
+    ):
+        value = request.params.get(knob)
+        if value is not None:
+            setattr(spec, knob, value)
     result = run_experiment(spec)
     # Unrounded values backing every aggregated column, so repeat means
     # and post-processors never inherit display rounding.

@@ -187,6 +187,18 @@ def format_chaos_report(chaos: Dict, title: str = "chaos & recovery") -> str:
         for row in rows:
             row.pop("hook", None)
     text = format_series(rows, title=title)
+    alerts = chaos.get("alerts")
+    if alerts:
+        alert_rows = [
+            {
+                "rule": alert.get("rule"),
+                "raised_at_s": alert.get("raised_at"),
+                "cleared_at_s": alert.get("cleared_at") if alert.get("cleared_at") is not None else "(active)",
+                "detail": alert.get("detail", ""),
+            }
+            for alert in alerts
+        ]
+        text += format_series(alert_rows, title="SLO detector alerts")
     problems = []
     if chaos.get("skipped_events"):
         problems.append(

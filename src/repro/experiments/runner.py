@@ -96,6 +96,25 @@ class ExperimentSpec:
     #: Time-series bucket width in seconds; ``None`` picks
     #: :func:`~repro.obs.trace.default_bucket_width` from the duration.
     trace_bucket: Optional[float] = None
+    #: Span sampling strategy: ``"head"`` (first post-warmup submissions,
+    #: the default), ``"reservoir"`` (uniform over the whole run) or
+    #: ``"tail"`` (keep the slowest completed spans).
+    trace_sampler: str = "head"
+    #: Ring size for block/view protocol events (and instants).
+    trace_max_events: int = 4096
+    #: Per-bucket latency reservoir size.
+    trace_reservoir: int = 512
+    #: Stream the trace incrementally to this JSONL path (bounded recorder
+    #: memory; readable mid-run by ``repro trace`` / ``repro watch``).
+    #: Setting it implies ``trace``.
+    trace_stream: Optional[str] = None
+    #: Run the online SLO detector (commit-stall, view-change-storm,
+    #: mempool-saturation, spec-lead-collapse) over the trace time series.
+    trace_detect: bool = True
+    #: Live mode: serve per-replica ``/metrics`` + ``/healthz`` + ``/readyz``
+    #: on ``scrape_port + replica_id`` (``0`` picks ephemeral ports;
+    #: ``None`` disables the endpoints).
+    scrape_port: Optional[int] = None
 
     def label(self) -> str:
         """Short identifier used in series tables."""
@@ -182,6 +201,33 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"trace_bucket must be positive, got {self.trace_bucket}"
             )
+        from repro.obs.sampling import SAMPLER_KINDS
+
+        if self.trace_sampler not in SAMPLER_KINDS:
+            raise ConfigurationError(
+                f"unknown trace_sampler {self.trace_sampler!r}; "
+                f"available: {sorted(SAMPLER_KINDS)}"
+            )
+        if self.trace_max_events < 1:
+            raise ConfigurationError(
+                f"trace_max_events must be >= 1, got {self.trace_max_events}"
+            )
+        if self.trace_reservoir < 1:
+            raise ConfigurationError(
+                f"trace_reservoir must be >= 1, got {self.trace_reservoir}"
+            )
+        if self.trace_stream:
+            self.trace = True
+        if self.scrape_port is not None:
+            if self.mode != "live":
+                raise ConfigurationError(
+                    "scrape_port serves HTTP from the live runtime; "
+                    "sim runs have no replica processes to scrape"
+                )
+            if not 0 <= self.scrape_port <= 65535:
+                raise ConfigurationError(
+                    f"scrape_port must be a port number (0 = ephemeral), got {self.scrape_port}"
+                )
         return self
 
 
@@ -343,6 +389,9 @@ def build_deployment(
     costs = CostModel()
     tracer = None
     if spec.trace:
+        from repro.obs.detect import SloDetector
+        from repro.obs.sampling import make_sampler
+        from repro.obs.stream import StreamingTraceSink
         from repro.obs.trace import TraceRecorder, default_bucket_width
 
         tracer = TraceRecorder(
@@ -350,7 +399,15 @@ def build_deployment(
             warmup=spec.warmup,
             bucket=spec.trace_bucket or default_bucket_width(spec.duration),
             max_txns=spec.trace_max_txns,
+            max_events=spec.trace_max_events,
+            reservoir_per_bucket=spec.trace_reservoir,
         )
+        if spec.trace_sampler != "head":
+            tracer.sampler = make_sampler(spec.trace_sampler, spec.trace_max_txns, tracer._rng)
+        if spec.trace_detect:
+            SloDetector(tracer)
+        if spec.trace_stream:
+            StreamingTraceSink(tracer, spec.trace_stream)
         mempool.tracer = tracer
     replica_class = replica_class_for(spec.protocol)
     replicas: List[BaseReplica] = []
@@ -522,16 +579,32 @@ def _run_sim(spec: ExperimentSpec) -> RunResult:
     aggregate_replica_counters(metrics, deployment.replicas, network.stats)
     if spec.check_safety:
         check_ledger_safety(deployment.replicas)
+    if deployment.tracer is not None:
+        deployment.tracer.finalize(spec.duration)
     summary = metrics.summarize(spec.protocol, spec.duration)
+    chaos = controller.report(deployment.replicas) if controller is not None else None
+    attach_detector_alerts(chaos, deployment.tracer)
     return RunResult(
         spec=spec,
         summary=summary,
         replicas=deployment.replicas,
         client_pool=client_pool,
         network_stats=network.stats.as_dict(),
-        chaos=controller.report(deployment.replicas) if controller is not None else None,
+        chaos=chaos,
         trace=deployment.tracer,
     )
+
+
+def attach_detector_alerts(chaos: Optional[Dict], tracer) -> Optional[Dict]:
+    """Fold the online detector's alert history into a chaos report.
+
+    Shared by the sim runner and the live deploy harness: the chaos report
+    is where operators look after a fault run, and detector firings should
+    bracket the injected faults there.
+    """
+    if chaos is not None and tracer is not None and tracer.detector is not None:
+        chaos["alerts"] = tracer.detector.summary()
+    return chaos
 
 
 def _client_targets(spec: ExperimentSpec, latency: LatencyModel) -> Optional[List[int]]:

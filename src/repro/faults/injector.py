@@ -259,6 +259,18 @@ class ChaosController:
         if hook is not None:
             entry["hook"] = hook
         self.timeline.append(entry)
+        # Every fault action is also a first-class trace instant, so Perfetto
+        # timelines and `repro watch` show the injection aligned with the
+        # throughput dip it caused.
+        tracer = getattr(getattr(self.adapter, "deployment", None), "tracer", None)
+        if tracer is not None:
+            data = {"hook": hook} if hook is not None else {}
+            tracer.instant(
+                "fault",
+                label=action,
+                replica=target if isinstance(target, int) else -1,
+                data=data,
+            )
         return entry
 
     # ------------------------------------------------------ triggered faults

@@ -21,7 +21,7 @@ are ROADMAP items this module is the foundation for.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.consensus.client import CLIENT_POOL_NODE_ID, ClientPool
 from repro.consensus.messages import ClientRequest, ClientRequestBatch
@@ -32,6 +32,7 @@ from repro.experiments.runner import (
     RunResult,
     aggregate_replica_counters,
     assign_chaos_reporter,
+    attach_detector_alerts,
     build_deployment,
     build_replica_stores,
     check_ledger_safety,
@@ -167,6 +168,7 @@ def run_live_experiment(
     spec: ExperimentSpec,
     target_ops: Optional[int] = None,
     rate: Optional[float] = None,
+    on_started: Optional[Callable[[Dict], None]] = None,
 ) -> RunResult:
     """Run one live experiment over localhost TCP and return its result.
 
@@ -181,17 +183,27 @@ def run_live_experiment(
     rate:
         Open-loop injection rate in transactions per second; ``None`` uses
         the closed-loop client population sized exactly as in simulation.
+    on_started:
+        Called once the cluster is serving, with ``{"scrape_ports": [...]}``
+        (bound ports per replica when ``spec.scrape_port`` is set).  This is
+        how the CLI prints the endpoints and how tests learn ephemeral ports
+        while the run is still in flight.
     """
     spec.validate()
     # The codec is process-global (the transports call it from timer
     # callbacks); scope it to the run so back-to-back experiments with
     # different codecs in one process never leak into each other.
     with wire_codec_scope(spec.codec):
-        return asyncio.run(_run_live(spec, target_ops=target_ops, rate=rate))
+        return asyncio.run(
+            _run_live(spec, target_ops=target_ops, rate=rate, on_started=on_started)
+        )
 
 
 async def _run_live(
-    spec: ExperimentSpec, target_ops: Optional[int], rate: Optional[float]
+    spec: ExperimentSpec,
+    target_ops: Optional[int],
+    rate: Optional[float],
+    on_started: Optional[Callable[[Dict], None]] = None,
 ) -> RunResult:
     clock = WallClock(seed=spec.seed)
     transports: Dict[int, AsyncTcpTransport] = {
@@ -202,6 +214,7 @@ async def _run_live(
     nodes.append(LiveNode(CLIENT_POOL_NODE_ID, client_transport))
     cluster = LiveCluster(clock, nodes)
     await cluster.start()
+    scrape_servers: List = []
 
     try:
         plan = FaultPlan.from_dict(spec.faults) if spec.faults else None
@@ -254,15 +267,48 @@ async def _run_live(
         )
         client_pool.tracer = deployment.tracer
 
+        if spec.scrape_port is not None:
+            from repro.obs.scrape import ReplicaTelemetry, ScrapeServer
+
+            def _replica_provider(replica_id: int):
+                def provide():
+                    # Chaos restarts swap the instance in place; resolve on
+                    # every probe so the endpoint tracks the current one.
+                    return deployment.replicas[replica_id]
+
+                return provide
+
+            for replica_id in range(spec.n):
+                telemetry = ReplicaTelemetry(
+                    replica_id,
+                    _replica_provider(replica_id),
+                    clock,
+                    tracer=deployment.tracer,
+                    transport=transports[replica_id],
+                    mempool=deployment.mempool,
+                )
+                port = 0 if spec.scrape_port == 0 else spec.scrape_port + replica_id
+                server = ScrapeServer(telemetry.routes(), port=port)
+                await server.start()
+                scrape_servers.append(server)
+
         for replica in replicas:
             replica.start()
         client_pool.start()
+        if on_started is not None:
+            on_started({"scrape_ports": [server.port for server in scrape_servers]})
 
         # The collector keeps an exact post-warmup completion counter, so the
         # poll reads one int instead of scanning the sample list on the loop
         # that is also running consensus.
+        tracer = deployment.tracer
         while clock.now < spec.duration:
             await asyncio.sleep(POLL_INTERVAL)
+            if tracer is not None:
+                # Close timeline buckets on wall time so the SLO detector
+                # fires during a stall and the streaming sink keeps flushing
+                # even when no event would advance the bucket cursor.
+                tracer.advance(clock.now)
             if target_ops is not None and metrics.completed_count >= target_ops:
                 break
         elapsed = clock.now
@@ -279,6 +325,8 @@ async def _run_live(
         stats = merge_network_stats(cluster.transports)
         wire = cluster.wire_counters()
     finally:
+        for server in scrape_servers:
+            await server.close()
         await cluster.close()
 
     errors = cluster.delivery_errors()
@@ -290,15 +338,19 @@ async def _run_live(
     aggregate_replica_counters(metrics, replicas, stats)
     if spec.check_safety:
         check_ledger_safety(replicas)
+    if deployment.tracer is not None:
+        deployment.tracer.finalize(elapsed)
     summary = metrics.summarize(spec.protocol, elapsed)
     network_stats = stats.as_dict()
     network_stats.update(wire)
+    chaos = controller.report(replicas) if controller is not None else None
+    attach_detector_alerts(chaos, deployment.tracer)
     return RunResult(
         spec=spec,
         summary=summary,
         replicas=replicas,
         client_pool=client_pool,
         network_stats=network_stats,
-        chaos=controller.report(replicas) if controller is not None else None,
+        chaos=chaos,
         trace=deployment.tracer,
     )

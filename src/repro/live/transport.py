@@ -308,6 +308,14 @@ class AsyncTcpTransport:
             },
         }
 
+    def outbound_queue_depth(self) -> int:
+        """Frames currently queued towards peers, summed over connections.
+
+        A backpressure gauge for the scrape endpoint: a growing depth means
+        this node produces frames faster than its sockets drain them.
+        """
+        return sum(connection._queue.qsize() for connection in self._connections.values())
+
     # ------------------------------------------------------------------ send
     def send(
         self, sender: int, receiver: int, payload: Any, size_bytes: Optional[int] = None

@@ -1,7 +1,14 @@
-"""Observability layer: lifecycle tracing, phase decomposition, exports.
+"""Observability layer: lifecycle tracing, phase decomposition, exports,
+and the live telemetry plane (streaming sinks, span samplers, online SLO
+detectors, per-replica scrape endpoints, terminal dashboard).
 
-See :mod:`repro.obs.trace` for the recorder both substrates feed and
-:mod:`repro.obs.export` for the JSONL / Chrome-trace / Prometheus surfaces.
+See :mod:`repro.obs.trace` for the recorder both substrates feed,
+:mod:`repro.obs.export` for the JSONL / Chrome-trace / Prometheus surfaces,
+:mod:`repro.obs.stream` for bounded-memory streaming export,
+:mod:`repro.obs.sampling` for span-sampling strategies,
+:mod:`repro.obs.detect` for the hysteresis-gated SLO rules, and
+:mod:`repro.obs.scrape` / :mod:`repro.obs.watch` for the live endpoints and
+the ``repro watch`` dashboard.
 """
 
 from repro.obs.trace import (
@@ -9,6 +16,7 @@ from repro.obs.trace import (
     PhaseBreakdown,
     PhaseStat,
     ProtocolEvent,
+    TraceInstant,
     TraceRecorder,
     TxnSpan,
     default_bucket_width,
@@ -23,12 +31,24 @@ from repro.obs.export import (
     write_prometheus,
     write_trace_bundle,
 )
+from repro.obs.stream import StreamingTraceSink, TraceTail
+from repro.obs.sampling import (
+    SAMPLER_KINDS,
+    HeadSampler,
+    ReservoirSampler,
+    TailBiasedSampler,
+    make_sampler,
+)
+from repro.obs.detect import Alert, BucketStats, SloDetector, default_rules
+from repro.obs.scrape import ReplicaTelemetry, ScrapeServer
+from repro.obs.watch import render_dashboard, watch_file, watch_scrape
 
 __all__ = [
     "EVENT_KINDS",
     "PhaseBreakdown",
     "PhaseStat",
     "ProtocolEvent",
+    "TraceInstant",
     "TraceRecorder",
     "TxnSpan",
     "default_bucket_width",
@@ -40,4 +60,20 @@ __all__ = [
     "write_jsonl",
     "write_prometheus",
     "write_trace_bundle",
+    "StreamingTraceSink",
+    "TraceTail",
+    "SAMPLER_KINDS",
+    "HeadSampler",
+    "ReservoirSampler",
+    "TailBiasedSampler",
+    "make_sampler",
+    "Alert",
+    "BucketStats",
+    "SloDetector",
+    "default_rules",
+    "ReplicaTelemetry",
+    "ScrapeServer",
+    "render_dashboard",
+    "watch_file",
+    "watch_scrape",
 ]

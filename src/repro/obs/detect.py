@@ -1,0 +1,277 @@
+"""Online SLO / anomaly detection over the windowed trace time series.
+
+The detector attaches to a :class:`~repro.obs.trace.TraceRecorder` (as
+``recorder.detector``) and observes every timeline bucket the moment the
+recorder closes it — driven by event flow in the simulator and by the live
+poll loop's :meth:`~repro.obs.trace.TraceRecorder.advance` on wall time, so
+rules fire *during* a stall, not after the run.
+
+Each rule judges one bucket "bad" or "good"; **hysteresis** turns that into
+alerts without flapping: a rule must see ``fire_after`` consecutive bad
+buckets to raise and ``clear_after`` consecutive good buckets to clear.
+Alerts are stamped with the *offending bucket's end time* (not processing
+time), so a commit-stall alert raised lazily still lands inside the stall
+on the timeline.  Raise/clear are recorded as trace instants (kinds
+``alert`` / ``alert-cleared``) so Perfetto, ``repro watch`` and the chaos
+report all see them; a chaos run's detector firings should bracket the
+injected faults.
+
+The built-in rules target HotStuff-1's failure modes:
+
+* **commit-stall** — commits stop while the cluster had been committing;
+* **view-change-storm** — views churn with nothing committing (the
+  view-change pathology Fast-HotStuff analyses);
+* **mempool-saturation** — admitted work grows far beyond its recent level;
+* **spec-lead-collapse** — responses stop beating commits: the one-phase
+  speculative path degraded to the 2-phase fallback while throughput
+  continues.  Never fires on baselines that never speculated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.trace import TimelineBucket, TraceRecorder
+
+
+@dataclass
+class BucketStats:
+    """What a rule sees of one closed bucket (zeros for gap buckets)."""
+
+    index: int
+    end_time: float
+    completed: int = 0
+    committed_txns: int = 0
+    views_entered: int = 0
+    mempool_depth: int = -1
+    responded_speculative: int = 0
+
+    @classmethod
+    def from_bucket(cls, index: int, bucket: Optional[TimelineBucket], end_time: float) -> "BucketStats":
+        if bucket is None:
+            return cls(index=index, end_time=end_time)
+        return cls(
+            index=index,
+            end_time=end_time,
+            completed=bucket.completed,
+            committed_txns=bucket.committed_txns,
+            views_entered=bucket.views_entered,
+            mempool_depth=bucket.mempool_depth,
+            responded_speculative=bucket.responded_speculative,
+        )
+
+
+@dataclass
+class Alert:
+    """One raised (and possibly cleared) SLO violation."""
+
+    rule: str
+    raised_at: float
+    cleared_at: Optional[float] = None
+    detail: str = ""
+
+    def as_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "raised_at": round(self.raised_at, 6),
+            "cleared_at": None if self.cleared_at is None else round(self.cleared_at, 6),
+            "detail": self.detail,
+        }
+
+
+class Rule:
+    """Base class: judge one bucket; warm state belongs to the subclass."""
+
+    name = "rule"
+
+    def is_bad(self, stats: BucketStats) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def detail(self, stats: BucketStats) -> str:
+        return ""
+
+
+class CommitStallRule(Rule):
+    """Commits stopped while the cluster had recently been committing.
+
+    An EWMA of per-bucket committed transactions (updated only on buckets
+    that commit, so a long stall cannot decay itself healthy) establishes
+    the baseline; a bucket is bad when it commits less than ``fraction`` of
+    that baseline after at least ``warm_buckets`` committing buckets.
+    """
+
+    name = "commit-stall"
+
+    def __init__(self, fraction: float = 0.1, alpha: float = 0.3, warm_buckets: int = 3) -> None:
+        self.fraction = fraction
+        self.alpha = alpha
+        self.warm_buckets = warm_buckets
+        self.ewma = 0.0
+        self.warm = 0
+
+    def is_bad(self, stats: BucketStats) -> bool:
+        bad = self.warm >= self.warm_buckets and stats.committed_txns < max(
+            1.0, self.fraction * self.ewma
+        )
+        if stats.committed_txns > 0:
+            self.ewma = (1 - self.alpha) * self.ewma + self.alpha * stats.committed_txns if self.warm else float(stats.committed_txns)
+            self.warm += 1
+        return bad
+
+    def detail(self, stats: BucketStats) -> str:
+        return f"committed {stats.committed_txns} vs baseline {self.ewma:.1f}/bucket"
+
+
+class ViewStormRule(Rule):
+    """Views churn while nothing commits (view-change storm).
+
+    Healthy chained protocols enter views at block rate *while committing*,
+    so the rule only fires when view entries continue and commits are zero.
+    """
+
+    name = "view-change-storm"
+
+    def __init__(self, min_views: int = 2) -> None:
+        self.min_views = min_views
+
+    def is_bad(self, stats: BucketStats) -> bool:
+        return stats.views_entered >= self.min_views and stats.committed_txns == 0
+
+    def detail(self, stats: BucketStats) -> str:
+        return f"{stats.views_entered} views entered with 0 txns committed"
+
+
+class MempoolSaturationRule(Rule):
+    """Mempool depth grows far past its recent baseline (admission > drain)."""
+
+    name = "mempool-saturation"
+
+    def __init__(self, factor: float = 4.0, min_depth: int = 200, alpha: float = 0.3,
+                 warm_buckets: int = 3) -> None:
+        self.factor = factor
+        self.min_depth = min_depth
+        self.alpha = alpha
+        self.warm_buckets = warm_buckets
+        self.ewma = 0.0
+        self.warm = 0
+
+    def is_bad(self, stats: BucketStats) -> bool:
+        if stats.mempool_depth < 0:
+            return False  # no proposal sampled the depth this bucket
+        depth = stats.mempool_depth
+        bad = (
+            self.warm >= self.warm_buckets
+            and depth >= self.min_depth
+            and depth > self.factor * max(self.ewma, 1.0)
+        )
+        self.ewma = (1 - self.alpha) * self.ewma + self.alpha * depth if self.warm else float(depth)
+        self.warm += 1
+        return bad
+
+    def detail(self, stats: BucketStats) -> str:
+        return f"depth {stats.mempool_depth} vs baseline {self.ewma:.0f}"
+
+
+class SpecLeadCollapseRule(Rule):
+    """Speculative responses vanished while throughput continues.
+
+    Arms only after the speculative share of completions has been healthy
+    (≥ ``healthy_share``) for ``warm_buckets`` buckets, so 2-phase baselines
+    that never speculate can never fire it.
+    """
+
+    name = "spec-lead-collapse"
+
+    def __init__(self, healthy_share: float = 0.5, collapse_share: float = 0.05,
+                 min_completed: int = 1, warm_buckets: int = 3) -> None:
+        self.healthy_share = healthy_share
+        self.collapse_share = collapse_share
+        self.min_completed = min_completed
+        self.warm_buckets = warm_buckets
+        self.warm = 0
+
+    def is_bad(self, stats: BucketStats) -> bool:
+        if stats.completed < self.min_completed:
+            return False  # nothing completing is a stall, not a collapse
+        share = stats.responded_speculative / stats.completed
+        if self.warm < self.warm_buckets:
+            if share >= self.healthy_share:
+                self.warm += 1
+            return False
+        return share <= self.collapse_share
+
+    def detail(self, stats: BucketStats) -> str:
+        share = stats.responded_speculative / max(stats.completed, 1)
+        return f"speculative share {share:.0%} of {stats.completed} completions"
+
+
+def default_rules() -> List[Rule]:
+    return [CommitStallRule(), ViewStormRule(), MempoolSaturationRule(), SpecLeadCollapseRule()]
+
+
+@dataclass
+class _RuleState:
+    rule: Rule
+    bad_streak: int = 0
+    good_streak: int = 0
+    active: Optional[Alert] = None
+    history: List[Alert] = field(default_factory=list)
+
+
+class SloDetector:
+    """Hysteresis-gated rule evaluation over closed timeline buckets."""
+
+    def __init__(self, recorder: Optional[TraceRecorder], rules: Optional[List[Rule]] = None,
+                 fire_after: int = 3, clear_after: int = 3) -> None:
+        self.recorder = recorder
+        self.fire_after = int(fire_after)
+        self.clear_after = int(clear_after)
+        self._states = [_RuleState(rule=rule) for rule in (rules if rules is not None else default_rules())]
+        if recorder is not None:
+            recorder.detector = self
+
+    def observe(self, index: int, bucket: Optional[TimelineBucket], end_time: float) -> None:
+        """Judge one closed bucket (``None`` = gap bucket: all zeros)."""
+        stats = BucketStats.from_bucket(index, bucket, end_time)
+        for state in self._states:
+            bad = state.rule.is_bad(stats)
+            if bad:
+                state.bad_streak += 1
+                state.good_streak = 0
+                if state.active is None and state.bad_streak >= self.fire_after:
+                    state.active = Alert(
+                        rule=state.rule.name,
+                        raised_at=end_time,
+                        detail=state.rule.detail(stats),
+                    )
+                    state.history.append(state.active)
+                    self._instant("alert", state.rule.name, end_time, state.active.detail)
+            else:
+                state.good_streak += 1
+                state.bad_streak = 0
+                if state.active is not None and state.good_streak >= self.clear_after:
+                    state.active.cleared_at = end_time
+                    self._instant("alert-cleared", state.rule.name, end_time,
+                                  state.active.detail)
+                    state.active = None
+
+    def _instant(self, kind: str, rule: str, t: float, detail: str) -> None:
+        if self.recorder is not None:
+            self.recorder.instant(kind, label=rule, t=t, data={"detail": detail})
+
+    def finalize(self) -> None:
+        """End of run: alerts still active simply stay uncleared."""
+
+    def active(self) -> List[Alert]:
+        return [state.active for state in self._states if state.active is not None]
+
+    def alerts(self) -> List[Alert]:
+        out: List[Alert] = []
+        for state in self._states:
+            out.extend(state.history)
+        return sorted(out, key=lambda alert: alert.raised_at)
+
+    def summary(self) -> List[Dict]:
+        """JSON-able alert list for the chaos report."""
+        return [alert.as_dict() for alert in self.alerts()]

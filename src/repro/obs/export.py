@@ -53,6 +53,7 @@ def read_jsonl(path: str) -> TraceRecorder:
 _TXN_PID = 1
 _PROTOCOL_PID = 2
 _SERIES_PID = 3
+_INSTANT_PID = 4
 
 
 def chrome_trace(trace: TraceRecorder) -> Dict:
@@ -61,6 +62,7 @@ def chrome_trace(trace: TraceRecorder) -> Dict:
         _process_name(_TXN_PID, "txn lifecycle (sampled spans)"),
         _process_name(_PROTOCOL_PID, "protocol events"),
         _process_name(_SERIES_PID, "time series"),
+        _process_name(_INSTANT_PID, "faults & alerts"),
     ]
     for span in trace.spans.values():
         # Chrome slices need non-negative durations, so phases follow the
@@ -95,6 +97,21 @@ def chrome_trace(trace: TraceRecorder) -> Dict:
                     "txn_count": event.txn_count,
                     "replica": event.replica,
                 },
+            }
+        )
+    for inst in trace.instants:
+        # Fault injections and SLO alerts get their own "global" instants so
+        # Perfetto draws them across every track, aligned with the dip they
+        # explain.
+        events.append(
+            {
+                "name": f"{inst.kind}: {inst.label}" if inst.label else inst.kind,
+                "ph": "i",
+                "ts": inst.t * 1e6,
+                "pid": _INSTANT_PID,
+                "tid": 0,
+                "s": "g",
+                "args": {"replica": inst.replica, **inst.data},
             }
         )
     for row in trace.timeline():
@@ -185,6 +202,16 @@ def prometheus_text(trace: TraceRecorder) -> str:
         "Highest view any replica entered.",
         "gauge",
         [({}, float(trace.highest_view))],
+    )
+    alert_counts: Dict[str, int] = {}
+    for inst in trace.instants:
+        if inst.kind == "alert":
+            alert_counts[inst.label] = alert_counts.get(inst.label, 0) + 1
+    emit(
+        "repro_trace_alerts_total",
+        "SLO detector alerts raised, per rule.",
+        "counter",
+        [({"rule": rule}, float(count)) for rule, count in sorted(alert_counts.items())],
     )
     return "\n".join(lines) + "\n"
 

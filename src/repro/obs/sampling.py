@@ -1,0 +1,142 @@
+"""Span-sampling strategies for the trace recorder.
+
+The PR 7 recorder head-capped its span sample: the first ``max_txns``
+post-warmup submissions were kept and everything later dropped — simple and
+deterministic, but a long run's sample says nothing about its steady state,
+and the *slow outliers* (the spans one actually debugs) are kept only by
+luck.  This module adds pluggable strategies, attached as
+``recorder.sampler``:
+
+* :class:`HeadSampler` — the explicit form of the legacy policy: admit
+  while the working set has room.
+* :class:`ReservoirSampler` — classic uniform reservoir over all offered
+  transactions: every post-warmup submission has equal probability of being
+  in the final sample, however long the run.
+* :class:`TailBiasedSampler` — keeps the **slowest** completed spans: new
+  submissions are admitted while in flight, and on completion a span must
+  beat the fastest retained span to stay.  This is the strategy for hunting
+  p99 outliers over hours-long runs.
+
+A sampler answers two questions through the recorder:
+
+* ``offer(txn_id, resident) -> (admit, evict_txn_id)`` at submission time;
+* ``on_responded(txn_id, latency) -> evict_txn_id`` at completion time.
+
+Evicted spans are handed to the streaming sink (if any) before being
+dropped, so with a sink attached sampling governs the in-memory working set
+while the JSONL stream stays lossless.  Samplers draw randomness from the
+recorder's private RNG, never the simulator's — traced runs stay
+byte-identical to untraced ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Strategy names accepted by ``ExperimentSpec.trace_sampler``.
+SAMPLER_KINDS = ("head", "reservoir", "tail")
+
+
+class HeadSampler:
+    """Admit while the working set has room (the legacy head-cap policy)."""
+
+    kind = "head"
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        self.capacity = int(capacity)
+
+    def offer(self, txn_id: int, resident: int) -> Tuple[bool, Optional[int]]:
+        return resident < self.capacity, None
+
+    def on_responded(self, txn_id: int, latency: float) -> Optional[int]:
+        return None
+
+
+class ReservoirSampler:
+    """Uniform random sample of all offered transactions (Algorithm R).
+
+    Holds at most ``capacity`` spans; after ``seen`` offers, each one had a
+    ``capacity / seen`` chance of being in the sample.
+    """
+
+    kind = "reservoir"
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        self.capacity = int(capacity)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.seen = 0
+        self._slots: List[int] = []
+
+    def offer(self, txn_id: int, resident: int) -> Tuple[bool, Optional[int]]:
+        self.seen += 1
+        if len(self._slots) < self.capacity:
+            self._slots.append(txn_id)
+            return True, None
+        slot = self.rng.randrange(self.seen)
+        if slot < self.capacity:
+            evicted = self._slots[slot]
+            self._slots[slot] = txn_id
+            return True, evicted
+        return False, None
+
+    def on_responded(self, txn_id: int, latency: float) -> Optional[int]:
+        return None
+
+
+class TailBiasedSampler:
+    """Keep the slowest completed spans; admit the in-flight up to a cap.
+
+    Two working sets share the recorder's span dict: up to ``capacity``
+    spans still in flight (candidates) and up to ``capacity`` completed
+    spans retained because they were slow.  On completion a candidate is
+    pushed into a min-heap keyed by latency; once the heap is full the
+    fastest span is evicted on every admission, so what survives a long run
+    is exactly its latency tail.  When the in-flight set overflows, the
+    oldest candidate is recycled.
+    """
+
+    kind = "tail"
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        self.capacity = int(capacity)
+        self._inflight: "dict[int, None]" = {}
+        self._kept: List[Tuple[float, int]] = []  # min-heap (latency, txn_id)
+
+    def offer(self, txn_id: int, resident: int) -> Tuple[bool, Optional[int]]:
+        evict: Optional[int] = None
+        if len(self._inflight) >= self.capacity:
+            evict = next(iter(self._inflight))
+            del self._inflight[evict]
+        self._inflight[txn_id] = None
+        return True, evict
+
+    def on_responded(self, txn_id: int, latency: float) -> Optional[int]:
+        if self._inflight.pop(txn_id, None) is None and not self._in_heap(txn_id):
+            return None
+        if len(self._kept) < self.capacity:
+            heapq.heappush(self._kept, (latency, txn_id))
+            return None
+        if latency <= self._kept[0][0]:
+            return txn_id  # faster than everything retained: drop itself
+        _, evicted = heapq.heappushpop(self._kept, (latency, txn_id))
+        return evicted
+
+    def _in_heap(self, txn_id: int) -> bool:
+        return any(tid == txn_id for _, tid in self._kept)
+
+
+def make_sampler(kind: str, capacity: int, rng: Optional[random.Random] = None):
+    """Build a sampler by name (``head`` / ``reservoir`` / ``tail``)."""
+    if kind == "head":
+        return HeadSampler(capacity, rng)
+    if kind == "reservoir":
+        return ReservoirSampler(capacity, rng)
+    if kind == "tail":
+        return TailBiasedSampler(capacity, rng)
+    raise ConfigurationError(
+        f"unknown trace sampler {kind!r}; expected one of {', '.join(SAMPLER_KINDS)}"
+    )

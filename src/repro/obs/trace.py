@@ -31,6 +31,17 @@ For HotStuff-1 the ``responded`` event (a matching ``n - f`` quorum of
 claim; for HotStuff / HotStuff-2 it lands after.  The signed
 ``responded → committed`` delta (the *speculation lead*) measures exactly
 that.
+
+Beyond the post-mortem surfaces, the recorder is the hub of the *live*
+telemetry plane: a :class:`~repro.obs.stream.StreamingTraceSink` attached as
+``recorder.sink`` receives completed spans, drained event rings and closed
+timeline buckets incrementally (bounded memory for arbitrarily long runs),
+an :class:`~repro.obs.detect.SloDetector` attached as ``recorder.detector``
+observes every bucket the moment it closes, and point-in-time **instants**
+(fault injections, detector alerts) are recorded via :meth:`TraceRecorder.instant`.
+Bucket closure is driven by time moving past the bucket edge — either by the
+next recorded event or by an explicit :meth:`TraceRecorder.advance` from the
+live poll loop, so detectors fire in real time even during a total stall.
 """
 
 from __future__ import annotations
@@ -40,6 +51,8 @@ import random
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
 
 #: Canonical order of per-transaction lifecycle events.
 EVENT_KINDS = (
@@ -122,6 +135,32 @@ class ProtocolEvent:
             "block_hash": self.block_hash,
             "txn_count": self.txn_count,
             "replica": self.replica,
+        }
+
+
+@dataclass
+class TraceInstant:
+    """A point-in-time annotation (fault injection, detector alert, ...).
+
+    Instants are not protocol events: they come from the planes *around*
+    consensus — the chaos controller stamping ``fault`` markers and the SLO
+    detector stamping ``alert``/``alert-cleared`` — so Perfetto timelines and
+    ``repro watch`` can align them with the throughput dip they explain.
+    """
+
+    kind: str
+    t: float
+    label: str = ""
+    replica: int = -1
+    data: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "t": self.t,
+            "label": self.label,
+            "replica": self.replica,
+            "data": dict(self.data),
         }
 
 
@@ -239,6 +278,9 @@ class TimelineBucket:
     offered: int = 0
     max_view: int = 0
     mempool_depth: int = -1
+    committed_txns: int = 0
+    responded_speculative: int = 0
+    views_entered: int = 0
 
 
 class TraceRecorder:
@@ -255,6 +297,8 @@ class TraceRecorder:
         Time-series bucket width in (simulated or wall-clock) seconds.
     max_txns:
         Head cap on sampled spans; exact counters cover every transaction.
+        (A :mod:`~repro.obs.sampling` strategy attached as ``self.sampler``
+        replaces the head-cap admission policy.)
     """
 
     def __init__(
@@ -267,6 +311,16 @@ class TraceRecorder:
         reservoir_per_bucket: int = DEFAULT_RESERVOIR,
         seed: int = 2025,
     ) -> None:
+        if float(bucket) <= 0.0:
+            raise ConfigurationError(f"trace bucket width must be > 0, got {bucket!r}")
+        if int(max_txns) < 1:
+            raise ConfigurationError(f"trace span cap must be >= 1, got {max_txns!r}")
+        if int(max_events) < 1:
+            raise ConfigurationError(f"trace event ring size must be >= 1, got {max_events!r}")
+        if int(reservoir_per_bucket) < 1:
+            raise ConfigurationError(
+                f"trace latency reservoir must be >= 1, got {reservoir_per_bucket!r}"
+            )
         self.clock = clock
         self.warmup = float(warmup)
         self.bucket_width = float(bucket)
@@ -276,12 +330,27 @@ class TraceRecorder:
         self.spans: "OrderedDict[int, TxnSpan]" = OrderedDict()
         self.events: deque = deque(maxlen=self.max_events)
         self.events_seen = 0
+        self.instants: deque = deque(maxlen=self.max_events)
+        self.instants_seen = 0
         self.buckets: Dict[int, TimelineBucket] = {}
         self.counts: Dict[str, int] = {}
         self.highest_view = 0
+        #: Optional span-admission strategy (see :mod:`repro.obs.sampling`);
+        #: ``None`` keeps the legacy head-cap behavior.
+        self.sampler = None
+        #: Optional streaming sink (see :mod:`repro.obs.stream`).
+        self.sink = None
+        #: Optional online SLO detector (see :mod:`repro.obs.detect`).
+        self.detector = None
         #: Private RNG (reservoir eviction only) — never the simulator's.
         self._rng = random.Random(seed)
         self._block_marks: "OrderedDict[str, int]" = OrderedDict()
+        # Bucket-closure bookkeeping: buckets with index < _frontier are
+        # closed (observed by the detector, flushed/evicted by the sink);
+        # _cursor is the highest bucket index time has reached.
+        self._frontier = 0
+        self._cursor = 0
+        self._finalized = False
 
     # ------------------------------------------------------------- plumbing
     def _count(self, kind: str, amount: int = 1) -> None:
@@ -289,10 +358,70 @@ class TraceRecorder:
 
     def _bucket(self, t: float) -> TimelineBucket:
         index = int(t / self.bucket_width) if self.bucket_width > 0 else 0
+        if index > self._cursor:
+            self._close_buckets(index)
+            self._cursor = index
         bucket = self.buckets.get(index)
         if bucket is None:
             bucket = self.buckets[index] = TimelineBucket(index=index)
         return bucket
+
+    def _close_buckets(self, upto: int) -> None:
+        """Close every bucket with index < *upto* (detector, then sink)."""
+        if upto <= self._frontier:
+            return
+        detector, sink = self.detector, self.sink
+        if detector is None and sink is None:
+            self._frontier = upto
+            return
+        width = self.bucket_width
+        for index in range(self._frontier, upto):
+            bucket = self.buckets.get(index)
+            if detector is not None:
+                detector.observe(index, bucket, end_time=(index + 1) * width)
+            if sink is not None and bucket is not None:
+                sink.bucket_closed(bucket)
+        self._frontier = upto
+        if sink is not None:
+            sink.flush()
+
+    def advance(self, now: float) -> None:
+        """Move the bucket cursor to *now*, closing any buckets time passed.
+
+        The live poll loop calls this every tick so the detector sees empty
+        buckets *during* a stall (when no event would otherwise close them)
+        and the streaming sink keeps flushing in real time.
+        """
+        if self.bucket_width <= 0:
+            return
+        index = int(now / self.bucket_width)
+        if index > self._cursor:
+            self._close_buckets(index)
+            self._cursor = index
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        """Close all buckets (including the in-progress one) and the sink.
+
+        Idempotent; called once at the end of a run.  Resident spans stay in
+        memory so end-of-run reporting (phase breakdown, report columns)
+        keeps working; with a sink attached they are also persisted.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        if now is not None:
+            self.advance(now)
+        self._close_buckets(self._cursor + 1)
+        if self.detector is not None:
+            self.detector.finalize()
+        if self.sink is not None:
+            self.sink.close()
+
+    def _evict_span(self, txn_id: int) -> None:
+        """Drop a span from the working set, persisting it first if streaming."""
+        span = self.spans.pop(txn_id, None)
+        if span is not None and self.sink is not None:
+            self.sink.write_span(span)
 
     def _mark_block(self, block_hash: str, kind: str) -> bool:
         """First-wins dedup per ``(block, kind)`` over an LRU hash window."""
@@ -345,7 +474,18 @@ class TraceRecorder:
         t = self.clock.now
         self._count("submitted")
         self._bucket(t).submitted += 1
-        if t >= self.warmup and len(self.spans) < self.max_txns:
+        if t < self.warmup:
+            return
+        if self.sampler is not None:
+            admit, evict = self.sampler.offer(txn_id, len(self.spans))
+            if evict is not None:
+                self._evict_span(evict)
+            if admit:
+                self.spans[txn_id] = TxnSpan(txn_id=txn_id, events={"submitted": t})
+        elif len(self.spans) < self.max_txns:
+            # Head-cap default.  With a streaming sink attached the sink
+            # retires completed spans, so admission keeps running for the
+            # whole run instead of stopping at the first max_txns.
             self.spans[txn_id] = TxnSpan(txn_id=txn_id, events={"submitted": t})
 
     def txn_mempool(self, txn_id: int) -> None:
@@ -389,17 +529,19 @@ class TraceRecorder:
 
     def block_committed(self, block, replica: int = -1) -> None:
         """Replica: *block* was committed through the speculative ledger."""
-        self._block_event("committed", block, replica=replica)
+        if self._block_event("committed", block, replica=replica):
+            self._bucket(self.clock.now).committed_txns += block.txn_count
 
     def txn_responded(self, txn_id: int, submitted_at: float, speculative: bool) -> None:
         """Client pool: a matching quorum of responses completed the txn."""
         t = self.clock.now
         self._count("responded")
-        if speculative:
-            self._count("responded-speculative")
         bucket = self._bucket(t)
         bucket.completed += 1
         bucket.offered += 1
+        if speculative:
+            self._count("responded-speculative")
+            bucket.responded_speculative += 1
         latency = t - submitted_at
         if len(bucket.latencies) < self.reservoir_per_bucket:
             bucket.latencies.append(latency)
@@ -408,6 +550,10 @@ class TraceRecorder:
             if slot < self.reservoir_per_bucket:
                 bucket.latencies[slot] = latency
         self._mark_span(txn_id, "responded", t)
+        if self.sampler is not None and txn_id in self.spans:
+            evict = self.sampler.on_responded(txn_id, latency)
+            if evict is not None:
+                self._evict_span(evict)
 
     def view_entered(self, view: int, replica: int = -1) -> None:
         """Replica: the pacemaker entered *view* (first replica to do so wins)."""
@@ -417,8 +563,20 @@ class TraceRecorder:
             bucket.max_view = view
         if view > self.highest_view:
             self.highest_view = view
+            bucket.views_entered += 1
             self._count("view-entered")
             self._note_event(ProtocolEvent(kind="view", t=t, view=view, replica=replica))
+
+    def instant(self, kind: str, label: str = "", t: Optional[float] = None,
+                replica: int = -1, data: Optional[Dict] = None) -> TraceInstant:
+        """Record a point-in-time annotation (fault marker, detector alert)."""
+        if t is None:
+            t = self.clock.now if self.clock is not None else 0.0
+        inst = TraceInstant(kind=kind, t=float(t), label=label, replica=replica,
+                            data=dict(data or {}))
+        self.instants_seen += 1
+        self.instants.append(inst)
+        return inst
 
     # -------------------------------------------------------------- analysis
     def phase_breakdown(self) -> PhaseBreakdown:
@@ -458,6 +616,7 @@ class TraceRecorder:
                     "p99_ms": round(percentile(ordered, 0.99) * 1000.0, 3),
                     "inflight": inflight,
                     "view": view,
+                    "committed": bucket.committed_txns,
                     "mempool": depth if depth is not None else "",
                 }
             )
@@ -472,81 +631,153 @@ class TraceRecorder:
         return histogram
 
     # --------------------------------------------------------- serialization
+    def meta_record(self) -> Dict:
+        """The ``meta`` header record (also the first record of a stream)."""
+        return {
+            "type": "meta",
+            "version": 2,
+            "warmup": self.warmup,
+            "bucket_s": self.bucket_width,
+            "max_txns": self.max_txns,
+            "events_seen": self.events_seen,
+            "instants_seen": self.instants_seen,
+            "highest_view": self.highest_view,
+        }
+
+    @staticmethod
+    def span_record(span: TxnSpan) -> Dict:
+        return {"type": "span", "txn_id": span.txn_id, "events": dict(span.events)}
+
+    @staticmethod
+    def bucket_record(bucket: TimelineBucket) -> Dict:
+        return {
+            "type": "bucket",
+            "index": bucket.index,
+            "submitted": bucket.submitted,
+            "completed": bucket.completed,
+            "latencies": list(bucket.latencies),
+            "offered": bucket.offered,
+            "max_view": bucket.max_view,
+            "mempool_depth": bucket.mempool_depth,
+            "committed_txns": bucket.committed_txns,
+            "responded_speculative": bucket.responded_speculative,
+            "views_entered": bucket.views_entered,
+        }
+
     def to_records(self) -> List[Dict]:
         """Flatten the recorder into plain JSONL-able records."""
         records: List[Dict] = [
-            {
-                "type": "meta",
-                "version": 1,
-                "warmup": self.warmup,
-                "bucket_s": self.bucket_width,
-                "max_txns": self.max_txns,
-                "events_seen": self.events_seen,
-                "highest_view": self.highest_view,
-            },
+            self.meta_record(),
             {"type": "counters", "counts": dict(self.counts)},
         ]
         for span in self.spans.values():
-            records.append({"type": "span", "txn_id": span.txn_id, "events": dict(span.events)})
+            records.append(self.span_record(span))
         for event in self.events:
             records.append({"type": "event", **event.as_dict()})
+        for inst in self.instants:
+            records.append({"type": "instant", **inst.as_dict()})
         for index in sorted(self.buckets):
-            bucket = self.buckets[index]
-            records.append(
-                {
-                    "type": "bucket",
-                    "index": bucket.index,
-                    "submitted": bucket.submitted,
-                    "completed": bucket.completed,
-                    "latencies": list(bucket.latencies),
-                    "offered": bucket.offered,
-                    "max_view": bucket.max_view,
-                    "mempool_depth": bucket.mempool_depth,
-                }
-            )
+            records.append(self.bucket_record(self.buckets[index]))
         return records
+
+    def apply_record(self, record: Dict) -> None:
+        """Fold one dumped record back into this (read-only) recorder.
+
+        Shared by :meth:`from_records` and the incremental ``--follow`` /
+        ``repro watch`` readers, which tail a streaming JSONL and apply new
+        records as they land.  Repeated ``counters``/``meta`` records simply
+        overwrite (the stream rewrites them each flush — last wins); repeated
+        ``bucket`` records for the same index overwrite too.
+        """
+        kind = record.get("type")
+        if kind == "meta":
+            self.warmup = float(record.get("warmup", 0.0))
+            self.bucket_width = float(record.get("bucket_s", 0.25))
+            self.max_txns = int(record.get("max_txns", DEFAULT_MAX_TXNS))
+            self.events_seen = int(record.get("events_seen", 0))
+            self.instants_seen = int(record.get("instants_seen", 0))
+            self.highest_view = int(record.get("highest_view", 0))
+        elif kind == "counters":
+            self.counts.update(record.get("counts", {}))
+        elif kind == "span":
+            txn_id = int(record["txn_id"])
+            self.spans[txn_id] = TxnSpan(
+                txn_id=txn_id,
+                events={str(k): float(v) for k, v in record.get("events", {}).items()},
+            )
+        elif kind == "event":
+            self.events.append(
+                ProtocolEvent(
+                    kind=str(record.get("kind", "")),
+                    t=float(record.get("t", 0.0)),
+                    view=int(record.get("view", 0)),
+                    slot=int(record.get("slot", 0)),
+                    block_hash=str(record.get("block_hash", "")),
+                    txn_count=int(record.get("txn_count", 0)),
+                    replica=int(record.get("replica", -1)),
+                )
+            )
+        elif kind == "instant":
+            self.instants.append(
+                TraceInstant(
+                    kind=str(record.get("kind", "")),
+                    t=float(record.get("t", 0.0)),
+                    label=str(record.get("label", "")),
+                    replica=int(record.get("replica", -1)),
+                    data=dict(record.get("data", {})),
+                )
+            )
+        elif kind == "bucket":
+            index = int(record["index"])
+            self.buckets[index] = TimelineBucket(
+                index=index,
+                submitted=int(record.get("submitted", 0)),
+                completed=int(record.get("completed", 0)),
+                latencies=[float(v) for v in record.get("latencies", [])],
+                offered=int(record.get("offered", 0)),
+                max_view=int(record.get("max_view", 0)),
+                mempool_depth=int(record.get("mempool_depth", -1)),
+                committed_txns=int(record.get("committed_txns", 0)),
+                responded_speculative=int(record.get("responded_speculative", 0)),
+                views_entered=int(record.get("views_entered", 0)),
+            )
 
     @classmethod
     def from_records(cls, records: Iterable[Dict]) -> "TraceRecorder":
         """Rebuild a (clock-less, read-only) recorder from dumped records."""
         recorder = cls(clock=None)
         for record in records:
-            kind = record.get("type")
-            if kind == "meta":
-                recorder.warmup = float(record.get("warmup", 0.0))
-                recorder.bucket_width = float(record.get("bucket_s", 0.25))
-                recorder.max_txns = int(record.get("max_txns", DEFAULT_MAX_TXNS))
-                recorder.events_seen = int(record.get("events_seen", 0))
-                recorder.highest_view = int(record.get("highest_view", 0))
-            elif kind == "counters":
-                recorder.counts.update(record.get("counts", {}))
-            elif kind == "span":
-                txn_id = int(record["txn_id"])
-                recorder.spans[txn_id] = TxnSpan(
-                    txn_id=txn_id,
-                    events={str(k): float(v) for k, v in record.get("events", {}).items()},
-                )
-            elif kind == "event":
-                recorder.events.append(
-                    ProtocolEvent(
-                        kind=str(record.get("kind", "")),
-                        t=float(record.get("t", 0.0)),
-                        view=int(record.get("view", 0)),
-                        slot=int(record.get("slot", 0)),
-                        block_hash=str(record.get("block_hash", "")),
-                        txn_count=int(record.get("txn_count", 0)),
-                        replica=int(record.get("replica", -1)),
-                    )
-                )
-            elif kind == "bucket":
-                index = int(record["index"])
-                recorder.buckets[index] = TimelineBucket(
-                    index=index,
-                    submitted=int(record.get("submitted", 0)),
-                    completed=int(record.get("completed", 0)),
-                    latencies=[float(v) for v in record.get("latencies", [])],
-                    offered=int(record.get("offered", 0)),
-                    max_view=int(record.get("max_view", 0)),
-                    mempool_depth=int(record.get("mempool_depth", -1)),
-                )
+            recorder.apply_record(record)
         return recorder
+
+    def filtered(self, since: Optional[float] = None, until: Optional[float] = None) -> "TraceRecorder":
+        """A read-only copy restricted to the ``[since, until)`` time window.
+
+        Spans are kept when their first observed event falls in the window;
+        events and instants filter on their timestamp; buckets on their start
+        time.  Exact counters are run-global and carry over unchanged (a
+        windowed counter would silently misreport — the timeline carries the
+        windowed counts).
+        """
+        lo = -math.inf if since is None else float(since)
+        hi = math.inf if until is None else float(until)
+        out = TraceRecorder(clock=None, warmup=self.warmup, bucket=self.bucket_width,
+                            max_txns=self.max_txns, max_events=self.max_events,
+                            reservoir_per_bucket=self.reservoir_per_bucket)
+        out.counts = dict(self.counts)
+        out.events_seen = self.events_seen
+        out.instants_seen = self.instants_seen
+        out.highest_view = self.highest_view
+        for txn_id, span in self.spans.items():
+            if span.events and lo <= min(span.events.values()) < hi:
+                out.spans[txn_id] = span
+        for event in self.events:
+            if lo <= event.t < hi:
+                out.events.append(event)
+        for inst in self.instants:
+            if lo <= inst.t < hi:
+                out.instants.append(inst)
+        for index, bucket in self.buckets.items():
+            if lo <= index * self.bucket_width < hi:
+                out.buckets[index] = bucket
+        return out

@@ -1,0 +1,213 @@
+"""`repro watch`: a refreshing terminal dashboard over live telemetry.
+
+Two sources, one renderer:
+
+* **file mode** tails a streaming trace JSONL (written by
+  :class:`~repro.obs.stream.StreamingTraceSink`) through the shared
+  torn-tail :class:`~repro.obs.stream.TraceTail` reader, folding new records
+  into a read-only recorder and re-rendering: tps / p50 / p99 from the
+  timeline tail, the current view, the signed speculation lead, fault
+  markers and active SLO alerts reconstructed from the instant stream.
+* **scrape mode** polls one or more replicas' ``/metrics`` and ``/healthz``
+  endpoints (stdlib ``urllib`` only) and renders a per-replica liveness
+  table plus the shared trace exposition.
+
+Everything here is read-only: watching a run cannot perturb it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.report import format_series
+from repro.obs.export import parse_prometheus
+from repro.obs.stream import TraceTail
+from repro.obs.trace import TraceRecorder
+
+#: ANSI: clear screen + home the cursor (one refresh frame).
+CLEAR = "\x1b[2J\x1b[H"
+
+#: Timeline rows shown in a frame.
+TAIL_ROWS = 10
+
+
+def active_alerts(recorder: TraceRecorder) -> List[Tuple[str, float, str]]:
+    """Reconstruct the active alert set from the instant stream.
+
+    Returns ``(rule, raised_at, detail)`` for every ``alert`` instant not
+    yet matched by an ``alert-cleared`` with the same label.
+    """
+    active: Dict[str, Tuple[str, float, str]] = {}
+    for inst in sorted(recorder.instants, key=lambda i: i.t):
+        if inst.kind == "alert":
+            active[inst.label] = (inst.label, inst.t, str(inst.data.get("detail", "")))
+        elif inst.kind == "alert-cleared":
+            active.pop(inst.label, None)
+    return sorted(active.values(), key=lambda item: item[1])
+
+
+def fault_markers(recorder: TraceRecorder, limit: int = 6) -> List[str]:
+    """The most recent chaos fault instants, rendered one per line."""
+    faults = [inst for inst in recorder.instants if inst.kind == "fault"]
+    lines = []
+    for inst in faults[-limit:]:
+        target = f" replica {inst.replica}" if inst.replica >= 0 else ""
+        lines.append(f"  {inst.t:8.3f}s  {inst.label}{target}")
+    return lines
+
+
+def render_dashboard(recorder: TraceRecorder, title: str = "repro watch",
+                     clear: bool = True) -> str:
+    """One dashboard frame for *recorder*'s current contents."""
+    parts: List[str] = [CLEAR] if clear else []
+    timeline = recorder.timeline()
+    now_s = timeline[-1]["t_s"] + recorder.bucket_width if timeline else 0.0
+    breakdown = recorder.phase_breakdown()
+    completed = recorder.counts.get("responded", 0)
+    committed = recorder.counts.get("committed", 0)
+    header = (
+        f"{title} — t={now_s:.2f}s  view={recorder.highest_view}  "
+        f"responded={completed}  committed={committed}  "
+        f"spans={len(recorder.spans)}  events={recorder.events_seen}"
+    )
+    parts.append(header)
+    parts.append("=" * len(header))
+    lead_ms = breakdown.speculation_lead_s * 1000.0
+    parts.append(
+        f"latency: response p50 {breakdown.response_s * 1000.0:.2f} ms   "
+        f"commit {breakdown.commit_s * 1000.0:.2f} ms   "
+        f"speculation lead {lead_ms:+.2f} ms"
+    )
+    parts.append("")
+    parts.append(format_series(timeline[-TAIL_ROWS:], title="timeline (tail)").rstrip())
+    alerts = active_alerts(recorder)
+    parts.append("")
+    if alerts:
+        parts.append(f"ACTIVE ALERTS ({len(alerts)}):")
+        for rule, raised_at, detail in alerts:
+            suffix = f" — {detail}" if detail else ""
+            parts.append(f"  !! {rule} since {raised_at:.3f}s{suffix}")
+    else:
+        parts.append("alerts: none active")
+    faults = fault_markers(recorder)
+    if faults:
+        parts.append("fault markers:")
+        parts.extend(faults)
+    return "\n".join(parts) + "\n"
+
+
+def watch_file(path: str, interval: float = 1.0, frames: int = 0,
+               out: Callable[[str], None] = print, clear: bool = True,
+               title: Optional[str] = None) -> TraceRecorder:
+    """Tail a streaming trace JSONL and re-render until interrupted.
+
+    ``frames > 0`` renders that many frames then returns (CI / tests);
+    ``frames == 0`` loops until KeyboardInterrupt.  Returns the recorder in
+    its final state.
+    """
+    tail = TraceTail(path)
+    recorder = TraceRecorder(clock=None)
+    rendered = 0
+    try:
+        while True:
+            for record in tail.poll():
+                recorder.apply_record(record)
+            out(render_dashboard(recorder, title=title or f"repro watch — {path}", clear=clear))
+            rendered += 1
+            if frames and rendered >= frames:
+                return recorder
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return recorder
+
+
+def _fetch(url: str, timeout: float) -> Tuple[int, str]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as exc:  # 503 from a down replica still has a body
+        return exc.code, exc.read().decode("utf-8", "replace")
+    except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+        return 0, str(exc)
+
+
+def scrape_rows(endpoints: List[str], timeout: float = 2.0) -> List[Dict]:
+    """One liveness row per scraped replica endpoint (``host:port`` or URL)."""
+    rows: List[Dict] = []
+    for endpoint in endpoints:
+        base = endpoint if endpoint.startswith("http") else f"http://{endpoint}"
+        status, body = _fetch(base.rstrip("/") + "/healthz", timeout)
+        row: Dict = {"endpoint": base, "healthz": status if status else "unreachable"}
+        if status:
+            try:
+                state = json.loads(body)
+                row.update(
+                    {
+                        "replica": state.get("replica", ""),
+                        "up": state.get("up", ""),
+                        "view": state.get("view", ""),
+                        "height": state.get("height", ""),
+                        "commit_age_s": state.get("last_commit_age_s", ""),
+                        "mempool": state.get("mempool_depth", ""),
+                    }
+                )
+            except json.JSONDecodeError:
+                row["up"] = "?"
+        rows.append(row)
+    return rows
+
+
+def render_scrape_dashboard(endpoints: List[str], timeout: float = 2.0,
+                            clear: bool = True) -> str:
+    """One dashboard frame built by polling scrape endpoints."""
+    parts: List[str] = [CLEAR] if clear else []
+    rows = scrape_rows(endpoints, timeout=timeout)
+    parts.append(f"repro watch — scraping {len(endpoints)} endpoint(s)")
+    parts.append(format_series(rows, title="replicas").rstrip())
+    # The trace exposition is cluster-wide; take it from the first live one.
+    for endpoint in endpoints:
+        base = endpoint if endpoint.startswith("http") else f"http://{endpoint}"
+        status, body = _fetch(base.rstrip("/") + "/metrics", timeout)
+        if status == 200:
+            samples = parse_prometheus(body)
+            lead = samples.get(
+                (
+                    "repro_trace_phase_latency_seconds",
+                    frozenset(
+                        {("phase", "responded→committed (speculation lead)"), ("stat", "mean")}
+                    ),
+                )
+            )
+            view = samples.get(("repro_trace_highest_view", frozenset()))
+            spans = samples.get(("repro_trace_spans_sampled", frozenset()))
+            summary = []
+            if view is not None:
+                summary.append(f"highest view {int(view)}")
+            if spans is not None:
+                summary.append(f"{int(spans)} spans sampled")
+            if lead is not None:
+                summary.append(f"speculation lead {lead * 1000.0:+.2f} ms")
+            if summary:
+                parts.append("trace: " + "   ".join(summary))
+            break
+    return "\n".join(parts) + "\n"
+
+
+def watch_scrape(endpoints: List[str], interval: float = 1.0, frames: int = 0,
+                 out: Callable[[str], None] = print, clear: bool = True,
+                 timeout: float = 2.0) -> None:
+    """Poll scrape endpoints and re-render until interrupted."""
+    rendered = 0
+    try:
+        while True:
+            out(render_scrape_dashboard(endpoints, timeout=timeout, clear=clear))
+            rendered += 1
+            if frames and rendered >= frames:
+                return
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return
