@@ -78,6 +78,10 @@ class CheckpointManager:
             state_digest=digest,
             state=state,
             committed_hashes=replica.ledger.committed.hashes(),
+            # The contiguous watermark, not the raw maximum: every id at or
+            # below it is known committed, so a rejoiner can prune its own
+            # pool against it without dropping still-pending transactions.
+            txn_horizon=replica.mempool.committed_contiguous,
         )
         replica.store.save_snapshot(snapshot)
         self.snapshots_taken += 1

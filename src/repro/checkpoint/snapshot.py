@@ -51,6 +51,12 @@ class Snapshot:
     state: Dict[str, Any]
     #: Committed block hashes for positions ``0 .. height - 1``.
     committed_hashes: List[str]
+    #: Highest transaction id committed at or below the checkpoint, or ``-1``
+    #: when unknown (pre-horizon snapshots).  Transaction ids are globally
+    #: monotonic, so a rejoiner installing this snapshot can prune every
+    #: pending transaction with ``txn_id <= txn_horizon`` from its own
+    #: (distributed-mempool) pool instead of re-proposing committed work.
+    txn_horizon: int = -1
 
     @property
     def block_hash(self) -> str:

@@ -182,7 +182,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve per-replica HTTP scrape endpoints (/metrics, /healthz, /readyz) "
              "on PORT+replica_id (0: ephemeral ports, printed at startup)",
     )
+    live_parser.add_argument(
+        "--regions", default=None, metavar="R1,R2,...",
+        help="emulate geography: replicas placed round-robin across these regions, "
+             "per-link delays shaped at the transports from the paper's RTT tables",
+    )
+    live_parser.add_argument("--client-region", default="virginia",
+                             help="region the client pool sends from (with --regions)")
+    live_parser.add_argument(
+        "--distributed-mempool", action="store_true",
+        help="per-replica transaction pools fed by client broadcast "
+             "(default: one shared in-process pool)",
+    )
+    live_parser.add_argument("--mempool-limit", type=int, default=None, metavar="TXNS",
+                             help="admission-control cap per pool (adds beyond it are rejected)")
+    live_parser.add_argument("--max-outstanding", type=int, default=None, metavar="TXNS",
+                             help="open-loop client-side cap on outstanding requests")
+    live_parser.add_argument(
+        "--multiprocess", action="store_true",
+        help="run each replica in its own OS process (requires --distributed-mempool; "
+             "localhost free-port deployment unless --deployment is given)",
+    )
+    live_parser.add_argument(
+        "--deployment", default=None, metavar="DEPLOY.json",
+        help="deployment config (replica id -> host:port -> region) for a "
+             "multi-process / multi-host cluster; implies --multiprocess",
+    )
     _add_trace_arguments(live_parser)
+
+    replica_parser = subparsers.add_parser(
+        "replica", help="serve one replica process of a multi-process deployment"
+    )
+    replica_parser.add_argument("--spec", required=True, metavar="SPEC.json",
+                                help="experiment spec document written by the coordinator")
+    replica_parser.add_argument("--deployment", required=True, metavar="DEPLOY.json",
+                                help="shared deployment config (endpoints + regions)")
+    replica_parser.add_argument("--replica-id", type=int, required=True,
+                                help="which replica of the deployment this process serves")
+    replica_parser.add_argument("--result", required=True, metavar="OUT.json",
+                                help="where to write the committed-chain result document")
 
     chaos_parser = subparsers.add_parser(
         "chaos", help="run one experiment under a fault plan and report recovery"
@@ -558,6 +596,11 @@ def command_live(args: argparse.Namespace) -> int:
     """Run one experiment on the live asyncio runtime and print its summary."""
     from repro.live.deploy import run_live_experiment
 
+    regions = (
+        [region.strip() for region in args.regions.split(",") if region.strip()]
+        if args.regions
+        else None
+    )
     spec = ExperimentSpec(
         protocol=args.protocol,
         mode="live",
@@ -582,8 +625,31 @@ def command_live(args: argparse.Namespace) -> int:
         trace_max_events=args.trace_max_events,
         trace_detect=args.trace_detect,
         scrape_port=args.scrape_port,
+        regions=regions,
+        client_region=args.client_region,
+        distributed_mempool=args.distributed_mempool,
+        mempool_limit=args.mempool_limit,
     )
     target_ops = args.target_ops if args.target_ops > 0 else None
+
+    if regions:
+        from repro.net.latency import GeoLatencyModel
+
+        model = GeoLatencyModel(dict(enumerate(regions)))
+        worst_rtt = 2 * max(
+            model.one_way_ms(a, b) / 1000.0 for a in regions for b in regions
+        )
+        if spec.view_timeout < worst_rtt:
+            print(
+                f"warning: view timeout {spec.view_timeout * 1000:.0f}ms is below "
+                f"the worst-case round trip {worst_rtt * 1000:.0f}ms for these "
+                f"regions; views will expire before any proposal can complete "
+                f"(try --view-timeout {worst_rtt * 2:.1f})",
+                file=sys.stderr,
+            )
+
+    if args.multiprocess or args.deployment:
+        return _run_live_multiprocess(args, spec, target_ops)
 
     def _announce(info: Dict) -> None:
         ports = info.get("scrape_ports") or []
@@ -596,11 +662,14 @@ def command_live(args: argparse.Namespace) -> int:
         target_ops=target_ops,
         rate=args.rate,
         on_started=_announce if spec.scrape_port is not None else None,
+        max_outstanding=args.max_outstanding,
     )
     summary = result.summary
     mode = "open-loop" if args.rate else "closed-loop"
+    topo = f"{len(regions)} regions" if regions else "localhost TCP"
+    pool = "distributed mempool" if spec.distributed_mempool else "shared mempool"
     print(
-        f"live cluster: n={spec.n} {spec.protocol} over localhost TCP, "
+        f"live cluster: n={spec.n} {spec.protocol} over {topo}, {pool}, "
         f"{mode} clients, measured {summary.duration:.2f}s wall-clock"
     )
     print(format_series([summary.as_dict()], title=f"{spec.protocol} — live, n={spec.n}"))
@@ -616,6 +685,64 @@ def command_live(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _run_live_multiprocess(args: argparse.Namespace, spec: ExperimentSpec,
+                           target_ops: Optional[int]) -> int:
+    """Coordinate a multi-process cluster and print its summary."""
+    from repro.live.config import DeploymentConfig
+    from repro.live.procs import run_multiprocess_experiment
+
+    config = DeploymentConfig.load(args.deployment) if args.deployment else None
+    result = run_multiprocess_experiment(
+        spec,
+        config=config,
+        target_ops=target_ops,
+        rate=args.rate,
+        max_outstanding=args.max_outstanding,
+    )
+    summary = result.summary
+    info = result.multiproc or {}
+    deployment = info.get("deployment", {})
+    placements = deployment.get("replicas", [])
+    topo = (
+        ", ".join(
+            f"{entry['id']}@{entry.get('region') or entry['host']}"
+            for entry in placements
+        )
+        or f"n={spec.n}"
+    )
+    print(
+        f"multi-process cluster: n={spec.n} {spec.protocol}, one OS process "
+        f"per replica [{topo}], distributed mempool, measured "
+        f"{summary.duration:.2f}s wall-clock"
+    )
+    print(format_series([summary.as_dict()],
+                        title=f"{spec.protocol} — live multi-process, n={spec.n}"))
+    heights = info.get("committed_heights", {})
+    if heights:
+        print("committed heights: "
+              + ", ".join(f"r{rid}={height}" for rid, height in sorted(heights.items())))
+    print(f"prefix consistent: {info.get('prefix_consistent')}  "
+          f"duplicate commits: {info.get('duplicate_commits', 0)}")
+    if result.network_stats:
+        print(format_network_breakdown(result.network_stats,
+                                       committed_ops=summary.committed_txns))
+    if target_ops is not None and summary.committed_txns < target_ops:
+        print(
+            f"warning: only {summary.committed_txns} of the targeted "
+            f"{target_ops} operations completed within {spec.duration}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def command_replica(args: argparse.Namespace) -> int:
+    """Serve one replica process of a multi-process deployment."""
+    from repro.live.procs import run_replica_process
+
+    return run_replica_process(args.spec, args.deployment, args.replica_id, args.result)
 
 
 def command_chaos(args: argparse.Namespace) -> int:
@@ -635,6 +762,10 @@ def command_chaos(args: argparse.Namespace) -> int:
             down_for=args.down_for if args.down_for is not None else round(args.duration * 0.15, 6),
             replica=args.replica,
         )
+    # Validate up front so sim-only actions (pause/partition) in a live-mode
+    # plan fail here — not minutes into the run, and not silently when the
+    # plan is merely being emitted for inspection.
+    plan.validate(args.replicas, mode=args.mode)
     if args.emit_plan:
         print(plan.to_json())
         return 0
@@ -982,6 +1113,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": command_run,
         "live": command_live,
+        "replica": command_replica,
         "chaos": command_chaos,
         "fuzz": command_fuzz,
         "compare": command_compare,

@@ -60,6 +60,7 @@ class ClientPool:
         node_id: int = CLIENT_POOL_NODE_ID,
         target_replicas: Optional[Sequence[int]] = None,
         retry_timeout: Optional[float] = None,
+        broadcast_requests: bool = False,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -70,6 +71,9 @@ class ClientPool:
         self.required_quorum = int(required_quorum if required_quorum is not None else config.f + 1)
         self.node_id = int(node_id)
         self.target_replicas = list(target_replicas) if target_replicas else list(config.replica_ids())
+        #: ``True`` fans every request out to all target replicas (the
+        #: distributed-mempool dissemination model); ``False`` round-robins.
+        self.broadcast_requests = bool(broadcast_requests)
         self.retry_timeout = retry_timeout if retry_timeout is not None else max(10 * config.view_timeout, 0.05)
         self.outstanding: Dict[int, OutstandingRequest] = {}
         self.completed_count = 0
@@ -117,9 +121,16 @@ class ClientPool:
         self._send_request(request)
 
     def _send_request(self, request: OutstandingRequest) -> None:
+        request.last_sent_at = self.sim.now
+        if self.broadcast_requests:
+            # Distributed mempool: every replica needs its own copy so any
+            # leader can propose the transaction; per-pool dedup keeps it from
+            # committing more than once.
+            for target in self.target_replicas:
+                self._dispatch_request(target, request.txn)
+            return
         target = self.target_replicas[self._next_target % len(self.target_replicas)]
         self._next_target += 1
-        request.last_sent_at = self.sim.now
         self._dispatch_request(target, request.txn)
 
     def _dispatch_request(self, target: int, txn: Transaction) -> None:

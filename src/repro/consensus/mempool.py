@@ -1,68 +1,200 @@
-"""Shared transaction mempool.
+"""Transaction mempool: one shared pool, or one pool per replica.
 
 The paper separates data dissemination from consensus (and cites Autobahn and
 DAG-based mempools as orthogonal work); ResilientDB broadcasts client
 requests to all replicas before ordering.  The reproduction models that
-substrate with a single shared :class:`Mempool` visible to every replica —
-i.e. perfect, zero-cost dissemination — so that the measured differences
-between protocols come from consensus, which is exactly what the paper
-evaluates.  The client-to-replica and replica-to-client network hops are still
-paid through the network layer (they are part of the latency metric).
+substrate two ways:
+
+* **Shared** (the default, ``shared=True``): a single :class:`Mempool`
+  instance visible to every replica — perfect, zero-cost dissemination — so
+  that measured differences between protocols come from consensus, which is
+  exactly what the paper evaluates.
+* **Distributed** (``shared=False``): each replica owns its own pool, fed by
+  clients broadcasting requests to all replicas.  Leaders deduplicate against
+  committed transactions, in-flight proposals they have observed, and the
+  committed-txn-id horizon carried by installed snapshots; an optional
+  ``limit`` applies admission-control backpressure when the pool saturates.
+
+The client-to-replica and replica-to-client network hops are paid through the
+network layer in both models (they are part of the latency metric).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ledger.transaction import Transaction
 
 
 class Mempool:
-    """FIFO pool of pending client transactions shared by all replicas."""
+    """FIFO pool of pending client transactions.
 
-    def __init__(self) -> None:
+    Deduplication state (all per-pool):
+
+    * ``_pending`` — admitted, not yet proposed (FIFO proposal order);
+    * ``_inflight`` — observed inside a proposed-but-uncommitted block; kept
+      out of ``_pending`` so a rotated leader does not re-propose them, and
+      rescued back into ``_pending`` if their block is abandoned;
+    * ``_committed_ids`` — committed, never re-admitted;
+    * ``_floor`` — committed-txn-id horizon from an installed snapshot:
+      transaction ids are globally monotonic (one counter per client
+      process), so every id at or below the horizon is known-committed even
+      when the individual id was never seen by this pool.
+    """
+
+    def __init__(self, limit: Optional[int] = None, shared: bool = True) -> None:
         self._pending: "OrderedDict[int, Transaction]" = OrderedDict()
         self._committed_ids: set = set()
+        self._inflight: Dict[int, Transaction] = {}
+        self._inflight_blocks: Dict[str, Tuple[int, ...]] = {}
+        self._floor = -1
         self._ever_added = 0
+        #: Admission-control cap on pending transactions (``None`` = unbounded).
+        self.limit = limit
+        #: ``True`` for the single cluster-wide pool (perfect dissemination);
+        #: ``False`` for a per-replica pool in a distributed-mempool deployment.
+        self.shared = shared
+        #: Adds rejected because the pool was at ``limit`` (backpressure signal).
+        self.admission_rejected = 0
+        #: Highest transaction id this pool has seen commit.
+        self.highest_committed_id = -1
+        self._contiguous = -1
         #: Optional :class:`~repro.obs.trace.TraceRecorder` (the tracer holds
         #: the deployment clock; the mempool itself has no time source).
         self.tracer = None
 
     # ----------------------------------------------------------------- write
     def add(self, txn: Transaction) -> bool:
-        """Add *txn* to the pool; duplicates and already-committed txns are ignored.
+        """Add *txn* to the pool; duplicates, in-flight and committed txns are ignored.
 
-        Returns ``True`` if the transaction was newly added.
+        Returns ``True`` if the transaction was newly added.  A full pool
+        (``limit`` reached) rejects the add and counts it in
+        ``admission_rejected`` — the backpressure signal an open-loop load
+        generator saturating the cluster shows up in.
         """
-        if txn.txn_id in self._pending or txn.txn_id in self._committed_ids:
+        txn_id = txn.txn_id
+        if (
+            txn_id <= self._floor
+            or txn_id in self._pending
+            or txn_id in self._committed_ids
+            or txn_id in self._inflight
+        ):
             return False
-        self._pending[txn.txn_id] = txn
+        if self.limit is not None and len(self._pending) >= self.limit:
+            self.admission_rejected += 1
+            return False
+        self._pending[txn_id] = txn
         self._ever_added += 1
         if self.tracer is not None:
-            self.tracer.txn_mempool(txn.txn_id)
+            self.tracer.txn_mempool(txn_id)
         return True
 
     def requeue(self, txns: List[Transaction]) -> None:
         """Put transactions back at the head of the pool (after an abandoned block)."""
         for txn in reversed(txns):
-            if txn.txn_id not in self._pending and txn.txn_id not in self._committed_ids:
+            self._inflight.pop(txn.txn_id, None)
+            if (
+                txn.txn_id > self._floor
+                and txn.txn_id not in self._pending
+                and txn.txn_id not in self._committed_ids
+            ):
                 self._pending[txn.txn_id] = txn
                 self._pending.move_to_end(txn.txn_id, last=False)
+
+    def note_proposed(self, block_hash: str, txns: Iterable[Transaction]) -> None:
+        """Record that *txns* are riding in proposed block *block_hash*.
+
+        Called when a block enters the local block tree (own proposal,
+        accepted proposal, fetched catch-up block).  The transactions move
+        out of ``_pending`` into the in-flight set so a different leader does
+        not propose them again while the block awaits commitment; if the
+        block is later pruned as a fork, :meth:`release_block` (or the
+        sibling requeue path) returns them to the pool.
+        """
+        ids = []
+        for txn in txns:
+            txn_id = txn.txn_id
+            self._pending.pop(txn_id, None)
+            if txn_id in self._committed_ids or txn_id <= self._floor:
+                continue
+            self._inflight[txn_id] = txn
+            ids.append(txn_id)
+        if ids:
+            self._inflight_blocks[block_hash] = tuple(ids)
+
+    def release_block(self, block_hash: str) -> None:
+        """Rescue the in-flight transactions of a pruned fork block.
+
+        Transactions that did not commit elsewhere in the meantime go back to
+        the head of the pool (they were admitted first).
+        """
+        for txn_id in self._inflight_blocks.pop(block_hash, ()):
+            txn = self._inflight.pop(txn_id, None)
+            if txn is not None and txn_id not in self._committed_ids and txn_id > self._floor:
+                self._pending[txn_id] = txn
+                self._pending.move_to_end(txn_id, last=False)
 
     def mark_committed(self, txn_ids) -> None:
         """Record that transactions committed so they are never re-admitted."""
         for txn_id in txn_ids:
             self._committed_ids.add(txn_id)
             self._pending.pop(txn_id, None)
+            self._inflight.pop(txn_id, None)
+            if txn_id > self.highest_committed_id:
+                self.highest_committed_id = txn_id
+        while self._contiguous + 1 in self._committed_ids:
+            self._contiguous += 1
+
+    @property
+    def committed_contiguous(self) -> int:
+        """Highest id H such that *every* transaction with id ``<= H`` committed.
+
+        Commits can land out of id order (forks, retries, speculation), so the
+        raw maximum is not a safe prune horizon — this contiguous watermark
+        is: it never covers an id that might still be pending somewhere.  It
+        is what checkpoints export as :attr:`Snapshot.txn_horizon`.
+        """
+        return self._contiguous
 
     def is_committed(self, txn_id: int) -> bool:
         """Return ``True`` if the transaction is known to have committed."""
-        return txn_id in self._committed_ids
+        return txn_id in self._committed_ids or txn_id <= self._floor
 
     def remove(self, txn_id: int) -> None:
         """Drop a transaction (e.g. once the client saw it commit elsewhere)."""
         self._pending.pop(txn_id, None)
+        self._inflight.pop(txn_id, None)
+
+    def prune_below(self, horizon: int) -> int:
+        """Adopt a snapshot's committed-txn-id *horizon*: drop covered txns.
+
+        A rejoiner that installed a checkpoint knows every transaction with
+        ``txn_id <= horizon`` committed below it (ids are monotonic), even
+        though the snapshot does not enumerate them.  Pending and in-flight
+        entries at or below the horizon are dropped and future adds of such
+        ids are rejected, so the rejoiner never re-proposes them.
+
+        Shared pools are a no-op: with perfect dissemination the committed-id
+        set is cluster-wide already, and pruning would throw away other
+        replicas' pending transactions.  Returns the number of dropped txns.
+        """
+        if self.shared or horizon is None or horizon < 0 or horizon <= self._floor:
+            return 0
+        self._floor = horizon
+        dropped = [txn_id for txn_id in self._pending if txn_id <= horizon]
+        for txn_id in dropped:
+            del self._pending[txn_id]
+        stale_inflight = [txn_id for txn_id in self._inflight if txn_id <= horizon]
+        for txn_id in stale_inflight:
+            del self._inflight[txn_id]
+        if horizon > self.highest_committed_id:
+            self.highest_committed_id = horizon
+        if horizon > self._contiguous:
+            self._contiguous = horizon
+            while self._contiguous + 1 in self._committed_ids:
+                self._contiguous += 1
+        return len(dropped) + len(stale_inflight)
 
     # ------------------------------------------------------------------ read
     def next_batch(self, batch_size: int) -> List[Transaction]:
@@ -76,6 +208,10 @@ class Mempool:
     def peek_count(self) -> int:
         """Number of transactions currently pending."""
         return len(self._pending)
+
+    def inflight_count(self) -> int:
+        """Number of transactions parked inside proposed-but-uncommitted blocks."""
+        return len(self._inflight)
 
     @property
     def total_submitted(self) -> int:

@@ -150,6 +150,10 @@ class BaseReplica:
         #: State-transfer outcomes (diagnostics and report columns).
         self.snapshots_installed = 0
         self.snapshots_rejected = 0
+        #: Snapshots we refused to *send* because the encoded response would
+        #: overflow ``MAX_FRAME_BYTES`` (the requester falls back to block
+        #: fetch instead of losing the frame mid-transfer).
+        self.snapshots_declined_oversize = 0
 
         network.register(self)
 
@@ -424,6 +428,20 @@ class BaseReplica:
         per_txn_state_cost = getattr(self.ledger.state_machine, "execution_cost", 1e-6)
         return self.costs.execution_cost(txn_count, per_txn_state_cost)
 
+    def admit_block(self, block: Block) -> None:
+        """Add *block* to the local tree and retire its transactions from the pool.
+
+        The single chokepoint every proposal path goes through (own proposal,
+        accepted proposal, fetched catch-up block): marking the transactions
+        in-flight is what lets a *different* replica's pool — fed by client
+        broadcast in a distributed-mempool deployment — avoid re-proposing
+        work that is already riding in an uncommitted block it has seen.
+        Shared pools get the same guard against retry re-admission.
+        """
+        self.block_store.add(block)
+        if block.transactions:
+            self.mempool.note_proposed(block.block_hash, block.transactions)
+
     def _requeue_forked_siblings(self, committed_block: Block) -> None:
         """Requeue transactions of sibling blocks abandoned by the committed chain."""
         parent_hash = committed_block.parent_hash
@@ -443,6 +461,9 @@ class BaseReplica:
         transactions are rescued before their blocks disappear.
         """
         for pruned_hash in self.block_store.prune_siblings_of(committed_block):
+            # Rescue in-flight transactions of deeper fork descendants the
+            # direct-sibling requeue above never saw.
+            self.mempool.release_block(pruned_hash)
             self.certs_by_block.pop(pruned_hash, None)
             self.justify_of.pop(pruned_hash, None)
             self._pending_fetch.pop(pruned_hash, None)
@@ -504,10 +525,7 @@ class BaseReplica:
             return
         snapshot = self.store.latest_snapshot() if self.store is not None else None
         if snapshot is not None and msg.block_hash in snapshot.covered():
-            self.send(
-                msg.requester,
-                SnapshotResponse(responder=self.replica_id, snapshot=snapshot),
-            )
+            self.send(msg.requester, self._snapshot_response(snapshot))
 
     def handle_fetch_response(self, msg: FetchResponse, sender: int) -> None:
         """Store a fetched block, walk its ancestry, retry parked proposals.
@@ -529,7 +547,7 @@ class BaseReplica:
             if not waiting:
                 return
         else:
-            self.block_store.add(block)
+            self.admit_block(block)
             parent_hash = block.parent_hash
             if (
                 not block.is_genesis
@@ -566,7 +584,24 @@ class BaseReplica:
         snapshot = self.store.latest_snapshot() if self.store is not None else None
         if snapshot is not None and snapshot.height <= msg.have_height:
             snapshot = None
-        self.send(msg.requester, SnapshotResponse(responder=self.replica_id, snapshot=snapshot))
+        self.send(msg.requester, self._snapshot_response(snapshot))
+
+    def _snapshot_response(self, snapshot) -> "SnapshotResponse":
+        """Wrap *snapshot* for the wire, declining it if it cannot be framed.
+
+        A state payload past ``MAX_FRAME_BYTES`` would raise
+        ``FrameTooLargeError`` inside the transport — the frame is dropped,
+        the run records a delivery error, and the requester waits forever.
+        Declining (an empty response) instead tells the requester to fall
+        back to block-by-block fetch immediately.
+        """
+        from repro.live.codec import message_fits_frame
+
+        response = SnapshotResponse(responder=self.replica_id, snapshot=snapshot)
+        if snapshot is not None and not message_fits_frame(response):
+            self.snapshots_declined_oversize += 1
+            return SnapshotResponse(responder=self.replica_id, snapshot=None)
+        return response
 
     def handle_snapshot_response(self, msg: SnapshotResponse, sender: int) -> None:
         """Verify a transferred snapshot and adopt it, or fall back to fetch.
@@ -597,6 +632,10 @@ class BaseReplica:
         self.ledger.install_snapshot(snapshot.committed_hashes, snapshot.state)
         self.block_store.add(snapshot.block)
         self.record_certificate(snapshot.cert)
+        # Everything at or below the snapshot's txn-id horizon committed below
+        # the checkpoint; prune our own pool so a rejoined leader never
+        # re-proposes it (no-op for the shared, perfectly-disseminated pool).
+        self.mempool.prune_below(snapshot.txn_horizon)
         if self.store is not None:
             # Make the transferred checkpoint our own durable baseline, so a
             # later crash recovers from it instead of re-transferring.

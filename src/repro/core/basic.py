@@ -137,7 +137,7 @@ class BasicHotStuff1Replica(BaseReplica):
             proposer=self.replica_id,
             transactions=batch,
         )
-        self.block_store.add(block)
+        self.admit_block(block)
         if self.tracer is not None:
             self.tracer.block_proposed(block, self.mempool.peek_count(), replica=self.replica_id)
         self.justify_of[block.block_hash] = justify
@@ -188,7 +188,7 @@ class BasicHotStuff1Replica(BaseReplica):
         if not msg.justify.is_genesis and msg.justify.block_hash not in self.block_store:
             self.request_block(msg.justify.block_hash, sender, waiting_proposal=msg)
             return
-        self.block_store.add(block)
+        self.admit_block(block)
         self.justify_of.setdefault(block.block_hash, msg.justify)
         self.record_certificate(msg.justify)
         if msg.view > self.current_view:

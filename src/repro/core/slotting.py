@@ -318,7 +318,7 @@ class SlottedHotStuff1Replica(BaseReplica):
             transactions=batch,
             carry_hash=carry_hash,
         )
-        self.block_store.add(block)
+        self.admit_block(block)
         if self.tracer is not None:
             self.tracer.block_proposed(block, self.mempool.peek_count(), replica=self.replica_id)
         self.justify_of[block.block_hash] = justify
@@ -437,7 +437,7 @@ class SlottedHotStuff1Replica(BaseReplica):
             # a perfectly safe slot.
             self.request_block(block.parent_hash, sender, waiting_proposal=msg)
             return
-        self.block_store.add(block)
+        self.admit_block(block)
         self.justify_of.setdefault(block.block_hash, msg.justify)
         self.record_certificate(msg.justify)
         if msg.view > self.current_view:

@@ -115,6 +115,21 @@ class ExperimentSpec:
     #: on ``scrape_port + replica_id`` (``0`` picks ephemeral ports;
     #: ``None`` disables the endpoints).
     scrape_port: Optional[int] = None
+    #: Distributed mempool: each replica owns its own transaction pool, fed by
+    #: clients broadcasting every request to all replicas (the dissemination
+    #: model real BFT deployments use).  Leaders deduplicate against committed
+    #: and in-flight transactions and the snapshot txn-id horizon.  The
+    #: default is the shared in-process pool — perfect, zero-cost
+    #: dissemination, so protocol comparisons measure consensus alone.
+    distributed_mempool: bool = False
+    #: Admission-control cap on pending transactions per pool; adds beyond the
+    #: cap are rejected and counted (``admission_rejected``), the backpressure
+    #: signal for open-loop arrivals.  ``None`` disables the cap.
+    mempool_limit: Optional[int] = None
+    #: Client request fan-out: ``True`` sends every request to all target
+    #: replicas instead of round-robin.  Implied by ``distributed_mempool``
+    #: (per-replica pools starve without broadcast).
+    broadcast_requests: Optional[bool] = None
 
     def label(self) -> str:
         """Short identifier used in series tables."""
@@ -136,11 +151,11 @@ class ExperimentSpec:
                 f"unknown mode {self.mode!r}; available: ['live', 'sim']"
             )
         if self.mode == "live":
-            if self.regions or self.latency_model is not None or self.delay_injection:
+            if self.latency_model is not None or self.delay_injection:
                 raise ConfigurationError(
-                    "live mode runs over real sockets: regions / latency_model / "
-                    "delay_injection are simulation-only knobs (multi-host deploys "
-                    "are a ROADMAP item)"
+                    "live mode runs over real sockets: latency_model / "
+                    "delay_injection are simulation-only knobs (use `regions` "
+                    "for emulated geo delay, shaped at the transport layer)"
                 )
         if self.n < 4:
             raise ConfigurationError(
@@ -218,6 +233,17 @@ class ExperimentSpec:
             )
         if self.trace_stream:
             self.trace = True
+        if self.mempool_limit is not None and self.mempool_limit < 1:
+            raise ConfigurationError(
+                f"mempool_limit must be >= 1, got {self.mempool_limit}"
+            )
+        if self.broadcast_requests is None:
+            self.broadcast_requests = self.distributed_mempool
+        elif self.distributed_mempool and not self.broadcast_requests:
+            raise ConfigurationError(
+                "distributed_mempool needs broadcast_requests: with round-robin "
+                "submission a rotating leader's local pool would starve"
+            )
         if self.scrape_port is not None:
             if self.mode != "live":
                 raise ConfigurationError(
@@ -247,6 +273,11 @@ class RunResult:
     #: The run's :class:`~repro.obs.trace.TraceRecorder` when ``spec.trace``
     #: was set, ``None`` otherwise.
     trace: Optional[object] = None
+    #: Multi-process coordinator summary
+    #: (:func:`repro.live.procs.run_multiprocess_experiment`): per-process
+    #: committed chains, counters and the cross-process prefix check.
+    #: ``None`` for single-process runs.
+    multiproc: Optional[Dict] = None
 
     @property
     def throughput(self) -> float:
@@ -353,6 +384,33 @@ class Deployment:
     #: ``None`` when tracing is off.  Chaos adapters re-attach it to
     #: replicas they rebuild.
     tracer: Optional[object] = None
+    #: Per-replica pools in the distributed-mempool model (``None`` for the
+    #: shared pool, where ``mempool`` is the single cluster-wide instance).
+    mempools: Optional[Dict[int, Mempool]] = None
+    #: Admission cap distributed pools are built with (restarts reuse it).
+    mempool_limit: Optional[int] = None
+
+    def mempool_for(self, replica_id: int) -> Mempool:
+        """The pool replica *replica_id* proposes from (shared or its own)."""
+        if self.mempools is not None:
+            return self.mempools[replica_id]
+        return self.mempool
+
+    def fresh_mempool_for(self, replica_id: int) -> Mempool:
+        """The pool a *restarted* replica starts with.
+
+        Shared model: the same cluster-wide instance — it survives crashes by
+        construction.  Distributed model: a fresh, empty pool, because a real
+        process crash loses its in-memory pool; recovery re-marks the
+        committed prefix and the snapshot txn horizon prunes the rest, and
+        client retries / broadcast refill the pending set.
+        """
+        if self.mempools is None:
+            return self.mempool
+        pool = Mempool(limit=self.mempool_limit, shared=False)
+        pool.tracer = self.tracer
+        self.mempools[replica_id] = pool
+        return pool
 
 
 def build_deployment(
@@ -384,7 +442,15 @@ def build_deployment(
     authority = CertificateAuthority(scheme)
     leaders = RoundRobinLeaderElection(config.n)
     workload = make_workload(spec.workload, **spec.workload_kwargs)
-    mempool = Mempool()
+    mempools: Optional[Dict[int, Mempool]] = None
+    if spec.distributed_mempool:
+        mempools = {
+            replica_id: Mempool(limit=spec.mempool_limit, shared=False)
+            for replica_id in range(config.n)
+        }
+        mempool = mempools[0]
+    else:
+        mempool = Mempool(limit=spec.mempool_limit)
     metrics = MetricsCollector(warmup=spec.warmup)
     costs = CostModel()
     tracer = None
@@ -408,7 +474,8 @@ def build_deployment(
             SloDetector(tracer)
         if spec.trace_stream:
             StreamingTraceSink(tracer, spec.trace_stream)
-        mempool.tracer = tracer
+        for pool in mempools.values() if mempools is not None else (mempool,):
+            pool.tracer = tracer
     replica_class = replica_class_for(spec.protocol)
     replicas: List[BaseReplica] = []
     for replica_id in range(config.n):
@@ -421,7 +488,7 @@ def build_deployment(
             authority,
             leaders,
             workload.make_state_machine(),
-            mempool,
+            mempools[replica_id] if mempools is not None else mempool,
             metrics,
             costs=costs,
             behavior=spec.behaviors.get(replica_id),
@@ -451,6 +518,8 @@ def build_deployment(
         behaviors=dict(spec.behaviors),
         checkpoint_interval=spec.checkpoint_interval,
         tracer=tracer,
+        mempools=mempools,
+        mempool_limit=spec.mempool_limit,
     )
 
 
@@ -568,6 +637,7 @@ def _run_sim(spec: ExperimentSpec) -> RunResult:
         num_clients=spec.num_clients or default_num_clients(spec, deployment.replica_class),
         required_quorum=client_quorum_for(spec.protocol, deployment.config),
         target_replicas=_client_targets(spec, latency),
+        broadcast_requests=bool(spec.broadcast_requests),
     )
     client_pool.tracer = deployment.tracer
 
@@ -608,7 +678,14 @@ def attach_detector_alerts(chaos: Optional[Dict], tracer) -> Optional[Dict]:
 
 
 def _client_targets(spec: ExperimentSpec, latency: LatencyModel) -> Optional[List[int]]:
-    """Prefer replicas co-located with the clients when a geo model is in use."""
+    """Prefer replicas co-located with the clients when a geo model is in use.
+
+    Broadcasting clients (distributed mempool) must reach *every* replica —
+    a rotating leader whose pool never hears a request could not propose it —
+    so the co-location preference only applies to round-robin submission.
+    """
+    if spec.broadcast_requests:
+        return None
     if not isinstance(latency, GeoLatencyModel):
         return None
     local = [

@@ -28,13 +28,20 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.consensus.replica import chains_prefix_consistent, honest_committed_chains
 from repro.errors import ConfigurationError
 from repro.faults.crashpoints import wal_vote_violations
-from repro.faults.plan import LEADER, FaultEvent, FaultPlan
+from repro.faults.plan import ACTIONS, LEADER, FaultEvent, FaultPlan
 from repro.storage.recovery import RecoveryManager
 from repro.storage.store import ReplicaStore
 
 
 class ChaosAdapter:
     """Substrate hooks the controller acts through."""
+
+    #: Fault actions this adapter can actually execute.  The controller
+    #: checks plans against this at install time: an unsupported action must
+    #: raise :class:`ConfigurationError` up front, not vanish inside a timer
+    #: callback as a swallowed ``NotImplementedError`` (the live adapter has
+    #: no pause/partition hooks yet — see ROADMAP item 6).
+    supported_actions: Sequence[str] = ACTIONS
 
     def crash(self, replica_id: int) -> int:
         """Kill *replica_id*; return the speculated operations lost with it."""
@@ -155,7 +162,11 @@ class DeploymentChaosAdapter(ChaosAdapter):
             deployment.authority,
             deployment.leaders,
             deployment.workload.make_state_machine(),
-            deployment.mempool,
+            # Shared pool: the same instance as before (it survives crashes by
+            # construction).  Distributed pool: a fresh, empty one — a real
+            # process crash loses its pool; recovery re-marks the committed
+            # prefix and the snapshot horizon prunes the rest.
+            deployment.fresh_mempool_for(replica_id),
             deployment.metrics,
             costs=deployment.costs,
             behavior=deployment.behaviors.get(replica_id),
@@ -222,7 +233,22 @@ class ChaosController:
 
     # -------------------------------------------------------------- schedule
     def install(self) -> None:
-        """Schedule every event of the plan on the deployment's scheduler."""
+        """Schedule every event of the plan on the deployment's scheduler.
+
+        The plan is checked against the adapter's capabilities first: plans
+        built programmatically (bypassing ``ExperimentSpec.validate``) used to
+        schedule sim-only actions whose ``NotImplementedError`` disappeared
+        into the event loop's exception handler — the event silently did
+        nothing and the run read as healthy.
+        """
+        supported = set(self.adapter.supported_actions)
+        for event in self.plan.events:
+            if event.action not in supported:
+                raise ConfigurationError(
+                    f"fault action {event.action!r} at t={event.at} is not "
+                    f"supported by {type(self.adapter).__name__} "
+                    f"(supports {sorted(supported)})"
+                )
         for event in self.plan.events:
             self.scheduler.schedule_at(event.at, self._fire, event)
 

@@ -12,21 +12,28 @@ whole crash/recover sequence is shared with the simulator adapter through
 :class:`~repro.faults.injector.DeploymentChaosAdapter`.
 
 Network-shape faults (pause / partition) need the simulated network's fault
-hooks and are rejected for live plans by
-:meth:`~repro.faults.plan.FaultPlan.validate`.
+hooks.  They are rejected for live plans twice: by
+:meth:`~repro.faults.plan.FaultPlan.validate` (spec / CLI entry) and by the
+:class:`~repro.faults.injector.ChaosController` install-time capability check
+against :attr:`LiveChaosAdapter.supported_actions`, which also catches plans
+constructed programmatically around the spec validation.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from repro.errors import ConfigurationError
 from repro.faults.injector import DeploymentChaosAdapter
+from repro.faults.plan import LIVE_ACTIONS
 from repro.live.transport import AsyncTcpTransport
 from repro.storage.store import ReplicaStore
 
 
 class LiveChaosAdapter(DeploymentChaosAdapter):
     """Crash/restart replica tasks of one live localhost deployment."""
+
+    supported_actions = LIVE_ACTIONS
 
     def __init__(
         self,
@@ -48,3 +55,25 @@ class LiveChaosAdapter(DeploymentChaosAdapter):
 
     def _detach(self, replica_id: int) -> None:
         self.transports[replica_id].unregister(replica_id)
+
+    # ----------------------------------------------------- unsupported faults
+    # Raise a pointed ConfigurationError instead of inheriting the bare
+    # NotImplementedError: if a pause/partition ever reaches the adapter
+    # despite the install-time check, the failure names the actual gap.
+    def pause(self, replica_id: int) -> None:
+        raise ConfigurationError(
+            "pause is simulation-only: the live transport has no delivery "
+            "freeze hook yet (ROADMAP item 6)"
+        )
+
+    def resume(self, replica_id: int) -> None:
+        raise ConfigurationError("resume is simulation-only (see pause)")
+
+    def partition(self, groups) -> None:
+        raise ConfigurationError(
+            "partition is simulation-only: the live transport has no "
+            "drop-matrix hook yet (ROADMAP item 6)"
+        )
+
+    def heal(self) -> None:
+        raise ConfigurationError("heal is simulation-only (see partition)")

@@ -573,7 +573,7 @@ _register(FetchResponse, "fetch_response", ("block",))
 _register(
     Snapshot,
     "snapshot",
-    ("height", "block", "cert", "state_digest", "state", "committed_hashes"),
+    ("height", "block", "cert", "state_digest", "state", "committed_hashes", "txn_horizon"),
     lambda d: Snapshot(
         height=d["height"],
         block=d["block"],
@@ -581,6 +581,9 @@ _register(
         state_digest=d["state_digest"],
         state=d["state"],
         committed_hashes=list(d["committed_hashes"]),
+        # Snapshots persisted before the horizon existed decode as "unknown"
+        # (-1), which install paths treat as "nothing to prune".
+        txn_horizon=d.get("txn_horizon", -1),
     ),
 )
 _register(SnapshotRequest, "snapshot_request", ("requester", "have_height"))
@@ -792,6 +795,23 @@ def frame_from_message(sender: int, receiver: int, message: bytes, sent_at: floa
             f"({MAX_FRAME_BYTES}); reduce the batch size or snapshot state"
         )
     return FRAME_HEADER.pack(len(body)) + body
+
+
+def message_fits_frame(payload: Any) -> bool:
+    """``True`` if *payload* encodes into a single frame under the active codec.
+
+    Senders of unboundedly-sized messages (snapshot state transfer) pre-flight
+    with this instead of letting :func:`frame_from_message` raise
+    :class:`FrameTooLargeError` mid-transfer — a declined snapshot lets the
+    receiver fall back to block fetch, a dropped frame strands it.  The
+    envelope header around the message body is bounded by
+    :data:`ENVELOPE_OVERHEAD` in either format.
+    """
+    try:
+        encoded = encode_message(payload)
+    except CodecError:
+        return False
+    return len(encoded) + ENVELOPE_OVERHEAD <= MAX_FRAME_BYTES
 
 
 def encode_envelope_frame(sender: int, receiver: int, payload: Any, sent_at: float) -> bytes:

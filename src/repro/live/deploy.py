@@ -11,11 +11,16 @@ operations complete), and funnels the measurements through the identical
 rule is forked: speculation, slotting and commit logic run byte-for-byte the
 same code as in simulation.
 
-Like the simulator (see :mod:`repro.consensus.mempool`), the in-process
-cluster models perfect request dissemination with one shared mempool; the
-consensus traffic itself — proposals, votes, certificates, client responses —
-travels over real TCP sockets.  A distributed mempool and multi-host deploys
-are ROADMAP items this module is the foundation for.
+Request dissemination follows the spec (see :mod:`repro.consensus.mempool`):
+the default is one shared in-process pool (perfect dissemination), while
+``spec.distributed_mempool`` gives every replica its own pool fed by clients
+broadcasting each request to all replicas.  ``spec.regions`` shapes per-link
+delays on every transport from the same
+:class:`~repro.net.latency.GeoLatencyModel` tables the simulator uses, so the
+cross-region figures (8 e–h) reproduce over real sockets.  Consensus traffic —
+proposals, votes, certificates, client responses — always travels over real
+TCP.  Multi-*process* deployments build on this module in
+:mod:`repro.live.procs`.
 """
 
 from __future__ import annotations
@@ -68,10 +73,26 @@ class LiveLoadGenerator(ClientPool):
     the paper's real deployments measure saturation throughput.
     """
 
-    def __init__(self, *args, rate: Optional[float] = None, **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        rate: Optional[float] = None,
+        max_outstanding: Optional[int] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         if rate is not None and rate <= 0:
             raise ConfigurationError(f"open-loop rate must be positive, got {rate}")
+        if max_outstanding is not None and max_outstanding < 1:
+            raise ConfigurationError(
+                f"max_outstanding must be >= 1, got {max_outstanding}"
+            )
+        #: Open-loop admission control on the client side: injection ticks
+        #: never push the outstanding set past this (closed-loop runs are
+        #: capped by ``num_clients`` already).  Pairs with the replicas'
+        #: ``mempool_limit`` backpressure so a saturated cluster sheds load at
+        #: the edge instead of growing unbounded pools.
+        self.max_outstanding = max_outstanding
         self.rate = rate
         self.injected_count = 0
         self._inject_started_at = 0.0
@@ -111,6 +132,8 @@ class LiveLoadGenerator(ClientPool):
         """Catch the injected count up to ``rate * elapsed``, bounded per tick."""
         target = int((self.sim.now - self._inject_started_at) * self.rate)
         burst = min(target - self.injected_count, self._burst_limit)
+        if self.max_outstanding is not None:
+            burst = min(burst, self.max_outstanding - len(self.outstanding))
         if burst <= 0:
             return
         self._request_buffer = {}
@@ -156,6 +179,35 @@ class LiveLoadGenerator(ClientPool):
                 self.network.send(self.node_id, target, ClientRequestBatch(txns=tuple(txns)))
 
 
+def geo_link_delays(spec: ExperimentSpec) -> Optional[Dict[int, Dict[int, float]]]:
+    """Per-sender link-delay maps (seconds) emulating the spec's regions.
+
+    Reuses the simulator's :class:`~repro.net.latency.GeoLatencyModel` tables
+    — replicas placed round-robin across ``spec.regions``, the client pool in
+    ``spec.client_region`` — so live and simulated geo runs shape the same
+    one-way delays.  Returns ``{sender id: {peer id: delay}}`` covering every
+    replica plus the client node, or ``None`` when no regions are configured.
+    """
+    if not spec.regions:
+        return None
+    from repro.net.latency import GeoLatencyModel
+
+    placement = {
+        replica_id: spec.regions[replica_id % len(spec.regions)]
+        for replica_id in range(spec.n)
+    }
+    model = GeoLatencyModel(placement, default_region=spec.client_region)
+    node_ids = list(range(spec.n)) + [CLIENT_POOL_NODE_ID]
+    return {
+        src: {
+            dst: model.one_way_ms(model.region_of(src), model.region_of(dst)) / 1000.0
+            for dst in node_ids
+            if dst != src
+        }
+        for src in node_ids
+    }
+
+
 def merge_network_stats(transports) -> NetworkStats:
     """Sum the per-node transport counters into one cluster-wide view."""
     merged = NetworkStats()
@@ -169,6 +221,7 @@ def run_live_experiment(
     target_ops: Optional[int] = None,
     rate: Optional[float] = None,
     on_started: Optional[Callable[[Dict], None]] = None,
+    max_outstanding: Optional[int] = None,
 ) -> RunResult:
     """Run one live experiment over localhost TCP and return its result.
 
@@ -188,6 +241,10 @@ def run_live_experiment(
         (bound ports per replica when ``spec.scrape_port`` is set).  This is
         how the CLI prints the endpoints and how tests learn ephemeral ports
         while the run is still in flight.
+    max_outstanding:
+        Open-loop client-side admission cap: injection ticks never push the
+        outstanding request set past this.  ``None`` leaves injection
+        unbounded (rate-limited only).
     """
     spec.validate()
     # The codec is process-global (the transports call it from timer
@@ -195,7 +252,13 @@ def run_live_experiment(
     # different codecs in one process never leak into each other.
     with wire_codec_scope(spec.codec):
         return asyncio.run(
-            _run_live(spec, target_ops=target_ops, rate=rate, on_started=on_started)
+            _run_live(
+                spec,
+                target_ops=target_ops,
+                rate=rate,
+                on_started=on_started,
+                max_outstanding=max_outstanding,
+            )
         )
 
 
@@ -204,6 +267,7 @@ async def _run_live(
     target_ops: Optional[int],
     rate: Optional[float],
     on_started: Optional[Callable[[Dict], None]] = None,
+    max_outstanding: Optional[int] = None,
 ) -> RunResult:
     clock = WallClock(seed=spec.seed)
     transports: Dict[int, AsyncTcpTransport] = {
@@ -214,6 +278,11 @@ async def _run_live(
     nodes.append(LiveNode(CLIENT_POOL_NODE_ID, client_transport))
     cluster = LiveCluster(clock, nodes)
     await cluster.start()
+    link_delays = geo_link_delays(spec)
+    if link_delays is not None:
+        for node_id, transport in transports.items():
+            transport.set_link_delays(link_delays[node_id])
+        client_transport.set_link_delays(link_delays[CLIENT_POOL_NODE_ID])
     scrape_servers: List = []
 
     try:
@@ -264,6 +333,8 @@ async def _run_live(
             num_clients=spec.num_clients or default_num_clients(spec, deployment.replica_class),
             required_quorum=client_quorum_for(spec.protocol, deployment.config),
             rate=rate,
+            max_outstanding=max_outstanding,
+            broadcast_requests=bool(spec.broadcast_requests),
         )
         client_pool.tracer = deployment.tracer
 
@@ -285,7 +356,7 @@ async def _run_live(
                     clock,
                     tracer=deployment.tracer,
                     transport=transports[replica_id],
-                    mempool=deployment.mempool,
+                    mempool=deployment.mempool_for(replica_id),
                 )
                 port = 0 if spec.scrape_port == 0 else spec.scrape_port + replica_id
                 server = ScrapeServer(telemetry.routes(), port=port)

@@ -208,6 +208,7 @@ class AsyncTcpTransport:
         self._port: Optional[int] = None
         self._local_node: Optional[NetworkNode] = None
         self._peers: Dict[int, Tuple[str, int]] = {}
+        self._link_delays: Dict[int, float] = {}
         self._connections: Dict[int, _PeerConnection] = {}
         self._reader_tasks: "set[asyncio.Task]" = set()
         self._trace_hook = None
@@ -233,6 +234,20 @@ class AsyncTcpTransport:
     def set_peers(self, peers: Dict[int, Tuple[str, int]]) -> None:
         """Install the cluster address book (``node id -> (host, port)``)."""
         self._peers = {int(node_id): (host, int(port)) for node_id, (host, port) in peers.items()}
+
+    def set_link_delays(self, delays: Dict[int, float]) -> None:
+        """Install per-peer one-way delays in seconds (emulated geography).
+
+        Shaping happens at the sender: a frame towards a delayed peer is held
+        back before entering the outbound queue, so the extra latency is paid
+        on top of the real socket round-trip.  A *constant* per-peer delay
+        preserves FIFO ordering on each link, matching the simulator's geo
+        model.  Self-sends are never delayed (the simulator delivers those
+        immediately too); zero / negative entries clear shaping for that peer.
+        """
+        self._link_delays = {
+            int(peer): float(delay) for peer, delay in delays.items() if float(delay) > 0.0
+        }
 
     async def close(self) -> None:
         """Stop accepting and close every outbound connection.
@@ -366,11 +381,23 @@ class AsyncTcpTransport:
         if receiver == self.node_id:
             asyncio.get_running_loop().call_soon(self._deliver_local, envelope)
             return envelope
-        connection = self._connection_for(receiver)
-        if connection is None or not connection.enqueue(frame):
+        delay = self._link_delays.get(receiver, 0.0)
+        if delay > 0.0:
+            asyncio.get_running_loop().call_later(delay, self._enqueue_delayed, receiver, frame)
+            return envelope
+        if not self._enqueue_frame(receiver, frame):
             self.stats.messages_dropped += 1
             return None
         return envelope
+
+    def _enqueue_frame(self, receiver: int, frame: bytes) -> bool:
+        connection = self._connection_for(receiver)
+        return connection is not None and connection.enqueue(frame)
+
+    def _enqueue_delayed(self, receiver: int, frame: bytes) -> None:
+        """Timer callback releasing a geo-delayed frame into the peer queue."""
+        if self._closed or not self._enqueue_frame(receiver, frame):
+            self.stats.messages_dropped += 1
 
     def broadcast(
         self,
@@ -443,6 +470,9 @@ class AsyncTcpTransport:
                 self._dispatch(envelope)
         except (ConnectionError, OSError, CodecError):
             pass  # peer went away or sent garbage; reconnects are its problem
+        except asyncio.CancelledError:
+            if not self._closed:  # mid-run cancellation is not ours to swallow
+                raise
         finally:
             if task is not None:
                 self._reader_tasks.discard(task)

@@ -158,7 +158,15 @@ class ReplicaTelemetry:
             round(now - self._last_view_t, 6) if self._last_view >= 0 else None
         )
         if self.mempool is not None:
+            # Any object with peek_count() qualifies as a pool here; the
+            # in-flight/admission counters are optional extras.
             state["mempool_depth"] = self.mempool.peek_count()
+            inflight = getattr(self.mempool, "inflight_count", None)
+            if inflight is not None:
+                state["mempool_inflight"] = inflight()
+            rejected = getattr(self.mempool, "admission_rejected", None)
+            if rejected is not None:
+                state["mempool_admission_rejected"] = rejected
         return state
 
     # --------------------------------------------------------------- routes
@@ -187,6 +195,18 @@ class ReplicaTelemetry:
                 "# HELP repro_replica_mempool_depth Transactions waiting in the mempool.",
                 "# TYPE repro_replica_mempool_depth gauge",
                 f"repro_replica_mempool_depth{labels} {state['mempool_depth']}",
+            ]
+        if "mempool_inflight" in state:
+            lines += [
+                "# HELP repro_replica_mempool_inflight Transactions riding in proposed-but-uncommitted blocks.",
+                "# TYPE repro_replica_mempool_inflight gauge",
+                f"repro_replica_mempool_inflight{labels} {state['mempool_inflight']}",
+            ]
+        if "mempool_admission_rejected" in state:
+            lines += [
+                "# HELP repro_replica_mempool_admission_rejected_total Adds rejected by the pool's admission limit.",
+                "# TYPE repro_replica_mempool_admission_rejected_total counter",
+                f"repro_replica_mempool_admission_rejected_total{labels} {state['mempool_admission_rejected']}",
             ]
         if self.transport is not None:
             stats = self.transport.stats.as_dict()

@@ -65,6 +65,11 @@ class RecoveryManager:
                 replica.record_certificate(snapshot.cert)
                 if replica.checkpointer is not None:
                     replica.checkpointer.note_installed(snapshot.height)
+                # Transactions at or below the snapshot's txn-id horizon are
+                # committed below the checkpoint; prune them from the fresh
+                # pool so a restarted leader with a distributed mempool does
+                # not re-propose them (no-op for the shared pool).
+                replica.mempool.prune_below(snapshot.txn_horizon)
                 # Fold the snapshot's view into the recovered summary so
                 # resume_view stays past views whose vote records the log
                 # compaction dropped.

@@ -401,6 +401,68 @@ class TestLiveChaos:
         assert chaos["incidents"][0]["recovery_s"] > 0
 
 
+class TestLiveActionCapabilityGuard:
+    """Sim-only fault actions must fail loudly on the live runtime, not
+    vanish into the event loop (the swallowed-NotImplementedError bug)."""
+
+    def test_live_adapter_rejects_network_shape_actions_pointedly(self):
+        from repro.faults.live import LiveChaosAdapter
+        from repro.faults.plan import LIVE_ACTIONS
+
+        assert tuple(LiveChaosAdapter.supported_actions) == LIVE_ACTIONS == (
+            "crash", "restart",
+        )
+        adapter = LiveChaosAdapter.__new__(LiveChaosAdapter)  # hooks untouched
+        for call in (lambda: adapter.pause(1), lambda: adapter.resume(1),
+                     lambda: adapter.partition([(0, 1), (2, 3)]),
+                     lambda: adapter.heal()):
+            with pytest.raises(ConfigurationError, match="simulation-only"):
+                call()
+
+    def test_install_rejects_actions_the_adapter_cannot_fire(self):
+        """A programmatic plan that skips spec validation must still be
+        stopped at install time, before any timer is armed."""
+        from repro.faults.injector import ChaosAdapter, ChaosController
+        from repro.sim.scheduler import Simulator
+
+        class _CrashOnly(ChaosAdapter):
+            supported_actions = ("crash", "restart")
+
+        plan = FaultPlan(events=[FaultEvent(at=0.1, action="pause", replica=1)])
+        controller = ChaosController(plan, Simulator(), _CrashOnly())
+        with pytest.raises(ConfigurationError, match="pause.*not.*supported"):
+            controller.install()
+
+    def test_live_run_with_sim_only_plan_fails_at_validation(self):
+        plan = FaultPlan.partition_heal([0, 1, 2], [3], at=0.2, heal_at=0.5)
+        spec = ExperimentSpec(
+            protocol="hotstuff-1", mode="live", n=4, duration=1.0,
+            faults=plan.to_dict(),
+        )
+        with pytest.raises(ConfigurationError, match="partition"):
+            run_live_experiment(spec, target_ops=10)
+
+    def test_chaos_cli_rejects_sim_only_plan_in_live_mode(self, capsys):
+        exit_code = main(
+            ["chaos", "partition-heal", "--replicas", "4",
+             "--duration", "1.0", "--mode", "live"]
+        )
+        assert exit_code == 2
+        assert "partition" in capsys.readouterr().err
+
+    def test_emit_plan_validates_before_printing(self, capsys):
+        """--emit-plan used to skip validation entirely; a live-mode emit of
+        a sim-only plan must fail instead of printing an unusable plan."""
+        exit_code = main(
+            ["chaos", "partition-heal", "--replicas", "4",
+             "--duration", "1.0", "--mode", "live", "--emit-plan"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.out == ""  # nothing emitted
+        assert "partition" in captured.err
+
+
 class TestChaosCli:
     def test_emit_plan_prints_json(self, capsys):
         exit_code = main(

@@ -269,6 +269,89 @@ class TestStateTransferHandlers:
         replica.handle_snapshot_request(SnapshotRequest(requester=2, have_height=3), sender=2)
         assert sent[0][1].snapshot is None
 
+    def test_install_prunes_distributed_pool_below_txn_horizon(self):
+        """Regression: a snapshot-rejoining replica with its own (distributed)
+        pool must drop every transaction at or below the snapshot's committed
+        txn-id horizon, or it re-proposes already-committed transactions the
+        moment it next leads."""
+        from repro.consensus.mempool import Mempool
+
+        harness = ReplicaHarness(HotStuff1Replica)
+        replica = harness.replica
+        replica.mempool = Mempool(shared=False)
+        for index in range(1, 6):  # txn ids 1_000_001 .. 1_000_005
+            replica.mempool.add(make_txn(index))
+        snapshot, _, _ = _sealed_snapshot(harness)
+        snapshot = replace(snapshot, txn_horizon=1_000_003)
+        replica.handle_snapshot_response(
+            SnapshotResponse(responder=1, snapshot=snapshot), sender=1
+        )
+        assert replica.snapshots_installed == 1
+        remaining = [txn.txn_id for txn in replica.mempool.next_batch(10)]
+        assert remaining == [1_000_004, 1_000_005]
+
+    def test_shared_pool_is_never_pruned_by_a_horizon(self):
+        """The one shared pool holds other replicas' pending transactions;
+        one replica's snapshot install must not discard them."""
+        harness = ReplicaHarness(HotStuff1Replica)
+        replica = harness.replica
+        for index in range(1, 4):
+            replica.mempool.add(make_txn(index))
+        snapshot, _, _ = _sealed_snapshot(harness)
+        snapshot = replace(snapshot, txn_horizon=2_000_000)
+        replica.handle_snapshot_response(
+            SnapshotResponse(responder=1, snapshot=snapshot), sender=1
+        )
+        assert replica.snapshots_installed == 1
+        assert replica.mempool.peek_count() == 3
+
+    def test_txn_horizon_survives_the_wire_and_tolerates_old_senders(self):
+        harness = ReplicaHarness(HotStuff1Replica)
+        snapshot, _, _ = _sealed_snapshot(harness)
+        snapshot = replace(snapshot, txn_horizon=42)
+        doc = json.loads(json.dumps(snapshot.to_dict()))
+        assert Snapshot.from_dict(doc).txn_horizon == 42
+        doc.pop("txn_horizon")  # a sender predating the field
+        assert Snapshot.from_dict(doc).txn_horizon == -1
+
+    def test_oversize_snapshot_is_declined_not_dropped(self, monkeypatch):
+        """Regression: a snapshot too large for one wire frame used to be
+        handed to the transport anyway, where FrameTooLargeError dropped it
+        and the requester waited forever.  The sender must decline (empty
+        response -> immediate block-fetch fallback) and count the decline."""
+        import repro.live.codec as codec
+
+        harness = ReplicaHarness(HotStuff1Replica)
+        replica = harness.replica
+        store = ReplicaStore.memory()
+        replica.store = store
+        snapshot, _, _ = _sealed_snapshot(harness)
+        store.save_snapshot(snapshot)
+        sent = []
+        replica.send = lambda target, payload, **kw: sent.append(payload)
+
+        monkeypatch.setattr(codec, "MAX_FRAME_BYTES", 256)
+        replica.handle_snapshot_request(SnapshotRequest(requester=2, have_height=0), sender=2)
+        assert sent[-1].snapshot is None  # declined, not dropped
+        assert replica.snapshots_declined_oversize == 1
+
+        monkeypatch.setattr(codec, "MAX_FRAME_BYTES", 1 << 20)
+        replica.handle_snapshot_request(SnapshotRequest(requester=2, have_height=0), sender=2)
+        assert sent[-1].snapshot == snapshot  # fits again -> served
+        assert replica.snapshots_declined_oversize == 1
+
+    def test_declined_transfer_falls_back_to_block_fetch(self):
+        """The requester side of the decline: an empty response must prime
+        the block-by-block path toward its highest known certificate."""
+        harness = ReplicaHarness(HotStuff1Replica)
+        replica = harness.replica
+        snapshot, chain, _ = _sealed_snapshot(harness)
+        replica.record_certificate(harness.certificate(CertKind.PREPARE, chain[-1]))
+        fetches = harness.network.stats.sent_by_type.get("FetchRequest", 0)
+        replica.handle_snapshot_response(SnapshotResponse(responder=1), sender=1)
+        assert replica.snapshots_installed == 0
+        assert harness.network.stats.sent_by_type.get("FetchRequest", 0) == fetches + 1
+
     def test_fetch_of_compacted_block_is_answered_with_the_snapshot(self):
         from repro.consensus.messages import FetchRequest
 

@@ -403,9 +403,34 @@ class TestLiveSpecValidation:
             ExperimentSpec(protocol="hotstuff-1", mode="steam").validate()
 
     def test_simulation_only_knobs_rejected_in_live_mode(self):
+        # regions are now a live knob (transport-level geo delay shaping), but
+        # injected per-message delays and custom latency models still have no
+        # real-socket equivalent.
         with pytest.raises(ConfigurationError):
             ExperimentSpec(
-                protocol="hotstuff-1", mode="live", regions=["virginia", "london"]
+                protocol="hotstuff-1",
+                mode="live",
+                delay_injection={"impacted": [0], "extra_delay": 0.01},
+            ).validate()
+        from repro.net.latency import ConstantLatency
+
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(
+                protocol="hotstuff-1", mode="live", latency_model=ConstantLatency(0.001)
+            ).validate()
+
+    def test_regions_allowed_in_live_mode(self):
+        spec = ExperimentSpec(
+            protocol="hotstuff-1", mode="live", regions=["virginia", "london"]
+        ).validate()
+        assert spec.regions == ["virginia", "london"]
+
+    def test_distributed_mempool_requires_broadcast(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(
+                protocol="hotstuff-1",
+                distributed_mempool=True,
+                broadcast_requests=False,
             ).validate()
 
     def test_open_loop_rate_must_be_positive(self):
