@@ -1,0 +1,100 @@
+"""Multi-process tracing-overhead guard: shards must not slow the cluster.
+
+Runs the same 4-process localhost cluster twice — tracing off, then on (per
+process shards, wire-level causal edges, streaming sinks) — and records both
+wall-clock times and committed throughputs.  Multi-process runs are
+duration-driven, so wall-clock stays flat by construction; the interesting
+guard is throughput: per-frame sequence stamping plus shard streaming must
+not halve what the cluster commits.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR, SCALE, pick
+
+from repro.experiments.report import format_series
+from repro.experiments.runner import ExperimentSpec
+from repro.live.procs import run_multiprocess_experiment
+
+
+def _timed_run(trace: bool, duration: float):
+    spec = ExperimentSpec(
+        protocol="hotstuff-1",
+        mode="live",
+        n=4,
+        batch_size=8,
+        duration=duration,
+        warmup=0.5,
+        seed=7,
+        view_timeout=1.0,
+        distributed_mempool=True,
+        trace=trace,
+    )
+    started = time.perf_counter()
+    result = run_multiprocess_experiment(spec, rate=150.0, max_outstanding=300)
+    return time.perf_counter() - started, result
+
+
+def test_multiprocess_tracing_overhead(benchmark):
+    duration = pick(3.0, 6.0)
+
+    holder = {}
+
+    def runner():
+        holder["untraced"] = _timed_run(False, duration)
+        holder["traced"] = _timed_run(True, duration)
+
+    benchmark.pedantic(runner, rounds=1, iterations=1)
+
+    untraced_s, untraced = holder["untraced"]
+    traced_s, traced = holder["traced"]
+    assert untraced.multiproc["prefix_consistent"] is True
+    assert traced.multiproc["prefix_consistent"] is True
+    shards = traced.multiproc.get("trace_shards", {})
+    assert len(shards) == 5  # client + 4 replicas
+    assert not untraced.multiproc.get("trace_shards")
+
+    wall_ratio = traced_s / untraced_s if untraced_s > 0 else 1.0
+    untraced_tps = untraced.summary.committed_txns / max(untraced.summary.duration, 1e-9)
+    traced_tps = traced.summary.committed_txns / max(traced.summary.duration, 1e-9)
+    tps_ratio = untraced_tps / traced_tps if traced_tps > 0 else float("inf")
+
+    benchmark.extra_info["untraced_s"] = round(untraced_s, 4)
+    benchmark.extra_info["traced_s"] = round(traced_s, 4)
+    benchmark.extra_info["wall_ratio"] = round(wall_ratio, 3)
+    benchmark.extra_info["untraced_tps"] = round(untraced_tps, 1)
+    benchmark.extra_info["traced_tps"] = round(traced_tps, 1)
+    benchmark.extra_info["throughput_ratio"] = round(tps_ratio, 3)
+    benchmark.extra_info["trace_shards"] = len(shards)
+
+    rows = [
+        {
+            "variant": "untraced",
+            "wall_s": round(untraced_s, 4),
+            "throughput_tps": round(untraced_tps, 1),
+            "committed_txns": untraced.summary.committed_txns,
+        },
+        {
+            "variant": "traced (5 shards)",
+            "wall_s": round(traced_s, 4),
+            "throughput_tps": round(traced_tps, 1),
+            "committed_txns": traced.summary.committed_txns,
+            "wall_ratio": round(wall_ratio, 3),
+            "throughput_ratio": round(tps_ratio, 3),
+        },
+    ]
+    table = format_series(rows, title=f"multi-process tracing overhead  [scale={SCALE}]")
+    print()
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "multiproc-tracing-overhead.txt"), "w") as handle:
+        handle.write(table)
+
+    # Generous single-run bounds: frame stamping is a few bytes per message
+    # and shard streaming is buffered I/O off the consensus path, so even a
+    # noisy CI machine sits far below 2x on both axes.
+    assert wall_ratio < 2.0, f"wall-clock ratio {wall_ratio:.2f} exceeds guard"
+    assert tps_ratio < 2.0, f"throughput ratio {tps_ratio:.2f} exceeds guard"

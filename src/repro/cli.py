@@ -353,7 +353,36 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="inspect a JSONL trace dump and re-export it (Chrome / Prometheus)"
     )
     trace_parser.add_argument(
-        "trace_file", help="trace.jsonl written by a --trace-out run"
+        "trace_file",
+        help="trace.jsonl written by a --trace-out run; or the literal "
+             "'merge' (skew-correct per-process shards into one bundle) or "
+             "'critical-path' (per-hop commit latency decomposition)",
+    )
+    trace_parser.add_argument(
+        "inputs", nargs="*", metavar="SHARD",
+        help="with 'merge': the per-process shard files (trace-client.jsonl "
+             "trace-r0.jsonl ...); with 'critical-path': one merged trace "
+             "(or several shards to merge on the fly)",
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="with 'merge': directory for the merged bundle "
+             "(default: alongside the first shard)",
+    )
+    trace_parser.add_argument(
+        "--reference", type=int, default=None, metavar="NODE",
+        help="with 'merge': node id whose clock anchors the merged timeline "
+             "(default: the client shard, -1)",
+    )
+    trace_parser.add_argument(
+        "--wan-threshold", type=float, default=10.0, metavar="MS",
+        help="with 'critical-path': one-way link delay above which a link "
+             "counts as WAN (default: 10 ms)",
+    )
+    trace_parser.add_argument(
+        "--deployment", default=None, metavar="DEPLOY.json",
+        help="with 'critical-path': deployment document whose region names "
+             "label the nodes in the report",
     )
     trace_parser.add_argument(
         "--chrome", default=None, metavar="OUT.json",
@@ -396,6 +425,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--scrape", default=None, metavar="HOST:PORT,...",
         help="poll these replica scrape endpoints instead of tailing a file "
              "(started by --scrape-port on live/chaos runs)",
+    )
+    watch_parser.add_argument(
+        "--deployment", default=None, metavar="DEPLOY.json",
+        help="derive every replica's scrape endpoint from a deployment "
+             "document (written by multi-process runs; uses its "
+             "notes.scrape_port base unless --scrape-port overrides it)",
+    )
+    watch_parser.add_argument(
+        "--scrape-port", type=int, default=None, metavar="PORT",
+        help="with --deployment: override the base scrape port "
+             "(replica r listens on PORT + r)",
     )
     watch_parser.add_argument("--interval", type=float, default=1.0,
                               help="refresh interval in seconds (default: 1.0)")
@@ -725,6 +765,16 @@ def _run_live_multiprocess(args: argparse.Namespace, spec: ExperimentSpec,
               + ", ".join(f"r{rid}={height}" for rid, height in sorted(heights.items())))
     print(f"prefix consistent: {info.get('prefix_consistent')}  "
           f"duplicate commits: {info.get('duplicate_commits', 0)}")
+    deaths = info.get("replica_deaths", {})
+    if deaths:
+        print("replica deaths: "
+              + ", ".join(f"r{rid} (exit {code})" for rid, code in sorted(deaths.items())),
+              file=sys.stderr)
+    shards = info.get("trace_shards", {})
+    if shards:
+        print(f"trace shards ({len(shards)}): "
+              + " ".join(shards[name] for name in sorted(shards)))
+        print(f"merge with: repro trace merge {' '.join(shards[name] for name in sorted(shards))}")
     if result.network_stats:
         print(format_network_breakdown(result.network_stats,
                                        committed_ops=summary.committed_txns))
@@ -1045,6 +1095,15 @@ def command_trace(args: argparse.Namespace) -> int:
 
     from repro.obs.export import read_jsonl, write_chrome, write_prometheus
 
+    if args.trace_file == "merge":
+        return _command_trace_merge(args)
+    if args.trace_file == "critical-path":
+        return _command_trace_critical(args)
+    if args.inputs:
+        raise ConfigurationError(
+            "extra positional arguments are only valid with "
+            "'repro trace merge' / 'repro trace critical-path'"
+        )
     if not os.path.isfile(args.trace_file):
         raise ConfigurationError(f"trace file {args.trace_file!r} does not exist")
     if args.follow:
@@ -1073,8 +1132,107 @@ def command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace_merge(args: argparse.Namespace) -> int:
+    """Skew-correct per-process trace shards into one merged bundle."""
+    import os
+
+    from repro.obs.export import write_trace_bundle
+    from repro.obs.merge import CLIENT_SHARD_ID, format_offsets, merge_trace_files
+
+    if not args.inputs:
+        raise ConfigurationError(
+            "trace merge needs at least one shard file "
+            "(e.g. trace-client.jsonl trace-r0.jsonl ...)"
+        )
+    for path in args.inputs:
+        if not os.path.isfile(path):
+            raise ConfigurationError(f"trace shard {path!r} does not exist")
+    reference = args.reference if args.reference is not None else CLIENT_SHARD_ID
+    merged, offsets = merge_trace_files(args.inputs, reference=reference)
+    print(format_offsets(offsets))
+    out_dir = args.out or os.path.dirname(os.path.abspath(args.inputs[0]))
+    paths = write_trace_bundle(merged, out_dir, prefix="merged")
+    print(
+        f"merged {len(args.inputs)} shards: {len(merged.spans)} spans, "
+        f"{len(merged.events)} events, {merged.wire_seen} wire edges"
+    )
+    for fmt, path in sorted(paths.items()):
+        print(f"wrote {fmt}: {path}")
+    print(f"next: repro trace critical-path {paths['jsonl']}")
+    return 0
+
+
+def _command_trace_critical(args: argparse.Namespace) -> int:
+    """Per-hop commit critical-path decomposition of a merged trace."""
+    import os
+
+    from repro.obs.critical import critical_path_report, format_critical_path_report
+    from repro.obs.export import read_jsonl
+    from repro.obs.merge import merge_trace_files
+
+    if not args.inputs:
+        raise ConfigurationError(
+            "trace critical-path needs a merged trace "
+            "(or several shards to merge on the fly)"
+        )
+    for path in args.inputs:
+        if not os.path.isfile(path):
+            raise ConfigurationError(f"trace file {path!r} does not exist")
+    if len(args.inputs) == 1:
+        trace = read_jsonl(args.inputs[0])
+    else:
+        trace, _ = merge_trace_files(args.inputs)
+    regions = None
+    if args.deployment:
+        from repro.live.config import CLIENT_NODE_ID, DeploymentConfig
+
+        config = DeploymentConfig.load(args.deployment)
+        regions = dict(config.regions() or {})
+        if config.client_region is not None:
+            regions[CLIENT_NODE_ID] = config.client_region
+        regions = regions or None
+    report = critical_path_report(
+        trace, wan_threshold_s=args.wan_threshold / 1000.0, regions=regions
+    )
+    if not report.spans_used:
+        raise ConfigurationError(
+            "no transaction spans in the trace — was the run traced "
+            "(--trace) and merged from all shards?"
+        )
+    print(format_critical_path_report(report))
+    return 0
+
+
+def scrape_endpoints_from_deployment(config, base_port: Optional[int] = None) -> List[str]:
+    """Derive every replica's scrape endpoint from a deployment document.
+
+    Multi-process coordinators record the scrape base port under
+    ``notes["scrape_port"]``; replica *r* listens on ``base + r`` on its
+    configured host.  ``base_port`` overrides the recorded base (for runs
+    started before the note existed, or port-forwarded setups).
+    """
+    base = base_port if base_port is not None else config.notes.get("scrape_port")
+    if base is None:
+        raise ConfigurationError(
+            "deployment document records no scrape_port note — pass "
+            "--scrape-port PORT (the base port the run was started with)"
+        )
+    return [
+        f"{endpoint.host}:{int(base) + endpoint.replica_id}"
+        for endpoint in config.replicas
+    ]
+
+
 def command_watch(args: argparse.Namespace) -> int:
     """Live terminal dashboard: tail a streaming trace or poll scrape endpoints."""
+    if args.deployment:
+        from repro.live.config import DeploymentConfig
+        from repro.obs.watch import watch_scrape
+
+        config = DeploymentConfig.load(args.deployment)
+        endpoints = scrape_endpoints_from_deployment(config, base_port=args.scrape_port)
+        watch_scrape(endpoints, interval=args.interval, frames=args.frames, clear=args.clear)
+        return 0
     if args.scrape:
         from repro.obs.watch import watch_scrape
 

@@ -83,14 +83,23 @@ from repro.ledger.transaction import Transaction
 #: added the view-synchronisation fields (``ViewSync``; ``current_view`` /
 #: ``sender_view`` / ``high_cert`` on the pacemaker messages); version 3
 #: added the checkpointing state-transfer messages (``SnapshotRequest`` /
-#: ``SnapshotResponse``); version 4 added the binary codec.  Older JSON
-#: documents still decode — new fields fall back to their dataclass defaults,
-#: and the new message types only flow to peers that asked for them.
-WIRE_VERSION = 4
+#: ``SnapshotResponse``); version 4 added the binary codec; version 5 added
+#: the optional per-sender send sequence used as distributed-tracing context
+#: (JSON key ``"q"``, binary trailing varint).  Older JSON documents still
+#: decode — new fields fall back to their dataclass defaults, and the new
+#: message types only flow to peers that asked for them.
+WIRE_VERSION = 5
 
 #: Versions :func:`decode_envelope_body` accepts (new fields are optional, so
-#: releases of version skew decode cleanly; binary frames exist from v4 only).
-SUPPORTED_WIRE_VERSIONS = (1, 2, 3, 4)
+#: releases of version skew decode cleanly; binary frames exist from v4 only,
+#: and the v5 send sequence decodes as absent from every older frame).
+SUPPORTED_WIRE_VERSIONS = (1, 2, 3, 4, 5)
+
+#: Version stamped on frames that carry no trace context.  Keeping untraced
+#: frames at v4 makes them byte-identical to what pre-v5 peers emit *and*
+#: accept, so version skew only bites clusters that actually turn tracing on
+#: — and an untraced run pays exactly zero wire bytes for the v5 feature.
+UNTRACED_WIRE_VERSION = 4
 
 #: Codec names :func:`set_wire_codec` accepts.
 WIRE_CODECS = ("json", "binary")
@@ -763,29 +772,48 @@ def encoded_size(payload: Any, default: int = DEFAULT_SIZE_BYTES) -> int:
 
 
 # --------------------------------------------------------------------- frames
-def frame_from_message(sender: int, receiver: int, message: bytes, sent_at: float) -> bytes:
+def frame_from_message(
+    sender: int, receiver: int, message: bytes, sent_at: float, seq: Optional[int] = None
+) -> bytes:
     """Build one length-prefixed frame around already-encoded *message* bytes.
 
     The envelope format is sniffed from the message encoding, so the frame
     always matches its body.  Broadcasts encode the message once and call
     this per receiver — splicing the routing fields is an order of magnitude
     cheaper than re-encoding a 100-transaction block per peer.
+
+    *seq* is the optional per-sender send sequence (distributed-tracing
+    context).  ``None`` emits a :data:`UNTRACED_WIRE_VERSION` frame that is
+    byte-identical to the pre-v5 format; an integer emits a v5 frame with the
+    sequence as JSON key ``"q"`` or a trailing binary header varint.
     """
     if message[:1] == b"{":
         # repr() of a Python float is exactly json.dumps' float text.
-        body = b'{"v":%d,"s":%d,"r":%d,"a":%s,"m":%s}' % (
-            WIRE_VERSION,
-            sender,
-            receiver,
-            repr(float(sent_at)).encode("ascii"),
-            message,
-        )
+        if seq is None:
+            body = b'{"v":%d,"s":%d,"r":%d,"a":%s,"m":%s}' % (
+                UNTRACED_WIRE_VERSION,
+                sender,
+                receiver,
+                repr(float(sent_at)).encode("ascii"),
+                message,
+            )
+        else:
+            body = b'{"v":%d,"s":%d,"r":%d,"a":%s,"q":%d,"m":%s}' % (
+                WIRE_VERSION,
+                sender,
+                receiver,
+                repr(float(sent_at)).encode("ascii"),
+                seq,
+                message,
+            )
     elif message[:1] == b"\x09":
         head = bytearray((BINARY_MAGIC,))
-        _append_uvarint(head, WIRE_VERSION)
+        _append_uvarint(head, UNTRACED_WIRE_VERSION if seq is None else WIRE_VERSION)
         _append_zigzag(head, sender)
         _append_zigzag(head, receiver)
         head += _DOUBLE.pack(sent_at)
+        if seq is not None:
+            _append_uvarint(head, seq)
         body = bytes(head) + message
     else:
         raise CodecError("message bytes are neither JSON nor binary encoded")
@@ -819,12 +847,13 @@ def encode_envelope_frame(sender: int, receiver: int, payload: Any, sent_at: flo
     return frame_from_message(sender, receiver, encode_message(payload), sent_at)
 
 
-def decode_envelope_body(body: bytes) -> Tuple[int, int, float, Any]:
-    """Decode a frame body into ``(sender, receiver, sent_at, payload)``.
+def decode_envelope(body: bytes) -> Tuple[int, int, float, Optional[int], Any]:
+    """Decode a frame body into ``(sender, receiver, sent_at, seq, payload)``.
 
     Accepts both formats regardless of the active encoding codec: binary
     bodies are recognised by :data:`BINARY_MAGIC`, everything else is treated
-    as a JSON envelope (wire versions 1–4).
+    as a JSON envelope (wire versions 1–5).  ``seq`` is the v5 per-sender
+    send sequence; frames from older peers decode with ``seq`` ``None``.
     """
     if body[:1] == bytes((BINARY_MAGIC,)):
         try:
@@ -834,10 +863,14 @@ def decode_envelope_body(body: bytes) -> Tuple[int, int, float, Any]:
             sender, pos = _read_zigzag(body, pos)
             receiver, pos = _read_zigzag(body, pos)
             sent_at = _DOUBLE.unpack_from(body, pos)[0]
-            payload_bytes = body[pos + 8 :]
+            pos += 8
+            seq: Optional[int] = None
+            if version >= 5:
+                seq, pos = _read_uvarint(body, pos)
+            payload_bytes = body[pos:]
             payload = _decode_cache.get(payload_bytes)
             if payload is not None:
-                return sender, receiver, sent_at, payload
+                return sender, receiver, sent_at, seq, payload
             payload, end = _dec_bin(payload_bytes, 0)
         except CodecError:
             raise
@@ -850,21 +883,33 @@ def decode_envelope_body(body: bytes) -> Tuple[int, int, float, Any]:
         if len(_decode_cache) >= _DECODE_CACHE_MAX:
             _decode_cache.clear()
         _decode_cache[payload_bytes] = payload
-        return sender, receiver, sent_at, payload
+        return sender, receiver, sent_at, seq, payload
     try:
         document = json.loads(body.decode("utf-8"))
         if document.get("v") not in SUPPORTED_WIRE_VERSIONS:
             raise CodecError(f"unsupported wire version {document.get('v')!r}")
+        raw_seq = document.get("q")
         return (
             int(document["s"]),
             int(document["r"]),
             float(document["a"]),
+            int(raw_seq) if raw_seq is not None else None,
             message_from_wire(document["m"]),
         )
     except CodecError:
         raise
     except (ValueError, KeyError, TypeError) as exc:
         raise CodecError(f"cannot decode envelope: {exc}") from exc
+
+
+def decode_envelope_body(body: bytes) -> Tuple[int, int, float, Any]:
+    """Decode a frame body into ``(sender, receiver, sent_at, payload)``.
+
+    The pre-v5 surface, kept for callers that do not care about trace
+    context; :func:`decode_envelope` additionally surfaces the send sequence.
+    """
+    sender, receiver, sent_at, _seq, payload = decode_envelope(body)
+    return sender, receiver, sent_at, payload
 
 
 async def read_frame(reader: "asyncio.StreamReader") -> Optional[bytes]:

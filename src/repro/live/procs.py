@@ -117,12 +117,6 @@ def validate_multiprocess_spec(spec: ExperimentSpec) -> ExperimentSpec:
             "multi-process runs need a concrete scrape_port (the coordinator "
             "cannot discover ephemeral ports bound in other processes)"
         )
-    if spec.storage_dir is not None:
-        raise ConfigurationError(
-            "storage_dir is single-process for now: every replica process "
-            "would rebuild (and clear) all n store directories on startup, "
-            "clobbering its peers' WALs"
-        )
     return spec
 
 
@@ -193,11 +187,21 @@ def run_replica_process(
         spec = spec_from_dict(json.load(handle))
     validate_multiprocess_spec(spec)
     config = DeploymentConfig.load(deployment_path).validate(n=spec.n)
-    # The coordinator computes spec_lead / phase traces from its own client
-    # vantage point; replica-side tracing would need an export hop that does
-    # not exist yet, so children run untraced.
-    spec.trace = False
-    spec.trace_stream = None
+    if spec.storage_dir:
+        # Private per-child subtree: build_replica_stores clears the
+        # directory it is handed, so sharing one root across processes would
+        # clobber the peers' WALs.
+        spec.storage_dir = os.path.join(spec.storage_dir, f"r{replica_id}")
+    # Each child streams its own trace shard into the coordinator's scratch
+    # dir (next to the result file it was told to write); the coordinator
+    # collects the shards at shutdown and `repro trace merge` rebases them
+    # onto one timeline.
+    if spec.trace:
+        spec.trace_stream = os.path.join(
+            os.path.dirname(os.path.abspath(result_path)), f"trace-r{replica_id}.jsonl"
+        )
+    else:
+        spec.trace_stream = None
     with wire_codec_scope(spec.codec):
         asyncio.run(_run_replica(spec, config, replica_id, result_path))
     return 0
@@ -233,6 +237,15 @@ async def _run_replica(
     for other in deployment.replicas:
         other.report_metrics = other is replica
 
+    tracer = deployment.tracer
+    if tracer is not None:
+        # This shard's timestamps are on this process's clock; the merge
+        # needs to know whose.  Spans open at mempool admission because no
+        # client pool lives here to open them at submission.
+        tracer.node_id = replica_id
+        tracer.span_origin = "mempool"
+        transport.set_tracer(tracer)
+
     scrape_server = None
     if spec.scrape_port is not None:
         from repro.obs.scrape import ReplicaTelemetry, ScrapeServer
@@ -267,14 +280,28 @@ async def _run_replica(
     clock.reset_origin()
     replica.start()
     try:
-        await asyncio.wait_for(stop.wait(), timeout=spec.duration + WATCHDOG_MARGIN)
-    except asyncio.TimeoutError:
-        pass  # coordinator died without signalling; shut down anyway
+        # Poll instead of a single wait: the tracer's bucket cursor (and the
+        # streaming sink behind it) must advance in real time, exactly like
+        # the single-process live loop.
+        deadline = spec.duration + WATCHDOG_MARGIN
+        while not stop.is_set() and clock.now < deadline:
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=0.1)
+            except asyncio.TimeoutError:
+                pass  # tick; coordinator death is covered by the deadline
+            if tracer is not None:
+                tracer.advance(clock.now)
     finally:
+        # Finalize (and flush) the trace shard before the result file lands:
+        # the coordinator treats an existing result as "this child's shard is
+        # complete".
+        if tracer is not None:
+            tracer.finalize(clock.now)
         pool = deployment.mempool_for(replica_id)
         committed_blocks = list(replica.ledger.committed.blocks())
         result = {
             "replica_id": replica_id,
+            "trace_shard": spec.trace_stream,
             "committed_hashes": replica.ledger.committed.hashes(),
             "committed_txn_ids": [
                 txn.txn_id for block in committed_blocks for txn in block.transactions
@@ -350,6 +377,10 @@ async def _run_coordinator(
     deployment_path = os.path.join(workdir, "deployment.json")
     with open(spec_path, "w", encoding="utf-8") as handle:
         json.dump(spec_to_dict(spec), handle)
+    if spec.scrape_port is not None:
+        # Carried in the deployment document so `repro watch --deployment`
+        # can derive every replica's scrape endpoint from the file alone.
+        config.notes.setdefault("scrape_port", spec.scrape_port)
     config.dump(deployment_path)
 
     clock = WallClock(seed=spec.seed)
@@ -369,6 +400,21 @@ async def _run_coordinator(
         spec, clock, lambda replica_id: _NullTransport(replica_id)
     )
     metrics = deployment.metrics
+    tracer = deployment.tracer
+    client_shard_path: Optional[str] = None
+    if tracer is not None:
+        # The coordinator's shard holds the client vantage point (submitted /
+        # responded spans plus the client side of every wire edge); it is the
+        # merge's reference timeline, so its clock needs no correction.
+        tracer.node_id = CLIENT_POOL_NODE_ID
+        client_transport.set_tracer(tracer)
+        client_shard_path = spec.trace_stream or os.path.join(
+            workdir, "trace-client.jsonl"
+        )
+        if tracer.sink is None:
+            from repro.obs.stream import StreamingTraceSink
+
+            StreamingTraceSink(tracer, client_shard_path)
 
     env = dict(os.environ)
     package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -377,6 +423,7 @@ async def _run_coordinator(
     ).rstrip(os.pathsep)
     children: List[subprocess.Popen] = []
     result_paths: Dict[int, str] = {}
+    replica_deaths: Dict[int, int] = {}
     try:
         for endpoint in config.replicas:
             result_paths[endpoint.replica_id] = os.path.join(
@@ -418,16 +465,32 @@ async def _run_coordinator(
             max_outstanding=max_outstanding,
             broadcast_requests=True,
         )
+        client_pool.tracer = tracer
         clock.reset_origin()
         client_pool.start()
         while clock.now < spec.duration:
             await asyncio.sleep(POLL_INTERVAL)
+            if tracer is not None:
+                tracer.advance(clock.now)
             if target_ops is not None and metrics.completed_count >= target_ops:
                 break
-            dead = [child for child in children if child.poll() not in (None, 0)]
+            dead = [
+                (endpoint.replica_id, child)
+                for endpoint, child in zip(config.replicas, children)
+                if child.poll() not in (None, 0)
+            ]
             if dead:
+                for rid, child in dead:
+                    replica_deaths[rid] = child.returncode
+                    if tracer is not None:
+                        tracer.instant(
+                            "replica-died",
+                            label=f"replica {rid} exited with code {child.returncode}",
+                            replica=rid,
+                            data={"exit_code": child.returncode},
+                        )
                 raise ConsensusError(
-                    f"replica process exited with code {dead[0].returncode} mid-run"
+                    f"replica process exited with code {dead[0][1].returncode} mid-run"
                 )
         elapsed = clock.now
         metrics.close_window(elapsed)
@@ -444,6 +507,11 @@ async def _run_coordinator(
             except subprocess.TimeoutExpired:
                 child.kill()
                 child.wait()
+        # Finalize after the children exited so the client shard's closing
+        # records (including any replica-died instants) reach disk even when
+        # the run is aborting on an error.
+        if tracer is not None:
+            tracer.finalize(clock.now)
         await client_transport.close()
         await client_transport.drain_readers()
 
@@ -480,6 +548,16 @@ async def _run_coordinator(
             f"transactions committed more than once: {duplicate_commits}"
         )
 
+    trace_shards: Optional[Dict[str, str]] = None
+    if tracer is not None:
+        trace_shards = {"client": client_shard_path}
+        for rid in sorted(results):
+            shard = results[rid].get("trace_shard") or os.path.join(
+                workdir, f"trace-r{rid}.jsonl"
+            )
+            if os.path.exists(shard):
+                trace_shards[f"r{rid}"] = shard
+
     summary = metrics.summarize(spec.protocol, elapsed)
     return RunResult(
         spec=spec,
@@ -487,10 +565,14 @@ async def _run_coordinator(
         replicas=[],
         client_pool=client_pool,
         network_stats=stats.as_dict(),
+        trace=tracer,
         multiproc={
             "deployment": config.to_dict(),
             "prefix_consistent": prefix_ok,
             "duplicate_commits": duplicate_commits,
+            "replica_deaths": replica_deaths,
+            "trace_shards": trace_shards,
+            "workdir": workdir,
             "committed_heights": {
                 rid: len(results[rid]["committed_hashes"]) for rid in sorted(results)
             },

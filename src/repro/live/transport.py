@@ -22,7 +22,7 @@ from typing import Any, Dict, Iterable, List, Optional, Protocol, Tuple
 from repro.errors import NetworkError
 from repro.live.codec import (
     CodecError,
-    decode_envelope_body,
+    decode_envelope,
     encode_message,
     frame_from_message,
     read_frame,
@@ -212,6 +212,8 @@ class AsyncTcpTransport:
         self._connections: Dict[int, _PeerConnection] = {}
         self._reader_tasks: "set[asyncio.Task]" = set()
         self._trace_hook = None
+        self._tracer = None
+        self._send_seq = 0
         self._closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -307,6 +309,18 @@ class AsyncTcpTransport:
         """Install a hook invoked on every delivered envelope (tests/tracing)."""
         self._trace_hook = hook
 
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.trace.TraceRecorder` for wire events.
+
+        With a tracer attached, every outbound frame is stamped with a
+        per-sender send sequence (the v5 wire trace context) and recorded as
+        a ``send`` wire event; every inbound frame that carries a sequence is
+        recorded as the matching ``recv`` event.  ``None`` detaches — an
+        untraced transport pays one attribute test per frame and emits
+        byte-identical v4 frames.
+        """
+        self._tracer = tracer
+
     def wire_counters(self) -> Dict:
         """Wire-level counters for reports: write coalescing plus reconnects.
 
@@ -360,13 +374,22 @@ class AsyncTcpTransport:
         size_bytes: Optional[int] = None,
     ) -> Optional[Envelope]:
         """Frame pre-encoded *message* bytes and hand them to one receiver."""
+        tracer = self._tracer
+        seq = None
+        if tracer is not None and receiver != self.node_id:
+            # Self-sends never cross the wire (and carry no skew
+            # information), so only remote frames consume trace sequences.
+            self._send_seq += 1
+            seq = self._send_seq
         try:
-            frame = frame_from_message(sender, receiver, message, self.clock.now)
+            frame = frame_from_message(sender, receiver, message, self.clock.now, seq)
         except CodecError as exc:  # includes FrameTooLargeError
             self.delivery_errors.append(exc)
             self.stats.messages_dropped += 1
             return None
         self.stats.record_sent(payload, len(frame) if size_bytes is None else size_bytes)
+        if seq is not None:
+            tracer.wire_send(self.node_id, receiver, seq, type(payload).__name__)
         if self._closed:
             self.stats.messages_dropped += 1
             return None
@@ -455,7 +478,7 @@ class AsyncTcpTransport:
                 if body is None:
                     break
                 try:
-                    sender, receiver, sent_at, payload = decode_envelope_body(body)
+                    sender, receiver, sent_at, seq, payload = decode_envelope(body)
                 except CodecError as exc:
                     self.delivery_errors.append(exc)
                     break
@@ -467,6 +490,10 @@ class AsyncTcpTransport:
                     deliver_at=self.clock.now,
                     size_bytes=len(body) + 4,
                 )
+                if self._tracer is not None and seq is not None:
+                    self._tracer.wire_recv(
+                        sender, receiver, seq, sent_at, type(payload).__name__
+                    )
                 self._dispatch(envelope)
         except (ConnectionError, OSError, CodecError):
             pass  # peer went away or sent garbage; reconnects are its problem

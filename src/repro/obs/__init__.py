@@ -6,9 +6,11 @@ See :mod:`repro.obs.trace` for the recorder both substrates feed,
 :mod:`repro.obs.export` for the JSONL / Chrome-trace / Prometheus surfaces,
 :mod:`repro.obs.stream` for bounded-memory streaming export,
 :mod:`repro.obs.sampling` for span-sampling strategies,
-:mod:`repro.obs.detect` for the hysteresis-gated SLO rules, and
+:mod:`repro.obs.detect` for the hysteresis-gated SLO rules,
 :mod:`repro.obs.scrape` / :mod:`repro.obs.watch` for the live endpoints and
-the ``repro watch`` dashboard.
+the ``repro watch`` dashboard, and :mod:`repro.obs.merge` /
+:mod:`repro.obs.critical` for the skew-corrected multi-process shard merge
+and the commit critical-path decomposition built on it.
 """
 
 from repro.obs.trace import (
@@ -19,7 +21,24 @@ from repro.obs.trace import (
     TraceInstant,
     TraceRecorder,
     TxnSpan,
+    WireEvent,
     default_bucket_width,
+)
+from repro.obs.merge import (
+    ClockOffsets,
+    estimate_offsets,
+    format_offsets,
+    merge_shards,
+    merge_trace_files,
+)
+from repro.obs.critical import (
+    CriticalPathReport,
+    HopSegment,
+    TxnCriticalPath,
+    critical_path_report,
+    critical_paths,
+    format_critical_path_report,
+    link_delay_matrix,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -51,7 +70,20 @@ __all__ = [
     "TraceInstant",
     "TraceRecorder",
     "TxnSpan",
+    "WireEvent",
     "default_bucket_width",
+    "ClockOffsets",
+    "estimate_offsets",
+    "format_offsets",
+    "merge_shards",
+    "merge_trace_files",
+    "CriticalPathReport",
+    "HopSegment",
+    "TxnCriticalPath",
+    "critical_path_report",
+    "critical_paths",
+    "format_critical_path_report",
+    "link_delay_matrix",
     "chrome_trace",
     "parse_prometheus",
     "prometheus_text",

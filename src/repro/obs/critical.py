@@ -1,0 +1,388 @@
+"""Commit critical-path analysis over a skew-corrected merged trace.
+
+Once :mod:`repro.obs.merge` has put every process's shard on one timeline,
+each sampled transaction span carries the *cluster-wide* lifecycle — the
+client's ``submitted``/``responded`` stamps next to the replicas'
+``mempool``/``proposed``/``voted``/``certified``/``spec-executed``/
+``committed`` stamps, with ``sources`` naming the process that observed each
+step.  This module walks that lifecycle hop by hop and decomposes the commit
+latency into three segment classes per hop:
+
+* **network** — the skew-corrected minimum one-way delay of the link the hop
+  crossed (client→replica for admission, replica→replica for propose/vote
+  dissemination, replica→client for the speculative response).  The link
+  floor comes from the merged wire events, so it is measured, not assumed.
+* **queue** — whatever the hop took beyond the link floor: batching delay,
+  mempool dwell, vote-quorum wait, event-loop backlog.
+* **compute** — hops that never cross a wire (speculative execution).
+
+The final ``responded → committed`` hop is the signed *speculation lead*:
+for HotStuff-1 it is positive (the client answer beat the commit), so it is
+reported separately instead of being folded into the response path.
+
+Links whose one-way floor exceeds ``wan_threshold_s`` are flagged **WAN**;
+the report names the dominant network link and the WAN share of the
+response-path network time, which is how a geo deployment's
+virginia↔hongkong leg shows up as the thing that actually costs money.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import TraceRecorder, percentile
+
+#: Default one-way delay above which a link is called a WAN link (10 ms —
+#: an order of magnitude above same-host / same-rack floors, well below any
+#: intercontinental leg).
+WAN_THRESHOLD_S = 0.01
+
+#: The lifecycle walk: ``(start kind, end kind, segment class)``.  Classes:
+#: ``network`` hops cross a wire (link floor + queue remainder), ``queue``
+#: hops dwell inside one process, ``compute`` hops are execution, ``lead``
+#: is the signed speculation lead (reported separately).
+HOP_SPECS: Tuple[Tuple[str, str, str], ...] = (
+    ("submitted", "mempool", "network"),
+    ("mempool", "proposed", "queue"),
+    ("proposed", "voted", "network"),
+    ("voted", "certified", "network"),
+    ("certified", "spec-executed", "compute"),
+    ("spec-executed", "responded", "network"),
+    ("responded", "committed", "lead"),
+)
+
+
+def node_label(node: Optional[int], regions: Optional[Dict[int, str]] = None) -> str:
+    """Human name for a node id: ``client``, ``r0``, or ``r0 (virginia)``."""
+    if node is None:
+        return "?"
+    base = "client" if node < 0 else f"r{node}"
+    if regions and node in regions:
+        return f"{base} ({regions[node]})"
+    return base
+
+
+def link_delay_matrix(trace: TraceRecorder) -> Dict[Tuple[int, int], float]:
+    """Skew-corrected minimum one-way delay per directed link.
+
+    Recomputed from the merged trace's wire events alone — after the merge
+    both ``t`` and ``sent_at`` are on the reference timeline, so their
+    difference on the *fastest* frame is the link's propagation floor.
+    Negative floors (residual estimation error on symmetric same-host
+    links) clamp to zero.
+    """
+    matrix: Dict[Tuple[int, int], float] = {}
+    for event in trace.wire:
+        if event.kind != "recv":
+            continue
+        key = (event.src, event.dst)
+        delta = event.t - event.sent_at
+        if key not in matrix or delta < matrix[key]:
+            matrix[key] = delta
+    return {key: max(delta, 0.0) for key, delta in matrix.items()}
+
+
+@dataclass
+class HopSegment:
+    """One lifecycle hop of one transaction, decomposed into segments."""
+
+    name: str
+    start: str
+    end: str
+    src: Optional[int]
+    dst: Optional[int]
+    total_s: float
+    network_s: float = 0.0
+    queue_s: float = 0.0
+    compute_s: float = 0.0
+
+    @property
+    def link(self) -> Optional[Tuple[int, int]]:
+        if self.src is None or self.dst is None or self.src == self.dst:
+            return None
+        return (self.src, self.dst)
+
+
+@dataclass
+class TxnCriticalPath:
+    """The commit critical path of one committed transaction."""
+
+    txn_id: int
+    hops: List[HopSegment]
+    response_s: Optional[float]
+    commit_s: Optional[float]
+    speculation_lead_s: Optional[float]
+
+    def segment_total(self, segment: str) -> float:
+        return sum(getattr(hop, f"{segment}_s") for hop in self.hops if hop.name != "responded→committed")
+
+
+@dataclass
+class HopStat:
+    """Aggregate statistics for one hop across all analysed spans."""
+
+    name: str
+    kind: str
+    count: int
+    p50_s: float
+    p99_s: float
+    network_s: float
+    queue_s: float
+    compute_s: float
+    #: Most common (src, dst) link for network hops, else ``None``.
+    link: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class CriticalPathReport:
+    """Cluster-wide commit critical-path decomposition."""
+
+    spans_used: int
+    hops: List[HopStat]
+    response_p50_s: float
+    response_p99_s: float
+    commit_p50_s: float
+    commit_p99_s: float
+    speculation_lead_p50_s: float
+    #: Skew-corrected minimum one-way delay per directed link.
+    link_delay_s: Dict[Tuple[int, int], float]
+    wan_threshold_s: float = WAN_THRESHOLD_S
+    regions: Optional[Dict[int, str]] = None
+    #: Mean per-span segment totals over the response path (lead excluded).
+    network_mean_s: float = 0.0
+    queue_mean_s: float = 0.0
+    compute_mean_s: float = 0.0
+    #: Share of response-path network time spent on WAN links.
+    wan_network_share: float = 0.0
+
+    @property
+    def wan_links(self) -> List[Tuple[int, int]]:
+        return sorted(
+            key for key, delay in self.link_delay_s.items()
+            if delay >= self.wan_threshold_s
+        )
+
+    @property
+    def dominant_link(self) -> Optional[Tuple[int, int]]:
+        """The network link contributing the largest per-hop floor."""
+        best: Optional[Tuple[int, int]] = None
+        best_delay = -1.0
+        for hop in self.hops:
+            if hop.link is None:
+                continue
+            delay = self.link_delay_s.get(hop.link, 0.0)
+            if delay > best_delay:
+                best, best_delay = hop.link, delay
+        return best
+
+
+def critical_paths(
+    trace: TraceRecorder,
+    link_delay: Optional[Dict[Tuple[int, int], float]] = None,
+) -> List[TxnCriticalPath]:
+    """Walk every sampled span's lifecycle into per-hop segments.
+
+    Only hops whose both endpoints were observed contribute; a hop that
+    crossed a wire gets the link's measured floor as its network segment
+    (clamped into ``[0, hop]``) with the remainder booked as queue.  Hops
+    whose endpoints landed in the same process are pure queue/compute.
+    """
+    if link_delay is None:
+        link_delay = link_delay_matrix(trace)
+    paths: List[TxnCriticalPath] = []
+    for span in trace.spans.values():
+        hops: List[HopSegment] = []
+        for start, end, kind in HOP_SPECS:
+            t0 = span.events.get(start)
+            t1 = span.events.get(end)
+            if t0 is None or t1 is None:
+                continue
+            total = t1 - t0
+            hop = HopSegment(
+                name=f"{start}→{end}",
+                start=start,
+                end=end,
+                src=span.sources.get(start),
+                dst=span.sources.get(end),
+                total_s=total,
+            )
+            if kind == "network" and hop.link is not None:
+                floor = link_delay.get(hop.link, 0.0)
+                hop.network_s = min(max(floor, 0.0), max(total, 0.0))
+                hop.queue_s = max(total, 0.0) - hop.network_s
+            elif kind == "compute":
+                hop.compute_s = max(total, 0.0)
+            elif kind != "lead":
+                hop.queue_s = max(total, 0.0)
+            hops.append(hop)
+        if not hops:
+            continue
+        paths.append(
+            TxnCriticalPath(
+                txn_id=span.txn_id,
+                hops=hops,
+                response_s=span.delta("submitted", "responded"),
+                commit_s=span.delta("submitted", "committed"),
+                speculation_lead_s=span.delta("responded", "committed"),
+            )
+        )
+    return paths
+
+
+def critical_path_report(
+    trace: TraceRecorder,
+    wan_threshold_s: float = WAN_THRESHOLD_S,
+    regions: Optional[Dict[int, str]] = None,
+) -> CriticalPathReport:
+    """Aggregate :func:`critical_paths` into the cluster-wide report."""
+    link_delay = link_delay_matrix(trace)
+    paths = critical_paths(trace, link_delay)
+
+    hop_kinds = {f"{start}→{end}": kind for start, end, kind in HOP_SPECS}
+    per_hop: Dict[str, List[HopSegment]] = {}
+    for path in paths:
+        for hop in path.hops:
+            per_hop.setdefault(hop.name, []).append(hop)
+
+    hop_stats: List[HopStat] = []
+    for start, end, kind in HOP_SPECS:
+        name = f"{start}→{end}"
+        hops = per_hop.get(name)
+        if not hops:
+            continue
+        totals = sorted(hop.total_s for hop in hops)
+        # Only wire-crossing hops get a link attribution; queue/compute hops
+        # may still span two observers, but no frame delay explains them.
+        links = (
+            [hop.link for hop in hops if hop.link is not None]
+            if kind == "network"
+            else []
+        )
+        link = max(set(links), key=links.count) if links else None
+        n = len(hops)
+        hop_stats.append(
+            HopStat(
+                name=name,
+                kind=hop_kinds[name],
+                count=n,
+                p50_s=percentile(totals, 0.50),
+                p99_s=percentile(totals, 0.99),
+                network_s=sum(hop.network_s for hop in hops) / n,
+                queue_s=sum(hop.queue_s for hop in hops) / n,
+                compute_s=sum(hop.compute_s for hop in hops) / n,
+                link=link,
+            )
+        )
+
+    def total_percentiles(values: List[Optional[float]]) -> Tuple[float, float]:
+        present = sorted(v for v in values if v is not None)
+        return percentile(present, 0.50), percentile(present, 0.99)
+
+    response_p50, response_p99 = total_percentiles([p.response_s for p in paths])
+    commit_p50, commit_p99 = total_percentiles([p.commit_s for p in paths])
+    lead_p50, _ = total_percentiles([p.speculation_lead_s for p in paths])
+
+    n_paths = len(paths) or 1
+    network_mean = sum(p.segment_total("network") for p in paths) / n_paths
+    queue_mean = sum(p.segment_total("queue") for p in paths) / n_paths
+    compute_mean = sum(p.segment_total("compute") for p in paths) / n_paths
+
+    wan_network = 0.0
+    all_network = 0.0
+    for path in paths:
+        for hop in path.hops:
+            if hop.name == "responded→committed":
+                continue
+            all_network += hop.network_s
+            if hop.link is not None and link_delay.get(hop.link, 0.0) >= wan_threshold_s:
+                wan_network += hop.network_s
+
+    return CriticalPathReport(
+        spans_used=len(paths),
+        hops=hop_stats,
+        response_p50_s=response_p50,
+        response_p99_s=response_p99,
+        commit_p50_s=commit_p50,
+        commit_p99_s=commit_p99,
+        speculation_lead_p50_s=lead_p50,
+        link_delay_s=link_delay,
+        wan_threshold_s=wan_threshold_s,
+        regions=regions,
+        network_mean_s=network_mean,
+        queue_mean_s=queue_mean,
+        compute_mean_s=compute_mean,
+        wan_network_share=(wan_network / all_network) if all_network > 0 else 0.0,
+    )
+
+
+def format_critical_path_report(report: CriticalPathReport) -> str:
+    """Render the report as the ``repro trace critical-path`` table."""
+    regions = report.regions
+
+    def ms(value: float) -> str:
+        return f"{value * 1000.0:.2f}"
+
+    lines = [
+        f"commit critical path over {report.spans_used} spans "
+        "(skew-corrected reference timeline)",
+        "",
+        f"{'hop':<26} {'class':<8} {'p50 ms':>9} {'p99 ms':>9} "
+        f"{'net ms':>9} {'queue ms':>9} {'cpu ms':>9}  link",
+    ]
+    for hop in report.hops:
+        link = ""
+        if hop.link is not None:
+            src, dst = hop.link
+            link = f"{node_label(src, regions)}→{node_label(dst, regions)}"
+            if report.link_delay_s.get(hop.link, 0.0) >= report.wan_threshold_s:
+                link += "  [WAN]"
+        lines.append(
+            f"{hop.name:<26} {hop.kind:<8} {ms(hop.p50_s):>9} {ms(hop.p99_s):>9} "
+            f"{ms(hop.network_s):>9} {ms(hop.queue_s):>9} {ms(hop.compute_s):>9}  {link}"
+        )
+    lines.append("")
+    lines.append(
+        f"response latency: p50 {ms(report.response_p50_s)} ms, "
+        f"p99 {ms(report.response_p99_s)} ms"
+    )
+    lines.append(
+        f"commit latency:   p50 {ms(report.commit_p50_s)} ms, "
+        f"p99 {ms(report.commit_p99_s)} ms"
+    )
+    lines.append(
+        f"speculation lead: p50 {report.speculation_lead_p50_s * 1000.0:+.2f} ms"
+    )
+    lines.append(
+        f"response-path segment means: network {ms(report.network_mean_s)} ms, "
+        f"queue {ms(report.queue_mean_s)} ms, compute {ms(report.compute_mean_s)} ms"
+    )
+    lines.append(
+        f"WAN share of network time: {report.wan_network_share * 100.0:.1f}% "
+        f"(threshold {report.wan_threshold_s * 1000.0:.0f} ms one-way)"
+    )
+    wan = report.wan_links
+    if wan:
+        lines.append("")
+        lines.append("WAN links (skew-corrected min one-way delay):")
+        for src, dst in wan:
+            lines.append(
+                f"  {node_label(src, regions)}→{node_label(dst, regions)}: "
+                f"{ms(report.link_delay_s[(src, dst)])} ms  [WAN]"
+            )
+    else:
+        lines.append("no WAN links above threshold (all links look local)")
+    dominant = report.dominant_link
+    if dominant is not None:
+        src, dst = dominant
+        tag = (
+            "  [WAN]"
+            if report.link_delay_s.get(dominant, 0.0) >= report.wan_threshold_s
+            else ""
+        )
+        lines.append(
+            f"dominant network link on the critical path: "
+            f"{node_label(src, regions)}→{node_label(dst, regions)} "
+            f"({ms(report.link_delay_s.get(dominant, 0.0))} ms one-way){tag}"
+        )
+    return "\n".join(lines)

@@ -54,16 +54,31 @@ _TXN_PID = 1
 _PROTOCOL_PID = 2
 _SERIES_PID = 3
 _INSTANT_PID = 4
+#: Merged multi-process traces give each replica process its own Perfetto
+#: track: protocol events from replica ``r`` land on pid ``100 + r``.
+_REPLICA_PID_BASE = 100
 
 
 def chrome_trace(trace: TraceRecorder) -> Dict:
-    """Render *trace* in the Chrome Trace Event Format (Perfetto-loadable)."""
+    """Render *trace* in the Chrome Trace Event Format (Perfetto-loadable).
+
+    A recorder flagged with ``per_replica_tracks`` (set by the multi-process
+    shard merge) additionally splits protocol events onto one track per
+    replica process, so the merged timeline shows each process's view of the
+    same blocks side by side.
+    """
     events: List[Dict] = [
         _process_name(_TXN_PID, "txn lifecycle (sampled spans)"),
         _process_name(_PROTOCOL_PID, "protocol events"),
         _process_name(_SERIES_PID, "time series"),
         _process_name(_INSTANT_PID, "faults & alerts"),
     ]
+    per_replica = bool(getattr(trace, "per_replica_tracks", False))
+    if per_replica:
+        for replica in sorted({e.replica for e in trace.events if e.replica >= 0}):
+            events.append(
+                _process_name(_REPLICA_PID_BASE + replica, f"replica r{replica}")
+            )
     for span in trace.spans.values():
         # Chrome slices need non-negative durations, so phases follow the
         # *observed* time order (for HotStuff the committed slice simply
@@ -82,12 +97,17 @@ def chrome_trace(trace: TraceRecorder) -> Dict:
                 }
             )
     for event in trace.events:
+        pid = (
+            _REPLICA_PID_BASE + event.replica
+            if per_replica and event.replica >= 0
+            else _PROTOCOL_PID
+        )
         events.append(
             {
                 "name": event.kind,
                 "ph": "i",
                 "ts": event.t * 1e6,
-                "pid": _PROTOCOL_PID,
+                "pid": pid,
                 "tid": 0,
                 "s": "p",
                 "args": {
@@ -203,6 +223,13 @@ def prometheus_text(trace: TraceRecorder) -> str:
         "gauge",
         [({}, float(trace.highest_view))],
     )
+    if trace.wire_seen:
+        emit(
+            "repro_trace_wire_events_total",
+            "Transport frames observed by the tracer (send + recv sides).",
+            "counter",
+            [({}, float(trace.wire_seen))],
+        )
     alert_counts: Dict[str, int] = {}
     for inst in trace.instants:
         if inst.kind == "alert":

@@ -98,6 +98,8 @@ class StreamingTraceSink:
             self._write({"type": "event", **recorder.events.popleft().as_dict()})
         while recorder.instants:
             self._write({"type": "instant", **recorder.instants.popleft().as_dict()})
+        while recorder.wire:
+            self._write({"type": "wire", **recorder.wire.popleft().as_dict()})
         self._retire_spans()
         self._write({"type": "counters", "counts": dict(recorder.counts)})
         self._write(recorder.meta_record() | {"streaming": True})
@@ -148,6 +150,8 @@ class StreamingTraceSink:
             self._write({"type": "event", **recorder.events.popleft().as_dict()})
         while recorder.instants:
             self._write({"type": "instant", **recorder.instants.popleft().as_dict()})
+        while recorder.wire:
+            self._write({"type": "wire", **recorder.wire.popleft().as_dict()})
         for index in sorted(recorder.buckets):
             self._write(TraceRecorder.bucket_record(recorder.buckets[index]))
             self.buckets_written += 1

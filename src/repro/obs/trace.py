@@ -98,10 +98,17 @@ def default_bucket_width(duration: float) -> float:
 
 @dataclass
 class TxnSpan:
-    """First-wins event timestamps for one sampled transaction."""
+    """First-wins event timestamps for one sampled transaction.
+
+    ``sources`` maps an event kind to the node id whose recorder observed it
+    — empty for single-process traces (one shared recorder), populated by
+    the multi-process shard merge so critical-path analysis knows which
+    process boundary each lifecycle step crossed.
+    """
 
     txn_id: int
     events: Dict[str, float] = field(default_factory=dict)
+    sources: Dict[str, int] = field(default_factory=dict)
 
     def signature(self) -> tuple:
         """Event kinds present, in canonical lifecycle order."""
@@ -135,6 +142,40 @@ class ProtocolEvent:
             "block_hash": self.block_hash,
             "txn_count": self.txn_count,
             "replica": self.replica,
+        }
+
+
+@dataclass
+class WireEvent:
+    """One frame crossing the transport, seen from one side of the wire.
+
+    The multi-process runtime records a ``send`` event in the sender's shard
+    and a ``recv`` event in the receiver's shard for every delivered frame;
+    the pair is matched by ``(src, seq)`` — the per-sender send sequence the
+    v5 wire envelope carries.  A ``recv`` event is self-contained for clock
+    skew estimation: ``t`` is stamped by the *receiver's* clock while
+    ``sent_at`` came over the wire from the *sender's* clock, so
+    ``t - sent_at = offset(dst) - offset(src) + link delay`` (see
+    :mod:`repro.obs.merge`).
+    """
+
+    kind: str  # "send" | "recv"
+    t: float  # local clock at this side of the wire
+    src: int  # sending node id
+    dst: int  # receiving node id
+    seq: int  # per-sender send sequence (matches the two sides)
+    sent_at: float  # sender-clock send time (== t for "send" events)
+    msg: str = ""  # payload type name, labels critical-path hops
+
+    def as_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "t": self.t,
+            "src": self.src,
+            "dst": self.dst,
+            "seq": self.seq,
+            "sent_at": self.sent_at,
+            "msg": self.msg,
         }
 
 
@@ -332,6 +373,19 @@ class TraceRecorder:
         self.events_seen = 0
         self.instants: deque = deque(maxlen=self.max_events)
         self.instants_seen = 0
+        # Wire events are per-frame, so the ring is wider than the protocol
+        # rings; with a streaming sink attached it is drained every flush and
+        # never wraps.
+        self.wire: deque = deque(maxlen=self.max_events * 4)
+        self.wire_seen = 0
+        #: Which node's clock this recorder's timestamps are on (``None`` for
+        #: single-process runs, where one recorder spans the whole cluster).
+        self.node_id: Optional[int] = None
+        #: Which lifecycle event opens a span.  The client-side default is
+        #: ``"submitted"``; replica *shards* (no client pool in the process)
+        #: switch to ``"mempool"`` so the merge has replica-side per-txn
+        #: timestamps to fold in.
+        self.span_origin = "submitted"
         self.buckets: Dict[int, TimelineBucket] = {}
         self.counts: Dict[str, int] = {}
         self.highest_view = 0
@@ -490,8 +544,35 @@ class TraceRecorder:
 
     def txn_mempool(self, txn_id: int) -> None:
         """Mempool: the transaction was newly admitted to the shared pool."""
+        t = self.clock.now
         self._count("mempool")
-        self._mark_span(txn_id, "mempool", self.clock.now)
+        if (
+            self.span_origin == "mempool"
+            and t >= self.warmup
+            and txn_id not in self.spans
+            and len(self.spans) < self.max_txns
+        ):
+            # Replica shard: there is no client pool in this process to open
+            # spans at submission, so admission opens them instead.
+            self.spans[txn_id] = TxnSpan(txn_id=txn_id, events={"mempool": t})
+            return
+        self._mark_span(txn_id, "mempool", t)
+
+    def wire_send(self, src: int, dst: int, seq: int, msg: str = "") -> None:
+        """Transport: a frame with send sequence *seq* left for *dst*."""
+        t = self.clock.now
+        self.wire_seen += 1
+        self.wire.append(WireEvent("send", t, src, dst, int(seq), t, msg))
+
+    def wire_recv(self, src: int, dst: int, seq: int, sent_at: float, msg: str = "") -> None:
+        """Transport: the frame ``(src, seq)`` was delivered locally.
+
+        ``sent_at`` is the sender-clock timestamp carried by the wire
+        envelope — the raw material for cross-process skew estimation.
+        """
+        t = self.clock.now
+        self.wire_seen += 1
+        self.wire.append(WireEvent("recv", t, src, dst, int(seq), float(sent_at), msg))
 
     def block_proposed(self, block, mempool_depth: int, replica: int = -1) -> None:
         """Protocol driver: a leader assembled and is broadcasting *block*."""
@@ -633,7 +714,7 @@ class TraceRecorder:
     # --------------------------------------------------------- serialization
     def meta_record(self) -> Dict:
         """The ``meta`` header record (also the first record of a stream)."""
-        return {
+        record = {
             "type": "meta",
             "version": 2,
             "warmup": self.warmup,
@@ -641,12 +722,21 @@ class TraceRecorder:
             "max_txns": self.max_txns,
             "events_seen": self.events_seen,
             "instants_seen": self.instants_seen,
+            "wire_seen": self.wire_seen,
             "highest_view": self.highest_view,
         }
+        if self.node_id is not None:
+            record["node"] = self.node_id
+        if getattr(self, "per_replica_tracks", False):
+            record["merged"] = True
+        return record
 
     @staticmethod
     def span_record(span: TxnSpan) -> Dict:
-        return {"type": "span", "txn_id": span.txn_id, "events": dict(span.events)}
+        record = {"type": "span", "txn_id": span.txn_id, "events": dict(span.events)}
+        if span.sources:
+            record["sources"] = dict(span.sources)
+        return record
 
     @staticmethod
     def bucket_record(bucket: TimelineBucket) -> Dict:
@@ -676,6 +766,8 @@ class TraceRecorder:
             records.append({"type": "event", **event.as_dict()})
         for inst in self.instants:
             records.append({"type": "instant", **inst.as_dict()})
+        for wire in self.wire:
+            records.append({"type": "wire", **wire.as_dict()})
         for index in sorted(self.buckets):
             records.append(self.bucket_record(self.buckets[index]))
         return records
@@ -696,7 +788,12 @@ class TraceRecorder:
             self.max_txns = int(record.get("max_txns", DEFAULT_MAX_TXNS))
             self.events_seen = int(record.get("events_seen", 0))
             self.instants_seen = int(record.get("instants_seen", 0))
+            self.wire_seen = int(record.get("wire_seen", 0))
             self.highest_view = int(record.get("highest_view", 0))
+            if record.get("node") is not None:
+                self.node_id = int(record["node"])
+            if record.get("merged"):
+                self.per_replica_tracks = True
         elif kind == "counters":
             self.counts.update(record.get("counts", {}))
         elif kind == "span":
@@ -704,6 +801,7 @@ class TraceRecorder:
             self.spans[txn_id] = TxnSpan(
                 txn_id=txn_id,
                 events={str(k): float(v) for k, v in record.get("events", {}).items()},
+                sources={str(k): int(v) for k, v in record.get("sources", {}).items()},
             )
         elif kind == "event":
             self.events.append(
@@ -727,6 +825,18 @@ class TraceRecorder:
                     data=dict(record.get("data", {})),
                 )
             )
+        elif kind == "wire":
+            self.wire.append(
+                WireEvent(
+                    kind=str(record.get("kind", "")),
+                    t=float(record.get("t", 0.0)),
+                    src=int(record.get("src", -1)),
+                    dst=int(record.get("dst", -1)),
+                    seq=int(record.get("seq", 0)),
+                    sent_at=float(record.get("sent_at", 0.0)),
+                    msg=str(record.get("msg", "")),
+                )
+            )
         elif kind == "bucket":
             index = int(record["index"])
             self.buckets[index] = TimelineBucket(
@@ -746,6 +856,12 @@ class TraceRecorder:
     def from_records(cls, records: Iterable[Dict]) -> "TraceRecorder":
         """Rebuild a (clock-less, read-only) recorder from dumped records."""
         recorder = cls(clock=None)
+        # Offline rebuilds are analysis surfaces: lift the live-memory ring
+        # caps so a long streamed shard loads losslessly (the bounds protect
+        # recording processes, not post-mortem readers).
+        recorder.events = deque()
+        recorder.instants = deque()
+        recorder.wire = deque()
         for record in records:
             recorder.apply_record(record)
         return recorder
@@ -767,7 +883,9 @@ class TraceRecorder:
         out.counts = dict(self.counts)
         out.events_seen = self.events_seen
         out.instants_seen = self.instants_seen
+        out.wire_seen = self.wire_seen
         out.highest_view = self.highest_view
+        out.node_id = self.node_id
         for txn_id, span in self.spans.items():
             if span.events and lo <= min(span.events.values()) < hi:
                 out.spans[txn_id] = span
@@ -777,6 +895,9 @@ class TraceRecorder:
         for inst in self.instants:
             if lo <= inst.t < hi:
                 out.instants.append(inst)
+        for wire in self.wire:
+            if lo <= wire.t < hi:
+                out.wire.append(wire)
         for index, bucket in self.buckets.items():
             if lo <= index * self.bucket_width < hi:
                 out.buckets[index] = bucket

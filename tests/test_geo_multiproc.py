@@ -130,12 +130,17 @@ class TestMultiprocessSpecValidation:
             (dict(faults={"events": [{"at": 0.1, "action": "crash", "replica": 1}]}),
              "single-process"),
             (dict(scrape_port=0), "concrete scrape_port"),
-            (dict(storage_dir="/tmp/nope"), "storage_dir"),
         ],
     )
     def test_rejections(self, overrides, message):
         with pytest.raises(ConfigurationError, match=message):
             validate_multiprocess_spec(self._spec(**overrides))
+
+    def test_storage_dir_is_accepted_children_get_private_subdirs(self):
+        # Each child derives storage_dir/r<id>/ for itself (see
+        # run_replica_process), so a shared storage_dir is no longer a
+        # multi-writer hazard and must validate cleanly.
+        validate_multiprocess_spec(self._spec(storage_dir="/tmp/cluster-wal"))
 
     def test_spec_survives_the_json_hop_to_child_processes(self):
         spec = self._spec(regions=list(GEO_ORDER), mempool_limit=500)

@@ -156,7 +156,8 @@ class TestEnvelopeFrames:
 
     def test_wire_version_mismatch_rejected(self):
         frame = codec.encode_envelope_frame(0, 1, _all_messages()[0], 0.0)
-        marker = b'{"v":%d,' % codec.WIRE_VERSION
+        # Untraced frames stay at the pre-tracing version on the wire.
+        marker = b'{"v":%d,' % codec.UNTRACED_WIRE_VERSION
         body = frame[4:].replace(marker, b'{"v":99,')
         assert body != frame[4:]  # the marker must have been found and replaced
         with pytest.raises(codec.CodecError):
@@ -198,11 +199,14 @@ class TestVersionSkew:
         assert (sender, receiver, sent_at) == (0, 1, 0.5)
         assert payload == Wish(view=6, voter=3, share=shares[0])
 
-    def test_current_version_is_4_and_older_versions_remain_supported(self):
+    def test_current_version_is_5_and_older_versions_remain_supported(self):
         # v2 added view-sync evidence, v3 the snapshot state-transfer
-        # messages, v4 the binary codec.
-        assert codec.WIRE_VERSION == 4
-        assert set(codec.SUPPORTED_WIRE_VERSIONS) == {1, 2, 3, 4}
+        # messages, v4 the binary codec, v5 the optional trace sequence.
+        assert codec.WIRE_VERSION == 5
+        assert set(codec.SUPPORTED_WIRE_VERSIONS) == {1, 2, 3, 4, 5}
+        # Frames without trace context still go out at v4 — byte-identical
+        # to what pre-v5 peers emit and accept.
+        assert codec.UNTRACED_WIRE_VERSION == 4
 
 
 class TestBinaryCodec:
@@ -275,7 +279,7 @@ class TestBinaryCodec:
         with codec.wire_codec_scope("binary"):
             frame = codec.encode_envelope_frame(0, 1, _all_messages()[0], 0.0)
         body = bytearray(frame[4:])
-        assert body[1] == codec.WIRE_VERSION  # single-byte varint
+        assert body[1] == codec.UNTRACED_WIRE_VERSION  # single-byte varint
         body[1] = 99
         with pytest.raises(codec.CodecError, match="version"):
             codec.decode_envelope_body(bytes(body))
@@ -298,13 +302,15 @@ class TestBinaryCodec:
                 codec.decode_message(codec.encode_message(_all_messages()[0]) + b"\x00")
 
     def test_unknown_binary_type_code_rejected(self):
-        head = bytearray((codec.BINARY_MAGIC, codec.WIRE_VERSION, 0, 2))
+        # v4 layout: no trailing seq varint between the double and the payload.
+        head = bytearray((codec.BINARY_MAGIC, codec.UNTRACED_WIRE_VERSION, 0, 2))
         head += codec._DOUBLE.pack(0.0)
         with pytest.raises(codec.CodecError, match="type code"):
             codec.decode_envelope_body(bytes(head) + b"\xff")
 
     def test_overlong_varint_rejected(self):
-        head = bytearray((codec.BINARY_MAGIC, codec.WIRE_VERSION, 0, 2))
+        # v4 layout: no trailing seq varint between the double and the payload.
+        head = bytearray((codec.BINARY_MAGIC, codec.UNTRACED_WIRE_VERSION, 0, 2))
         head += codec._DOUBLE.pack(0.0)
         with pytest.raises(codec.CodecError, match="varint"):
             codec.decode_envelope_body(bytes(head) + b"\x03" + b"\x80" * 11)
